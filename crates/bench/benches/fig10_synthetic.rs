@@ -1,0 +1,38 @@
+//! Criterion bench for **Figure 10**: the synthetic alternating-stride
+//! benchmark under each coloring policy. Prints the figure table once, then
+//! benchmarks each policy's full simulated run (the criterion numbers track
+//! simulator throughput; the figure numbers are the simulated cycles).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tint_bench::figures::{fig10, FigOpts};
+use tint_bench::runner::run_once;
+use tint_workloads::traits::Scale;
+use tint_workloads::{PinConfig, Synthetic};
+use tintmalloc::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let opts = FigOpts {
+        reps: 1,
+        scale: 0.25,
+        csv: false,
+    };
+    println!("\n=== Figure 10 (scale {}) ===\n{}", opts.scale, fig10(&opts).render());
+
+    let mut g = c.benchmark_group("fig10_synthetic");
+    g.sample_size(10);
+    let w = Synthetic::new(Scale(0.1));
+    for scheme in [
+        ColorScheme::Buddy,
+        ColorScheme::LlcOnly,
+        ColorScheme::MemOnly,
+        ColorScheme::MemLlc,
+    ] {
+        g.bench_function(scheme.label(), |b| {
+            b.iter(|| run_once(&w, scheme, PinConfig::T16N4, 1).metrics.runtime)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

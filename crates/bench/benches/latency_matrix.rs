@@ -1,0 +1,42 @@
+//! Criterion bench for the §V latency claims: prints the latency table and
+//! benchmarks single simulated accesses (local vs remote, hit vs miss) —
+//! the hot path of the whole simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tint_bench::figures::{latency, FigOpts};
+use tint_hw::types::{BankColor, CoreId, LlcColor, Rw};
+use tint_mem::MemorySystem;
+use tintmalloc::prelude::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== §V latency claims ===\n{}", latency(&FigOpts::default()).render());
+
+    let machine = MachineConfig::opteron_6128();
+    let mut g = c.benchmark_group("latency_matrix");
+    for (label, bc) in [("local", 0u16), ("1hop", 32), ("2hop", 96)] {
+        let mut sys = MemorySystem::new(machine.clone());
+        let mut row = 0u64;
+        let mut clock = 0u64;
+        g.bench_function(format!("dram_access/{label}"), |b| {
+            b.iter(|| {
+                row = (row + 1) % 1024;
+                clock += 1000;
+                let f = machine
+                    .mapping
+                    .compose_frame(BankColor(bc), LlcColor((row % 32) as u16), row);
+                sys.access(CoreId(0), f.base(), Rw::Read, clock).latency
+            })
+        });
+    }
+    // The pure cache-hit path.
+    let mut sys = MemorySystem::new(machine.clone());
+    let f = machine.mapping.compose_frame(BankColor(0), LlcColor(0), 0);
+    sys.access(CoreId(0), f.base(), Rw::Read, 0);
+    g.bench_function("cache_hit/l1", |b| {
+        b.iter(|| sys.access(CoreId(0), f.base(), Rw::Read, 1_000_000).latency)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

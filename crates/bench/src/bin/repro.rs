@@ -1,0 +1,140 @@
+//! `repro` — regenerate every results figure of the TintMalloc paper.
+//!
+//! ```text
+//! repro [--reps N] [--scale F] [--csv] [--configs 16t4n,8t4n,...] <command>
+//!
+//! commands:
+//!   fig10              synthetic benchmark by coloring policy
+//!   fig11              normalized benchmark runtimes (6 benchmarks × configs)
+//!   fig12              normalized total idle times
+//!   fig13              per-thread runtimes at 16_threads_4_nodes
+//!   fig14              per-thread idle times at 16_threads_4_nodes
+//!   latency            local/remote + bank + LLC latency microbenchmarks\n//!   bandwidth          bank/controller parallelism microbenchmark
+//!   ablate-part        full vs partial coloring
+//!   ablate-firsttouch  legacy buddy vs NUMA buddy vs MEM coloring
+//!   ablate-migrate     dynamic recoloring via page migration (extension)\n//!   ablate-dynamic     static vs dynamic scheduling (extension)\n//!   ablate-pagepolicy  open- vs closed-page DRAM controllers (extension)
+//!   ablate-colorlist   colored-free-list population overhead
+//!   probe:<bench>      per-scheme diagnostics for one benchmark cell
+//!   all                everything above (except probe)
+//! ```
+
+use tint_bench::figures::{
+    ablate_colorlist, ablate_dynamic, ablate_firsttouch, ablate_migrate, ablate_pagepolicy,
+    ablate_part, bandwidth, fig10, fig13_14, latency,
+    probe, run_matrix, FigOpts,
+};
+use tint_workloads::PinConfig;
+
+fn parse_config(s: &str) -> Option<PinConfig> {
+    match s {
+        "16t4n" => Some(PinConfig::T16N4),
+        "8t4n" => Some(PinConfig::T8N4),
+        "8t2n" => Some(PinConfig::T8N2),
+        "4t4n" => Some(PinConfig::T4N4),
+        "4t1n" => Some(PinConfig::T4N1),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = FigOpts::default();
+    let mut configs: Vec<PinConfig> = PinConfig::ALL.to_vec();
+    let mut cmd = String::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => {
+                opts.reps = it.next().expect("--reps N").parse().expect("reps number")
+            }
+            "--scale" => {
+                opts.scale = it.next().expect("--scale F").parse().expect("scale number")
+            }
+            "--csv" => opts.csv = true,
+            "--configs" => {
+                configs = it
+                    .next()
+                    .expect("--configs list")
+                    .split(',')
+                    .map(|s| parse_config(s).unwrap_or_else(|| panic!("unknown config {s}")))
+                    .collect();
+            }
+            c if !c.starts_with('-') => cmd = c.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if cmd.is_empty() {
+        cmd = "all".to_string();
+    }
+    assert!(opts.reps >= 1, "--reps must be at least 1");
+    assert!(opts.scale >= 0.0, "--scale must be non-negative");
+
+    let all = cmd == "all";
+    let header = |s: &str| println!("\n=== {s} ===");
+
+    if let Some(bench) = cmd.strip_prefix("probe:") {
+        header(&format!("Probe: {bench} at {}", configs[0]));
+        print!("{}", opts.render(&probe(&opts, bench, configs[0])));
+        return;
+    }
+    if all || cmd == "fig10" {
+        header("Figure 10: synthetic benchmark by coloring policy (16 threads, 4 nodes)");
+        print!("{}", opts.render(&fig10(&opts)));
+    }
+    if all || cmd == "fig11" || cmd == "fig12" {
+        let m = run_matrix(&opts, &configs);
+        if all || cmd == "fig11" {
+            header("Figure 11: normalized benchmark runtime (lower is better)");
+            for (t, pin) in m.fig11().iter().zip(&m.configs) {
+                println!("-- {pin} --");
+                print!("{}", opts.render(t));
+            }
+        }
+        if all || cmd == "fig12" {
+            header("Figure 12: normalized total idle time (lower is better)");
+            for (t, pin) in m.fig12().iter().zip(&m.configs) {
+                println!("-- {pin} --");
+                print!("{}", opts.render(t));
+            }
+        }
+    }
+    if all || cmd == "fig13" || cmd == "fig14" {
+        header("Figures 13/14: per-thread runtime and idle, 16_threads_4_nodes");
+        let (summary, lbm) = fig13_14(&opts);
+        print!("{}", opts.render(&summary));
+        println!("-- lbm per-thread detail --");
+        print!("{}", opts.render(&lbm));
+    }
+    if all || cmd == "latency" {
+        header("§V latency claims: controller locality, bank sharing, LLC interference");
+        print!("{}", opts.render(&latency(&opts)));
+    }
+    if all || cmd == "bandwidth" {
+        header("§II.B: bank/controller parallelism (achieved bandwidth)");
+        print!("{}", opts.render(&bandwidth(&opts)));
+    }
+    if all || cmd == "ablate-part" {
+        header("Ablation: full vs partial coloring (normalized runtime vs buddy)");
+        print!("{}", opts.render(&ablate_part(&opts)));
+    }
+    if all || cmd == "ablate-firsttouch" {
+        header("Ablation: legacy global buddy vs NUMA buddy vs MEM coloring (synthetic)");
+        print!("{}", opts.render(&ablate_firsttouch(&opts)));
+    }
+    if all || cmd == "ablate-migrate" {
+        header("Ablation (extension): dynamic recoloring via page migration");
+        print!("{}", opts.render(&ablate_migrate(&opts)));
+    }
+    if all || cmd == "ablate-dynamic" {
+        header("Ablation (extension): static vs dynamic scheduling, buddy vs MEM+LLC");
+        print!("{}", opts.render(&ablate_dynamic(&opts)));
+    }
+    if all || cmd == "ablate-pagepolicy" {
+        header("Ablation (extension): DRAM page policy (open vs closed) x coloring");
+        print!("{}", opts.render(&ablate_pagepolicy(&opts)));
+    }
+    if all || cmd == "ablate-colorlist" {
+        header("Ablation: colored free-list population overhead (§III.C)");
+        print!("{}", opts.render(&ablate_colorlist(&opts)));
+    }
+}

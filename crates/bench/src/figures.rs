@@ -1,0 +1,806 @@
+//! Figure regeneration: one function per results figure of the paper.
+
+use crate::runner::{run_once, run_reps, ExpResult, Summary};
+use crate::table::{norm, norm_err, Table};
+use std::collections::HashMap;
+use tint_spmd::SimThread;
+use tint_workloads::traits::Scale;
+use tint_workloads::{all_benchmarks, PinConfig, Synthetic, Workload};
+use tintmalloc::prelude::*;
+
+/// Common experiment options.
+#[derive(Debug, Clone, Copy)]
+pub struct FigOpts {
+    /// Seeded repetitions per cell (paper: 10).
+    pub reps: u32,
+    /// Workload scale factor (1.0 = DESIGN.md defaults).
+    pub scale: f64,
+    /// Emit CSV instead of aligned tables.
+    pub csv: bool,
+}
+
+impl Default for FigOpts {
+    fn default() -> Self {
+        Self {
+            reps: 3,
+            scale: 1.0,
+            csv: false,
+        }
+    }
+}
+
+impl FigOpts {
+    fn scale_(&self) -> Scale {
+        Scale(self.scale)
+    }
+
+    /// Render a table per the CSV flag.
+    pub fn render(&self, t: &Table) -> String {
+        if self.csv {
+            t.to_csv()
+        } else {
+            t.render()
+        }
+    }
+}
+
+/// The coloring solutions Fig. 10 compares on the synthetic benchmark.
+const FIG10_SCHEMES: [ColorScheme; 4] = [
+    ColorScheme::Buddy,
+    ColorScheme::LlcOnly,
+    ColorScheme::MemOnly,
+    ColorScheme::MemLlc,
+];
+
+/// The "other" coloring solutions Fig. 11 picks the best of.
+const OTHER_SCHEMES: [ColorScheme; 4] = [
+    ColorScheme::LlcOnly,
+    ColorScheme::MemOnly,
+    ColorScheme::MemLlcPart,
+    ColorScheme::LlcMemPart,
+];
+
+/// **Figure 10** — synthetic benchmark execution time per coloring policy.
+pub fn fig10(opts: &FigOpts) -> Table {
+    let w = Synthetic::new(opts.scale_());
+    let pin = PinConfig::T16N4;
+    let mut t = Table::new(vec![
+        "policy",
+        "runtime_cycles",
+        "normalized",
+        "remote_frac",
+        "row_hit_rate",
+    ]);
+    let buddy = run_reps(&w, ColorScheme::Buddy, pin, opts.reps);
+    let base = Summary::runtime(&buddy).mean;
+    for scheme in FIG10_SCHEMES {
+        let rs = if scheme == ColorScheme::Buddy {
+            buddy.clone()
+        } else {
+            run_reps(&w, scheme, pin, opts.reps)
+        };
+        let s = Summary::runtime(&rs);
+        let remote = Summary::of(&rs, |r| r.remote_fraction).mean;
+        let hit = Summary::of(&rs, |r| r.row_hit_rate).mean;
+        t.row(vec![
+            scheme.label().to_string(),
+            format!("{:.0}", s.mean),
+            norm_err(s.mean / base, s.min / base, s.max / base),
+            format!("{remote:.3}"),
+            format!("{hit:.3}"),
+        ]);
+    }
+    t
+}
+
+/// Key for one cell of the benchmark matrix.
+type Cell = (&'static str, PinConfig, ColorScheme);
+
+/// The full benchmark sweep shared by Figures 11 and 12.
+pub struct BenchMatrix {
+    /// Repetition results per (benchmark, config, scheme).
+    pub cells: HashMap<Cell, Vec<ExpResult>>,
+    /// Benchmark names in figure order.
+    pub benchmarks: Vec<&'static str>,
+    /// Configs included.
+    pub configs: Vec<PinConfig>,
+}
+
+/// All schemes the benchmark figures need.
+fn matrix_schemes() -> Vec<ColorScheme> {
+    let mut v = vec![ColorScheme::Buddy, ColorScheme::Bpm, ColorScheme::MemLlc];
+    v.extend(OTHER_SCHEMES);
+    v
+}
+
+/// Run the full (benchmark × config × scheme × reps) sweep.
+pub fn run_matrix(opts: &FigOpts, configs: &[PinConfig]) -> BenchMatrix {
+    let benches = all_benchmarks(opts.scale_());
+    let mut cells = HashMap::new();
+    let schemes = matrix_schemes();
+    let total = benches.len() * configs.len() * schemes.len();
+    let mut done = 0usize;
+    for w in &benches {
+        for &pin in configs {
+            for &scheme in &schemes {
+                let rs = run_reps(w.as_ref(), scheme, pin, opts.reps);
+                cells.insert((w.name(), pin, scheme), rs);
+                done += 1;
+                eprint!("\r[matrix] {done}/{total} ({} {} {})          ", w.name(), pin, scheme);
+            }
+        }
+    }
+    eprintln!();
+    BenchMatrix {
+        cells,
+        benchmarks: benches.iter().map(|w| w.name()).collect(),
+        configs: configs.to_vec(),
+    }
+}
+
+impl BenchMatrix {
+    fn get(&self, b: &'static str, p: PinConfig, s: ColorScheme) -> &[ExpResult] {
+        &self.cells[&(b, p, s)]
+    }
+
+    /// Best "other" scheme by mean of `metric` for a (benchmark, config).
+    fn best_other(
+        &self,
+        b: &'static str,
+        p: PinConfig,
+        metric: impl Fn(&ExpResult) -> f64 + Copy,
+    ) -> (ColorScheme, Summary) {
+        OTHER_SCHEMES
+            .iter()
+            .map(|&s| (s, Summary::of(self.get(b, p, s), metric)))
+            .min_by(|a, b| a.1.mean.total_cmp(&b.1.mean))
+            .unwrap()
+    }
+
+    /// One figure table (normalized to buddy) for a metric: Fig. 11 uses
+    /// runtime, Fig. 12 uses total idle.
+    pub fn figure(&self, metric: impl Fn(&ExpResult) -> f64 + Copy, what: &str) -> Vec<Table> {
+        let mut tables = Vec::new();
+        for &pin in &self.configs {
+            let mut t = Table::new(vec![
+                "benchmark".to_string(),
+                format!("buddy_{what}"),
+                "BPM".to_string(),
+                "MEM+LLC".to_string(),
+                "best_other".to_string(),
+                "best_other_scheme".to_string(),
+            ]);
+            for &b in &self.benchmarks {
+                let base = Summary::of(self.get(b, pin, ColorScheme::Buddy), metric);
+                let nz = |v: f64| if base.mean > 0.0 { v / base.mean } else { 0.0 };
+                let bpm = Summary::of(self.get(b, pin, ColorScheme::Bpm), metric);
+                let ml = Summary::of(self.get(b, pin, ColorScheme::MemLlc), metric);
+                let (bs, bsum) = self.best_other(b, pin, metric);
+                t.row(vec![
+                    b.to_string(),
+                    norm_err(1.0, nz(base.min), nz(base.max)),
+                    norm_err(nz(bpm.mean), nz(bpm.min), nz(bpm.max)),
+                    norm_err(nz(ml.mean), nz(ml.min), nz(ml.max)),
+                    norm(nz(bsum.mean)),
+                    bs.label().to_string(),
+                ]);
+            }
+            tables.push(t);
+        }
+        tables
+    }
+
+    /// **Figure 11** — normalized benchmark runtime per config.
+    pub fn fig11(&self) -> Vec<Table> {
+        self.figure(|r| r.metrics.runtime as f64, "runtime")
+    }
+
+    /// **Figure 12** — normalized total idle time per config.
+    pub fn fig12(&self) -> Vec<Table> {
+        self.figure(|r| r.metrics.total_idle() as f64, "idle")
+    }
+}
+
+/// **Figures 13 & 14** — per-thread runtime and idle at 16_threads_4_nodes.
+/// Returns (per-benchmark summary table, lbm per-thread detail table).
+pub fn fig13_14(opts: &FigOpts) -> (Table, Table) {
+    let pin = PinConfig::T16N4;
+    let benches = all_benchmarks(opts.scale_());
+    let mut summary = Table::new(vec![
+        "benchmark",
+        "scheme",
+        "max_thr_runtime",
+        "min_thr_runtime",
+        "spread",
+        "max_thr_idle",
+    ]);
+    let mut lbm_detail = Table::new(vec![
+        "thread",
+        "buddy_runtime",
+        "memllc_runtime",
+        "buddy_idle",
+        "memllc_idle",
+    ]);
+    for w in &benches {
+        for scheme in [ColorScheme::Buddy, ColorScheme::Bpm, ColorScheme::MemLlc] {
+            let rs = run_reps(w.as_ref(), scheme, pin, opts.reps);
+            let maxr = Summary::of(&rs, |r| r.metrics.max_thread_runtime() as f64).mean;
+            let minr = Summary::of(&rs, |r| r.metrics.min_thread_runtime() as f64).mean;
+            let spread = Summary::of(&rs, |r| r.metrics.runtime_spread() as f64).mean;
+            let maxi = Summary::of(&rs, |r| r.metrics.max_thread_idle() as f64).mean;
+            summary.row(vec![
+                w.name().to_string(),
+                scheme.label().to_string(),
+                format!("{maxr:.0}"),
+                format!("{minr:.0}"),
+                format!("{spread:.0}"),
+                format!("{maxi:.0}"),
+            ]);
+            if w.name() == "lbm" && scheme == ColorScheme::Buddy {
+                // Capture buddy per-thread detail from the first repetition.
+                let m = &rs[0].metrics;
+                let ml = run_once(w.as_ref(), ColorScheme::MemLlc, pin, 1).metrics;
+                for i in 0..m.threads {
+                    lbm_detail.row(vec![
+                        format!("{i}"),
+                        format!("{}", m.thread_runtime[i]),
+                        format!("{}", ml.thread_runtime[i]),
+                        format!("{}", m.thread_idle[i]),
+                        format!("{}", ml.thread_idle[i]),
+                    ]);
+                }
+            }
+        }
+    }
+    (summary, lbm_detail)
+}
+
+/// **§V claims (1)–(2)** — pointed latency microbenchmarks on the memory
+/// system: local vs remote controller, bank sharing, LLC interference.
+pub fn latency(_opts: &FigOpts) -> Table {
+    use tint_hw::types::{BankColor, FrameNumber, LlcColor, PhysAddr};
+    use tint_mem::MemorySystem;
+
+    let machine = MachineConfig::opteron_6128();
+    let mut t = Table::new(vec!["experiment", "cycles_or_rate", "note"]);
+    let frame = |m: &MachineConfig, bc: u16, llc: u16, row: u64| -> FrameNumber {
+        m.mapping.compose_frame(BankColor(bc), LlcColor(llc), row)
+    };
+
+    // 1. Unloaded DRAM latency by hop count (fresh rows → row misses).
+    {
+        let mut sys = MemorySystem::new(machine.clone());
+        let cases = [("local (0 hops)", 0u16), ("same socket (1 hop)", 32), ("cross socket (2 hops)", 96)];
+        for (i, (label, bc)) in cases.iter().enumerate() {
+            let a = frame(&machine, *bc, 0, i as u64 + 1).base();
+            let r = sys.access(CoreId(0), PhysAddr(a.0), Rw::Read, (i as u64) * 100_000);
+            t.row(vec![
+                format!("DRAM read, {label}"),
+                format!("{}", r.latency),
+                "unloaded, row miss".to_string(),
+            ]);
+        }
+    }
+
+    // 2. Bank sharing (Fig. 8's scenario): two cores each stream their own
+    //    page (their own row). Same bank → the row buffer thrashes between
+    //    the two rows; disjoint banks → each keeps its row open.
+    {
+        for (label, bc1) in [("same bank", 0u16), ("disjoint banks", 1u16)] {
+            let mut sys = MemorySystem::new(machine.clone());
+            let mut now = [0u64; 2];
+            let n = 512u64;
+            for i in 0..n {
+                // Fresh lines (no cache reuse); each thread walks its own
+                // rows sequentially. Interleaved, a shared bank ping-pongs
+                // between the two open rows.
+                let off = (i * 128) % 4096;
+                let row = 1 + i / 32;
+                let pa = frame(&machine, 0, 0, 2 * row);
+                let pb = frame(&machine, bc1, 0, 2 * row + 1);
+                let r0 = sys.access(CoreId(0), pa.at(off), Rw::Write, now[0]);
+                now[0] += r0.latency;
+                let r1 = sys.access(CoreId(1), pb.at(off), Rw::Write, now[1]);
+                now[1] += r1.latency;
+            }
+            t.row(vec![
+                format!("2-thread stream, {label}"),
+                format!("{:.1}", (now[0] + now[1]) as f64 / (2 * n) as f64),
+                "mean DRAM-bound access latency".to_string(),
+            ]);
+        }
+    }
+
+    // 3. LLC interference (Fig. 9's scenario): the victim rescans a working
+    //    set larger than its private L2 but inside a 2-color LLC slice; the
+    //    intruder streams pages of the same vs disjoint LLC colors.
+    {
+        for (label, intruder_colors) in [
+            ("shared LLC colors", [0u16, 1, 2, 3]),
+            ("disjoint LLC colors", [4u16, 5, 6, 7]),
+        ] {
+            let mut sys = MemorySystem::new(machine.clone());
+            // Victim: 160 pages (640 KiB) over LLC colors {0..3} — bigger
+            // than the private L2 (so rescans reach L3), comfortably inside
+            // the 4-color slice (1.5 MiB).
+            let vic: Vec<_> = (0..160u64)
+                .map(|i| frame(&machine, (i % 4) as u16, (i % 4) as u16, 4 + i / 4))
+                .collect();
+            let mut clock = 0u64;
+            let rescan = |sys: &mut MemorySystem, clock: &mut u64| {
+                for f in &vic {
+                    for off in (0..4096).step_by(128) {
+                        let r = sys.access(CoreId(0), f.at(off), Rw::Read, *clock);
+                        *clock += r.latency;
+                    }
+                }
+            };
+            rescan(&mut sys, &mut clock); // warm
+            let misses0 = sys.hierarchy().stats().core(CoreId(0)).l3_misses;
+            for round in 0..4u64 {
+                // Intruder: 800 fresh pages (3.1 MiB) of its colors — enough
+                // to overflow the 6-way sets it shares with the victim.
+                for p in 0..800u64 {
+                    let f = frame(
+                        &machine,
+                        8 + (p % 4) as u16,
+                        intruder_colors[(p % 4) as usize],
+                        (round * 800 + p) % 1024,
+                    );
+                    for off in (0..4096).step_by(128) {
+                        let r = sys.access(CoreId(8), f.at(off), Rw::Read, clock);
+                        clock += r.latency;
+                    }
+                }
+                rescan(&mut sys, &mut clock);
+            }
+            let misses = sys.hierarchy().stats().core(CoreId(0)).l3_misses - misses0;
+            t.row(vec![
+                format!("victim L3 misses, {label}"),
+                format!("{misses}"),
+                "4 rescans of 640 KiB under intrusion".to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Diagnostic: one benchmark at one config, every scheme, with the latency /
+/// locality / fault breakdown. Not a paper figure — a calibration tool.
+pub fn probe(opts: &FigOpts, bench_name: &str, pin: PinConfig) -> Table {
+    let benches = all_benchmarks(opts.scale_());
+    let w = benches
+        .iter()
+        .find(|w| w.name() == bench_name)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench_name}"));
+    let mut t = Table::new(vec![
+        "scheme",
+        "runtime",
+        "idle",
+        "mean_lat",
+        "remote",
+        "rowhit",
+        "l3miss",
+        "faults",
+        "fault_cyc",
+        "moves",
+    ]);
+    for &scheme in &matrix_schemes() {
+        let r = run_once(w.as_ref(), scheme, pin, 1);
+        t.row(vec![
+            scheme.label().to_string(),
+            format!("{}", r.metrics.runtime),
+            format!("{}", r.metrics.total_idle()),
+            format!("{:.1}", r.mean_latency),
+            format!("{:.3}", r.remote_fraction),
+            format!("{:.3}", r.row_hit_rate),
+            format!("{:.3}", r.l3_miss_rate),
+            format!("{}", r.page_faults),
+            format!("{}", r.fault_cycles),
+            format!("{}", r.color_list_moves),
+        ]);
+    }
+    t
+}
+
+/// Ablation: full vs partial coloring as LLC pressure grows (the freqmine
+/// exception, §V.B).
+pub fn ablate_part(opts: &FigOpts) -> Table {
+    let pin = PinConfig::T16N4;
+    let benches = all_benchmarks(opts.scale_());
+    let mut t = Table::new(vec!["benchmark", "MEM+LLC", "MEM+LLC(part)", "LLC+MEM(part)"]);
+    for w in &benches {
+        let base = Summary::runtime(&run_reps(
+            w.as_ref(),
+            ColorScheme::Buddy,
+            pin,
+            opts.reps,
+        ))
+        .mean;
+        let mut cells = Vec::new();
+        for scheme in [
+            ColorScheme::MemLlc,
+            ColorScheme::MemLlcPart,
+            ColorScheme::LlcMemPart,
+        ] {
+            let s = Summary::runtime(&run_reps(w.as_ref(), scheme, pin, opts.reps));
+            cells.push(norm(s.mean / base));
+        }
+        t.row(vec![
+            w.name().to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+    t
+}
+
+/// Ablation: legacy global buddy vs NUMA first-touch vs MEM coloring.
+pub fn ablate_firsttouch(opts: &FigOpts) -> Table {
+    let pin = PinConfig::T16N4;
+    let w = Synthetic::new(opts.scale_());
+    let mut t = Table::new(vec!["policy", "runtime_norm", "remote_frac"]);
+    let base = Summary::runtime(&run_reps(&w, ColorScheme::Buddy, pin, opts.reps)).mean;
+    for scheme in [
+        ColorScheme::LegacyGlobal,
+        ColorScheme::Buddy,
+        ColorScheme::MemOnly,
+        ColorScheme::MemLlc,
+    ] {
+        let rs = run_reps(&w, scheme, pin, opts.reps);
+        let s = Summary::runtime(&rs);
+        let remote = Summary::of(&rs, |r| r.remote_fraction).mean;
+        t.row(vec![
+            scheme.label().to_string(),
+            norm(s.mean / base),
+            format!("{remote:.3}"),
+        ]);
+    }
+    t
+}
+
+/// Ablation (extension): dynamic recoloring. A team first-touches its data
+/// uncolored (buddy), then adopts MEM+LLC colors and migrates — the second
+/// pass should approach natively-colored speed, at a visible one-time cost.
+pub fn ablate_migrate(opts: &FigOpts) -> Table {
+    use tint_spmd::{Program, SectionBody, SimThread};
+    use tint_workloads::patterns::Seq;
+
+    let pin = PinConfig::T16N4;
+    let bytes = Scale(opts.scale).bytes(1 << 20);
+    let mut t = Table::new(vec!["measurement", "cycles", "note"]);
+
+    fn stream_pass(
+        sys: &mut System,
+        threads: &mut [SimThread],
+        regions: &[VirtAddr],
+        bytes: u64,
+    ) -> u64 {
+        let line = sys.machine().mapping.line_size();
+        let bodies: Vec<Box<dyn SectionBody>> = regions
+            .iter()
+            .map(|&r| Box::new(Seq::new(r, bytes, line, 1, 4, 2)) as Box<dyn SectionBody>)
+            .collect();
+        Program::new()
+            .parallel(bodies)
+            .run(sys, threads)
+            .expect("pass runs")
+            .runtime
+    }
+
+    fn team_with_policy(
+        cores: &[CoreId],
+        plan: Option<&[tintmalloc::colors::ThreadColors]>,
+        bytes: u64,
+    ) -> (System, Vec<SimThread>, Vec<VirtAddr>) {
+        let mut sys = System::boot(MachineConfig::opteron_6128());
+        let threads = SimThread::spawn_all(&mut sys, cores);
+        for (i, th) in threads.iter().enumerate() {
+            match plan {
+                Some(p) => sys.apply_colors(th.tid, &p[i]).unwrap(),
+                None => sys
+                    .set_policy(th.tid, tint_kernel::HeapPolicy::FirstTouch)
+                    .unwrap(),
+            }
+        }
+        let regions = threads
+            .iter()
+            .map(|th| sys.malloc(th.tid, bytes).unwrap())
+            .collect();
+        (sys, threads, regions)
+    }
+
+    let cores = pin.cores();
+
+    // Scenario A: buddy throughout (control).
+    let (mut sys, mut threads, regions) = team_with_policy(&cores, None, bytes);
+    let pass1 = stream_pass(&mut sys, &mut threads, &regions, bytes);
+    let pass2_buddy = stream_pass(&mut sys, &mut threads, &regions, bytes);
+    t.row(vec![
+        "pass 1, buddy (cold)".to_string(),
+        format!("{pass1}"),
+        "first touch included".to_string(),
+    ]);
+    t.row(vec![
+        "pass 2, buddy (control)".to_string(),
+        format!("{pass2_buddy}"),
+        "no migration".to_string(),
+    ]);
+
+    // Scenario B: same start, then adopt colors + migrate before pass 2.
+    let (mut sys, mut threads, regions) = team_with_policy(&cores, None, bytes);
+    let _ = stream_pass(&mut sys, &mut threads, &regions, bytes);
+    let plan = ColorScheme::MemLlc.plan(sys.machine(), &cores);
+    let mut migrate_cycles = 0u64;
+    let mut migrated = 0u64;
+    for ((th, p), &region) in threads.iter().zip(&plan).zip(&regions) {
+        sys.apply_colors(th.tid, p).unwrap();
+        // Range-scoped: each thread migrates only its own region (the
+        // address space is shared across the team).
+        let (pages, cyc) = sys.recolor_range(th.tid, region, bytes).unwrap();
+        migrated += pages;
+        migrate_cycles += cyc;
+    }
+    let pass2_recolored = stream_pass(&mut sys, &mut threads, &regions, bytes);
+    t.row(vec![
+        "migration cost".to_string(),
+        format!("{migrate_cycles}"),
+        format!("{migrated} pages moved"),
+    ]);
+    t.row(vec![
+        "pass 2, after recolor".to_string(),
+        format!("{pass2_recolored}"),
+        "pages now MEM+LLC".to_string(),
+    ]);
+
+    // Scenario C: natively colored from the start (the target).
+    let (mut sys, mut threads, regions) = team_with_policy(&cores, Some(&plan), bytes);
+    let _ = stream_pass(&mut sys, &mut threads, &regions, bytes);
+    let pass2_native = stream_pass(&mut sys, &mut threads, &regions, bytes);
+    t.row(vec![
+        "pass 2, natively colored".to_string(),
+        format!("{pass2_native}"),
+        "lower bound".to_string(),
+    ]);
+    t
+}
+
+/// §II.B bandwidth claim: "accesses to different banks and channels may
+/// proceed in parallel ... improving memory bandwidth". 1/2/4 write streams
+/// run over a shared bank, banks of one controller, and banks of different
+/// controllers, reporting achieved lines/kilocycle. (Stream sizes are fixed;
+/// `--scale` does not apply here.)
+pub fn bandwidth(_opts: &FigOpts) -> Table {
+    use tint_hw::types::{BankColor, FrameNumber, LlcColor, PhysAddr};
+    use tint_mem::MemorySystem;
+
+    let machine = MachineConfig::opteron_6128();
+    let mut t = Table::new(vec!["streams", "banks", "lines_per_kcycle", "note"]);
+    let frame = |bc: u16, llc: u16, row: u64| -> FrameNumber {
+        machine.mapping.compose_frame(BankColor(bc), LlcColor(llc), row)
+    };
+
+    for (label, bank_of) in [
+        ("same bank", (|_s: u64| 0u16) as fn(u64) -> u16),
+        ("banks of one controller", |s| s as u16),
+        ("banks of different controllers", |s| (s * 32) as u16),
+    ] {
+        for streams in [1u64, 2, 4] {
+            let mut sys = MemorySystem::new(machine.clone());
+            // One core per stream, each *local to its bank's node* so hop
+            // latency never pollutes the bank-parallelism measurement.
+            let mut clocks = vec![0u64; streams as usize];
+            let lines_per_stream = 512u64;
+            for l in 0..lines_per_stream {
+                for s in 0..streams {
+                    let bank = bank_of(s);
+                    let node = bank as usize / 32;
+                    let core = CoreId(node * 4 + (s as usize % 4));
+                    let f = frame(bank, 0, (l / 32) * 8 + s);
+                    let r = sys.access(
+                        core,
+                        PhysAddr(f.at((l % 32) * 128).0),
+                        Rw::Write,
+                        clocks[s as usize],
+                    );
+                    clocks[s as usize] += r.latency;
+                }
+            }
+            let elapsed = clocks.iter().max().copied().unwrap_or(1).max(1);
+            let total_lines = streams * lines_per_stream;
+            t.row(vec![
+                format!("{streams}"),
+                label.to_string(),
+                format!("{:.1}", total_lines as f64 * 1000.0 / elapsed as f64),
+                "back-to-back writes".to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Ablation (extension): DRAM page policy. Under a closed-page controller
+/// every access pays `tRCD + tCAS` regardless of sharing, so bank coloring
+/// loses most of its row-buffer rationale — open-page is the regime the
+/// paper's analysis assumes.
+pub fn ablate_pagepolicy(opts: &FigOpts) -> Table {
+    use tint_hw::machine::PagePolicy;
+    use tint_spmd::SimThread;
+
+    let mut t = Table::new(vec!["page_policy", "scheme", "runtime", "MEM_gain_vs_buddy"]);
+    for policy in [PagePolicy::Open, PagePolicy::Closed] {
+        let mut runtimes = Vec::new();
+        for scheme in [ColorScheme::Buddy, ColorScheme::MemOnly] {
+            let mut machine = MachineConfig::opteron_6128();
+            machine.dram.page_policy = policy;
+            let mut sys = System::boot(machine);
+            let cores = PinConfig::T16N4.cores();
+            let mut threads = SimThread::spawn_all(&mut sys, &cores);
+            for (th, p) in threads.iter().zip(&scheme.plan(sys.machine(), &cores)) {
+                sys.apply_colors(th.tid, p).unwrap();
+            }
+            let w = Synthetic::new(opts.scale_());
+            let program = w.build(&mut sys, &threads, 1).unwrap();
+            let m = program.run(&mut sys, &mut threads).unwrap();
+            runtimes.push(m.runtime);
+            t.row(vec![
+                format!("{policy:?}"),
+                scheme.label().to_string(),
+                format!("{}", m.runtime),
+                if scheme == ColorScheme::MemOnly {
+                    format!("{:.1}%", 100.0 * (1.0 - runtimes[1] as f64 / runtimes[0] as f64))
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+    }
+    t
+}
+
+/// Ablation (extension): static vs dynamic scheduling under an imbalanced
+/// chunk distribution — coloring attacks *memory-induced* divergence while
+/// dynamic scheduling attacks *work-induced* divergence; they compose.
+pub fn ablate_dynamic(opts: &FigOpts) -> Table {
+    use tint_spmd::{Program, SectionBody, SimThread};
+    use tint_workloads::patterns::Seq;
+
+    let pin = PinConfig::T16N4;
+    let chunk_base = Scale(opts.scale).bytes(64 << 10);
+    let mut t = Table::new(vec!["scheduling", "scheme", "runtime", "total_idle"]);
+
+    for scheme in [ColorScheme::Buddy, ColorScheme::MemLlc] {
+        for dynamic in [false, true] {
+            let cores = pin.cores();
+            let mut sys = System::boot(MachineConfig::opteron_6128());
+            let mut threads = SimThread::spawn_all(&mut sys, &cores);
+            for (th, p) in threads.iter().zip(&scheme.plan(sys.machine(), &cores)) {
+                sys.apply_colors(th.tid, p).unwrap();
+            }
+            // 256 fine-grained chunks; every fourth thread's static block
+            // holds double-size chunks (work imbalance a static `omp for`
+            // cannot fix), while the dynamic queue's tail stays one small
+            // chunk.
+            let line = sys.machine().mapping.line_size();
+            let chunks: Vec<(VirtAddr, u64)> = (0..256u64)
+                .map(|i| {
+                    let len = if (i / 16) % 4 == 0 { 2 * chunk_base } else { chunk_base };
+                    let owner = threads[(i as usize) % threads.len()].tid;
+                    (sys.malloc(owner, len).unwrap(), len)
+                })
+                .collect();
+            let mk = |&(base, len): &(VirtAddr, u64)| {
+                Box::new(Seq::new(base, len, line, 1, 4, 2)) as Box<dyn SectionBody>
+            };
+            let program = if dynamic {
+                Program::new().parallel_dynamic(chunks.iter().map(mk).collect())
+            } else {
+                // Static: contiguous groups of 16 chunks per thread.
+                let bodies: Vec<Box<dyn SectionBody>> = (0..threads.len())
+                    .map(|i| {
+                        let mine: Vec<_> = chunks[i * 16..(i + 1) * 16].iter().map(mk).collect();
+                        Box::new(ChainBodies(mine, 0)) as Box<dyn SectionBody>
+                    })
+                    .collect();
+                Program::new().parallel(bodies)
+            };
+            let m = program.run(&mut sys, &mut threads).unwrap();
+            t.row(vec![
+                if dynamic { "dynamic" } else { "static" }.to_string(),
+                scheme.label().to_string(),
+                format!("{}", m.runtime),
+                format!("{}", m.total_idle()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Run several bodies back to back as one section body.
+struct ChainBodies<'a>(Vec<Box<dyn tint_spmd::SectionBody + 'a>>, usize);
+
+impl tint_spmd::SectionBody for ChainBodies<'_> {
+    fn next_op(&mut self) -> Option<tint_spmd::Op> {
+        while self.1 < self.0.len() {
+            if let Some(op) = self.0[self.1].next_op() {
+                return Some(op);
+            }
+            self.1 += 1;
+        }
+        None
+    }
+}
+
+/// Ablation: the colored-free-list population overhead (§III.C): cost of the
+/// first colored allocations vs steady state.
+pub fn ablate_colorlist(_opts: &FigOpts) -> Table {
+    let machine = MachineConfig::opteron_6128();
+    let mut t = Table::new(vec!["phase", "mean_fault_cycles", "pages_moved"]);
+    let mut sys = System::boot(machine);
+    let cores = PinConfig::T4N4.cores();
+    let threads = SimThread::spawn_all(&mut sys, &cores);
+    let plan = ColorScheme::MemLlc.plan(sys.machine(), &cores);
+    for (th, p) in threads.iter().zip(&plan) {
+        sys.apply_colors(th.tid, p).unwrap();
+    }
+    let pages = 512u64;
+    // Cold: first allocations must populate the color lists from the buddy
+    // free list. Then free everything (pages return to the colored lists)
+    // and allocate again: the steady state the paper describes for balanced
+    // allocation/deallocation.
+    let mut regions: Vec<(tint_kernel::Tid, tint_hw::types::VirtAddr)> = Vec::new();
+    for phase in ["cold (populating)", "warm (balanced alloc/free)"] {
+        let moved0 = sys.kernel().stats().pages_moved;
+        let faults0 = sys.kernel().stats().page_faults;
+        let cyc0 = sys.kernel().stats().fault_cycles;
+        for th in &threads {
+            let a = sys.malloc(th.tid, pages * 4096).unwrap();
+            sys.prefault(th.tid, a, pages * 4096).unwrap();
+            regions.push((th.tid, a));
+        }
+        let st = sys.kernel().stats();
+        let faults = st.page_faults - faults0;
+        t.row(vec![
+            phase.to_string(),
+            format!("{:.0}", (st.fault_cycles - cyc0) as f64 / faults as f64),
+            format!("{}", st.pages_moved - moved0),
+        ]);
+        // Balanced deallocation: freed pages land in the colored free lists.
+        for (tid, a) in regions.drain(..) {
+            sys.free(tid, a).unwrap();
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> FigOpts {
+        FigOpts {
+            reps: 1,
+            scale: 0.05,
+            csv: false,
+        }
+    }
+
+    #[test]
+    fn fig10_has_four_policies() {
+        let t = fig10(&quick());
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn latency_table_has_all_experiments() {
+        let t = latency(&quick());
+        assert_eq!(t.len(), 3 + 2 + 2);
+    }
+
+    #[test]
+    fn colorlist_ablation_cold_vs_warm() {
+        let t = ablate_colorlist(&quick());
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,16 @@
+//! # tint-bench — the experiment harness
+//!
+//! Regenerates every results figure of the TintMalloc paper (Figures 10–14
+//! plus the latency claims of §V and the ablations listed in DESIGN.md).
+//! The `repro` binary prints each figure's rows; the Criterion benches under
+//! `benches/` wrap the same experiments for timing regressions.
+//!
+//! EXPERIMENTS.md records the paper-vs-measured comparison produced by
+//! `cargo run --release -p tint-bench --bin repro -- all`.
+
+pub mod figures;
+pub mod runner;
+pub mod table;
+
+pub use runner::{run_once, run_reps, ExpResult, Summary};
+pub use table::Table;

@@ -1,0 +1,25 @@
+//! # tint-cache — cache hierarchy simulator
+//!
+//! Models the cache side of the paper's platform (§II.A): private per-core
+//! L1 and L2 caches, and a shared, physically-indexed last-level cache (L3).
+//!
+//! The LLC is where *cache coloring* acts: the L3 set index contains the
+//! physical-address color bits (12–16 on the Opteron preset), so a task whose
+//! pages all carry one LLC color only ever touches that color's slice of L3
+//! sets — other tasks cannot evict its lines (Fig. 9's interference scenario
+//! disappears). The shared L3 therefore tracks, per line, the core that
+//! filled it, and counts **cross-core evictions**: the direct, measurable
+//! form of the paper's "one task's reference may replace data ... of another
+//! task's prior references".
+//!
+//! Timing is hit-latency based ([`tint_hw::machine::CacheConfig`]); DRAM
+//! latency on an L3 miss is supplied by the composed memory system in
+//! `tint-mem`.
+
+pub mod cache;
+pub mod hierarchy;
+pub mod stats;
+
+pub use cache::{IndexMode, SetAssocCache};
+pub use hierarchy::{CacheHierarchy, HitLevel};
+pub use stats::{CoreCacheStats, HierarchyStats};

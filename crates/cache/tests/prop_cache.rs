@@ -1,0 +1,126 @@
+//! Property tests for the cache simulator: LRU laws, occupancy bounds, and
+//! the color-partition guarantee of the hashed LLC index.
+
+use proptest::prelude::*;
+use tint_cache::{CacheHierarchy, HitLevel, IndexMode, SetAssocCache};
+use tint_hw::machine::MachineConfig;
+use tint_hw::types::{BankColor, CoreId, LlcColor, PhysAddr};
+
+fn arb_addrs() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..(1 << 20), 1..300)
+}
+
+proptest! {
+    /// Occupancy never exceeds sets × assoc, and an immediate re-access of
+    /// the last line always hits (LRU keeps the MRU line).
+    #[test]
+    fn occupancy_bounded_and_mru_sticks(addrs in arb_addrs()) {
+        let mut c = SetAssocCache::new(16, 2, 6);
+        for &a in &addrs {
+            c.access(CoreId(0), PhysAddr(a));
+            prop_assert!(c.resident_lines() <= 32);
+            let (hit, ev) = c.access(CoreId(0), PhysAddr(a));
+            prop_assert!(hit, "immediate re-access must hit");
+            prop_assert!(ev.is_none());
+        }
+    }
+
+    /// probe() agrees with what access() would report, and never mutates.
+    #[test]
+    fn probe_agrees_with_access(addrs in arb_addrs(), probe in 0u64..(1 << 20)) {
+        let mut c = SetAssocCache::new(16, 4, 6);
+        for &a in &addrs {
+            c.access(CoreId(0), PhysAddr(a));
+        }
+        let before_hits = c.hits();
+        let p = c.probe(PhysAddr(probe));
+        prop_assert_eq!(c.hits(), before_hits);
+        let (hit, _) = c.access(CoreId(0), PhysAddr(probe));
+        prop_assert_eq!(hit, p, "probe must predict the access outcome");
+    }
+
+    /// Hashed and modulo indexing agree on hit/miss for a working set that
+    /// fits entirely (both are just placement functions).
+    #[test]
+    fn small_working_set_always_hits_after_warm(lines in 1u64..16) {
+        for mode in [IndexMode::Modulo, IndexMode::Hash] {
+            let mut c = SetAssocCache::with_index_mode(16, 2, 6, mode);
+            let addrs: Vec<_> = (0..lines).map(|i| PhysAddr(i * 64)).collect();
+            for &a in &addrs {
+                c.access(CoreId(0), a);
+            }
+            for &a in &addrs {
+                prop_assert!(c.probe(a), "{mode:?}: line {a} evicted from a fitting set");
+            }
+        }
+    }
+
+    /// ColorHash partition law: addresses of different colors never map to
+    /// the same set, and each color's sets form a contiguous slice.
+    #[test]
+    fn color_hash_partitions_sets(addr in 0u64..(1 << 30)) {
+        let c = SetAssocCache::with_index_mode(
+            1 << 14,
+            6,
+            7,
+            IndexMode::ColorHash { color_low: 16, color_bits: 5 },
+        );
+        let idx = c.set_index(PhysAddr(addr));
+        let color = ((addr >> 16) & 31) as usize;
+        let sets_per_color = (1 << 14) / 32;
+        prop_assert_eq!(idx / sets_per_color, color, "set outside color slice: {}", idx);
+    }
+
+    /// Hierarchy inclusion-ish law: after an access, the line is findable at
+    /// some level for the accessing core, and a different core sees at most
+    /// the shared L3.
+    #[test]
+    fn hierarchy_visibility(addrs in prop::collection::vec(0u64..(1 << 22), 1..100)) {
+        let m = MachineConfig::tiny();
+        let mut h = CacheHierarchy::new(&m);
+        for &a in &addrs {
+            let a = PhysAddr(a % m.mapping.total_bytes());
+            h.access(CoreId(0), a);
+            prop_assert!(h.probe(CoreId(0), a).is_some(), "just-accessed line visible");
+            let other = h.probe(CoreId(1), a);
+            prop_assert!(
+                other.is_none() || other == Some(HitLevel::L3),
+                "private levels must stay private"
+            );
+        }
+    }
+
+    /// Per-core stats add up: hits + misses == accesses at L1.
+    #[test]
+    fn stats_conserve_accesses(addrs in arb_addrs()) {
+        let m = MachineConfig::tiny();
+        let mut h = CacheHierarchy::new(&m);
+        for &a in &addrs {
+            h.access(CoreId(0), PhysAddr(a % m.mapping.total_bytes()));
+        }
+        let s = h.stats().core(CoreId(0));
+        prop_assert_eq!(s.l1_hits + s.l1_misses, addrs.len() as u64);
+        prop_assert!(s.l2_hits + s.l2_misses <= s.l1_misses + s.l2_hits + s.l2_misses);
+        prop_assert_eq!(s.l2_hits + s.l2_misses, s.l1_misses, "L2 lookups = L1 misses");
+        prop_assert_eq!(s.l3_hits + s.l3_misses, s.l2_misses, "L3 lookups = L2 misses");
+    }
+
+    /// Disjoint LLC colors cannot interfere, whatever the access pattern.
+    #[test]
+    fn disjoint_colors_never_interfere(
+        rows_a in prop::collection::vec(0u64..64, 1..40),
+        rows_b in prop::collection::vec(0u64..64, 1..40),
+    ) {
+        let m = MachineConfig::tiny();
+        let mut h = CacheHierarchy::new(&m);
+        for (ra, rb) in rows_a.iter().zip(rows_b.iter().cycle()) {
+            let fa = m.mapping.compose_frame(BankColor(0), LlcColor(0), *ra);
+            let fb = m.mapping.compose_frame(BankColor(1), LlcColor(1), *rb);
+            for off in (0..4096).step_by(512) {
+                h.access(CoreId(0), fa.at(off));
+                h.access(CoreId(1), fb.at(off));
+            }
+        }
+        prop_assert_eq!(h.stats().total_llc_interference(), 0);
+    }
+}

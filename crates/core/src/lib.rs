@@ -1,0 +1,53 @@
+//! # tintmalloc — the TintMalloc allocator (IPDPS 2016) as a Rust library
+//!
+//! Reproduces *"TintMalloc: Reducing Memory Access Divergence via
+//! Controller-Aware Coloring"* (Pan, Gownivaripalli, Mueller, IPDPS 2016):
+//! a heap allocator that colors memory pages at three levels —
+//!
+//! 1. **memory controller** (NUMA node) — keep every heap page on the
+//!    requesting thread's local node;
+//! 2. **DRAM bank** — give each thread private banks, eliminating
+//!    row-buffer interference;
+//! 3. **LLC region** — give each thread private last-level-cache set
+//!    slices, eliminating cross-thread eviction.
+//!
+//! Because the real system is a Linux-kernel patch evaluated on AMD Opteron
+//! hardware, this crate runs against the simulated machine of the `tint-*`
+//! substrate crates (see DESIGN.md for the substitution argument). The user
+//! model is the paper's: *one line per color* during initialization —
+//!
+//! ```
+//! use tintmalloc::prelude::*;
+//!
+//! let mut sys = System::boot(MachineConfig::opteron_6128());
+//! let t = sys.spawn(CoreId(0));
+//! // The paper's one-line initialization call:
+//! sys.set_llc_color(t, LlcColor(0)).unwrap();
+//! sys.set_mem_color(t, BankColor(3)).unwrap();
+//! // ... after which plain malloc() returns colored memory:
+//! let a = sys.malloc(t, 64 * 1024).unwrap();
+//! let acc = sys.access(t, a, Rw::Write, 0).unwrap();
+//! assert!(acc.latency > 0);
+//! ```
+//!
+//! [`colors`] provides the per-thread color *planners* for every policy the
+//! paper evaluates (LLC, MEM, MEM+LLC, MEM+LLC(part), LLC+MEM(part)), the
+//! prior-work baseline **BPM** (bank+LLC partitioning that ignores the
+//! controller), and the uncolored buddy baselines.
+
+pub mod colors;
+pub mod heap;
+pub mod system;
+
+pub use colors::{ColorScheme, ThreadColors};
+pub use heap::Heap;
+pub use system::{MemAccess, System};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::colors::{ColorScheme, ThreadColors};
+    pub use crate::system::{MemAccess, System};
+    pub use tint_hw::machine::MachineConfig;
+    pub use tint_hw::types::{BankColor, CoreId, LlcColor, NodeId, Rw, VirtAddr};
+    pub use tint_kernel::{Errno, HeapPolicy, Tid};
+}

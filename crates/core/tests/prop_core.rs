@@ -1,0 +1,166 @@
+//! Property tests for the tintmalloc crate: heap correctness under random
+//! malloc/free traffic and planner invariants for arbitrary pinnings.
+
+use proptest::prelude::*;
+use tint_hw::machine::MachineConfig;
+use tint_hw::types::CoreId;
+use tintmalloc::colors::ColorScheme;
+use tintmalloc::prelude::*;
+
+#[derive(Debug, Clone)]
+enum HeapOp {
+    Malloc(u64),
+    FreeNth(usize),
+    ReallocNth(usize, u64),
+}
+
+fn arb_heap_ops() -> impl Strategy<Value = Vec<HeapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..20_000).prop_map(HeapOp::Malloc),
+            any::<usize>().prop_map(HeapOp::FreeNth),
+            (any::<usize>(), 1u64..20_000).prop_map(|(n, s)| HeapOp::ReallocNth(n, s)),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    /// Live allocations never overlap and all heap operations round-trip.
+    #[test]
+    fn heap_allocations_never_overlap(ops in arb_heap_ops()) {
+        let mut sys = System::boot(MachineConfig::tiny());
+        let t = sys.spawn(CoreId(0));
+        // (addr, requested size)
+        let mut live: Vec<(VirtAddr, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                HeapOp::Malloc(size) => {
+                    let a = sys.malloc(t, size).unwrap();
+                    live.push((a, size));
+                }
+                HeapOp::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (a, _) = live.remove(n % live.len());
+                        sys.free(t, a).unwrap();
+                    }
+                }
+                HeapOp::ReallocNth(n, size) => {
+                    if !live.is_empty() {
+                        let idx = n % live.len();
+                        let (a, _) = live[idx];
+                        let b = sys.realloc(t, a, size).unwrap();
+                        live[idx] = (b, size);
+                    }
+                }
+            }
+            // No two live allocations overlap (compare by requested size).
+            let mut spans: Vec<(u64, u64)> =
+                live.iter().map(|(a, s)| (a.0, a.0 + s)).collect();
+            spans.sort();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+            }
+        }
+        // Everything freed → heap reports zero in use.
+        for (a, _) in live.drain(..) {
+            sys.free(t, a).unwrap();
+        }
+        prop_assert_eq!(sys.heap(t).unwrap().bytes_in_use(), 0);
+        prop_assert_eq!(sys.heap(t).unwrap().live_allocations(), 0);
+    }
+
+    /// Color plans: per-thread LLC colors are disjoint for every scheme with
+    /// private LLC colors; MEM-colored schemes keep every bank color on the
+    /// owning thread's node; all colors are in range.
+    #[test]
+    fn plans_are_well_formed(n_threads in 1usize..16, scheme_idx in 0usize..9) {
+        let m = MachineConfig::opteron_6128();
+        let cores: Vec<CoreId> = (0..n_threads).map(CoreId).collect();
+        let scheme = ColorScheme::ALL[scheme_idx];
+        let plan = scheme.plan(&m, &cores);
+        prop_assert_eq!(plan.len(), n_threads);
+        for (i, p) in plan.iter().enumerate() {
+            for &bc in &p.mem {
+                prop_assert!(bc.index() < m.mapping.bank_color_count());
+            }
+            for &lc in &p.llc {
+                prop_assert!(lc.index() < m.mapping.llc_color_count());
+            }
+            // Controller-awareness of the Tint schemes (not BPM, which is
+            // deliberately node-oblivious).
+            if matches!(
+                scheme,
+                ColorScheme::MemOnly
+                    | ColorScheme::MemLlc
+                    | ColorScheme::MemLlcPart
+                    | ColorScheme::LlcMemPart
+            ) {
+                let node = m.topology.node_of_core(cores[i]);
+                for &bc in &p.mem {
+                    prop_assert_eq!(m.mapping.node_of_bank_color(bc), node);
+                }
+            }
+        }
+        // Private-LLC schemes: pairwise disjoint LLC colors.
+        if matches!(
+            scheme,
+            ColorScheme::LlcOnly | ColorScheme::MemLlc | ColorScheme::LlcMemPart | ColorScheme::Bpm
+        ) {
+            let mut seen = std::collections::HashSet::new();
+            for p in &plan {
+                for &lc in &p.llc {
+                    prop_assert!(seen.insert(lc), "LLC color shared between threads");
+                }
+            }
+        }
+        // Private-bank schemes: pairwise disjoint bank colors.
+        if matches!(
+            scheme,
+            ColorScheme::MemOnly
+                | ColorScheme::MemLlc
+                | ColorScheme::MemLlcPart
+                | ColorScheme::Bpm
+                | ColorScheme::Palloc
+        ) {
+            let mut seen = std::collections::HashSet::new();
+            for p in &plan {
+                for &bc in &p.mem {
+                    prop_assert!(seen.insert(bc), "bank color shared between threads");
+                }
+            }
+        }
+    }
+
+    /// Applying any plan and allocating always yields pages matching the
+    /// plan's constraints.
+    #[test]
+    fn applied_plans_constrain_pages(scheme_idx in 0usize..9, pages in 1u64..12) {
+        let m = MachineConfig::opteron_6128();
+        let cores = vec![CoreId(0), CoreId(5), CoreId(10), CoreId(15)];
+        let scheme = ColorScheme::ALL[scheme_idx];
+        let plan = scheme.plan(&m, &cores);
+        let mut sys = System::boot(m);
+        let leader = sys.spawn(cores[0]);
+        let mut tids = vec![leader];
+        for &c in &cores[1..] {
+            tids.push(sys.spawn_thread(c, leader).unwrap());
+        }
+        for (tid, p) in tids.iter().zip(&plan) {
+            sys.apply_colors(*tid, p).unwrap();
+        }
+        for (i, &tid) in tids.iter().enumerate() {
+            let a = sys.malloc(tid, pages * 4096).unwrap();
+            for pg in 0..pages {
+                let pa = sys.resolve(tid, a.offset(pg * 4096)).unwrap();
+                let d = sys.machine().mapping.decode_frame(pa.frame());
+                if !plan[i].mem.is_empty() {
+                    prop_assert!(plan[i].mem.contains(&d.bank_color), "thread {i}");
+                }
+                if !plan[i].llc.is_empty() {
+                    prop_assert!(plan[i].llc.contains(&d.llc_color), "thread {i}");
+                }
+            }
+        }
+    }
+}

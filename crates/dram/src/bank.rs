@@ -1,0 +1,254 @@
+//! Per-bank row-buffer state machine.
+//!
+//! A DRAM bank holds at most one *open row* in its row buffer (§II.B of the
+//! paper). An access to the open row is a **row hit** (column strobe only);
+//! an access when no row is open is a **row miss** (activate + column); an
+//! access to a different row is a **row conflict** (precharge + activate +
+//! column). Refresh closes the open row and makes the bank unavailable for
+//! `tRFC` every `tREFI`.
+
+use serde::{Deserialize, Serialize};
+use tint_hw::machine::{DramConfig, PagePolicy};
+
+/// Outcome of the row-buffer check for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowOutcome {
+    /// The requested row was already open: column access only (`tCAS`).
+    Hit,
+    /// No row open (cold bank or just refreshed): `tRCD + tCAS`.
+    Miss,
+    /// A different row was open: `tRP + tRCD + tCAS`.
+    Conflict,
+}
+
+impl RowOutcome {
+    /// Device cycles the outcome costs under `t`.
+    #[inline]
+    pub fn cost(self, t: &DramConfig) -> u64 {
+        match self {
+            RowOutcome::Hit => t.t_cas,
+            RowOutcome::Miss => t.t_rcd + t.t_cas,
+            RowOutcome::Conflict => t.t_rp + t.t_rcd + t.t_cas,
+        }
+    }
+}
+
+/// Timing state of a single bank.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BankState {
+    /// Currently open row, if any.
+    open_row: Option<u64>,
+    /// Cycle at which the bank next becomes free.
+    busy_until: u64,
+    /// Next scheduled refresh start (when refresh modeling is enabled).
+    next_refresh: u64,
+}
+
+impl BankState {
+    /// A cold bank (no open row, idle, first refresh after one interval).
+    pub fn new(t: &DramConfig) -> Self {
+        Self {
+            open_row: None,
+            busy_until: 0,
+            next_refresh: if t.t_refi == 0 { u64::MAX } else { t.t_refi },
+        }
+    }
+
+    /// Currently open row (testing / stats hook).
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Cycle at which the bank becomes free.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Account for any refresh windows that begin at or before `at`,
+    /// returning the (possibly pushed back) earliest start time. Each refresh
+    /// closes the open row and occupies the bank for `tRFC`.
+    fn apply_refresh(&mut self, mut at: u64, t: &DramConfig) -> u64 {
+        while self.next_refresh <= at {
+            let refresh_end = self.next_refresh + t.t_rfc;
+            self.open_row = None;
+            if refresh_end > at {
+                at = refresh_end;
+            }
+            if refresh_end > self.busy_until {
+                self.busy_until = refresh_end;
+            }
+            self.next_refresh += t.t_refi;
+        }
+        at
+    }
+
+    /// Serve an access to `row` that is ready to issue at `ready`: waits for
+    /// the bank, resolves the row-buffer outcome, opens `row`, and returns
+    /// `(outcome, start_cycle, done_cycle)` where `done_cycle` is when the
+    /// bank array has the data ready for the channel.
+    pub fn access(&mut self, row: u64, ready: u64, t: &DramConfig) -> (RowOutcome, u64, u64) {
+        let mut start = ready.max(self.busy_until);
+        start = self.apply_refresh(start, t);
+        start = start.max(self.busy_until);
+        let outcome = match self.open_row {
+            Some(open) if open == row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Miss,
+        };
+        let done = start + outcome.cost(t);
+        // Closed-page controllers auto-precharge: the next access always
+        // activates a closed row (never a hit, never a conflict).
+        self.open_row = match t.page_policy {
+            PagePolicy::Open => Some(row),
+            PagePolicy::Closed => None,
+        };
+        self.busy_until = done;
+        (outcome, start, done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> DramConfig {
+        DramConfig {
+            t_cas: 27,
+            t_rcd: 27,
+            t_rp: 27,
+            t_transfer: 24,
+            ctrl_overhead: 10,
+            t_refi: 0,
+            t_rfc: 0,
+            page_policy: PagePolicy::Open,
+        }
+    }
+
+    fn timing_refresh() -> DramConfig {
+        DramConfig {
+            t_refi: 1000,
+            t_rfc: 100,
+            ..timing()
+        }
+    }
+
+    #[test]
+    fn cold_access_is_row_miss() {
+        let t = timing();
+        let mut b = BankState::new(&t);
+        let (o, start, done) = b.access(5, 0, &t);
+        assert_eq!(o, RowOutcome::Miss);
+        assert_eq!(start, 0);
+        assert_eq!(done, t.t_rcd + t.t_cas);
+        assert_eq!(b.open_row(), Some(5));
+    }
+
+    #[test]
+    fn same_row_hits() {
+        let t = timing();
+        let mut b = BankState::new(&t);
+        b.access(5, 0, &t);
+        let (o, _, done) = b.access(5, 100, &t);
+        assert_eq!(o, RowOutcome::Hit);
+        assert_eq!(done, 100 + t.t_cas);
+    }
+
+    #[test]
+    fn different_row_conflicts() {
+        let t = timing();
+        let mut b = BankState::new(&t);
+        b.access(5, 0, &t);
+        let (o, _, done) = b.access(6, 100, &t);
+        assert_eq!(o, RowOutcome::Conflict);
+        assert_eq!(done, 100 + t.t_rp + t.t_rcd + t.t_cas);
+        assert_eq!(b.open_row(), Some(6));
+    }
+
+    #[test]
+    fn back_to_back_requests_serialize_on_the_bank() {
+        let t = timing();
+        let mut b = BankState::new(&t);
+        let (_, _, done1) = b.access(5, 0, &t);
+        // Second request arrives while the bank is still busy.
+        let (o, start2, _) = b.access(5, 1, &t);
+        assert_eq!(o, RowOutcome::Hit);
+        assert_eq!(start2, done1, "second access must wait for the bank");
+    }
+
+    #[test]
+    fn row_conflict_costs_more_than_hit() {
+        let t = timing();
+        assert!(RowOutcome::Conflict.cost(&t) > RowOutcome::Miss.cost(&t));
+        assert!(RowOutcome::Miss.cost(&t) > RowOutcome::Hit.cost(&t));
+    }
+
+    #[test]
+    fn refresh_closes_row_and_delays() {
+        let t = timing_refresh();
+        let mut b = BankState::new(&t);
+        b.access(5, 0, &t);
+        // Arrive just past the refresh point: the open row is gone and the
+        // access is pushed past the refresh window.
+        let (o, start, _) = b.access(5, 1000, &t);
+        assert_eq!(o, RowOutcome::Miss, "refresh closed the row");
+        assert_eq!(start, 1100, "access waits out tRFC");
+    }
+
+    #[test]
+    fn multiple_elapsed_refreshes_apply() {
+        let t = timing_refresh();
+        let mut b = BankState::new(&t);
+        b.access(5, 0, &t);
+        // Arriving at 3500 skips refreshes at 1000, 2000, 3000 — only the
+        // last one can still delay us, and the row is closed.
+        let (o, start, _) = b.access(5, 3500, &t);
+        assert_eq!(o, RowOutcome::Miss);
+        assert_eq!(start, 3500);
+    }
+
+    #[test]
+    fn refresh_disabled_never_fires() {
+        let t = timing();
+        let mut b = BankState::new(&t);
+        b.access(5, 0, &t);
+        let (o, _, _) = b.access(5, u64::MAX / 2, &t);
+        assert_eq!(o, RowOutcome::Hit);
+    }
+
+    #[test]
+    fn closed_page_policy_never_hits_or_conflicts() {
+        let t = DramConfig {
+            page_policy: PagePolicy::Closed,
+            ..timing()
+        };
+        let mut b = BankState::new(&t);
+        let (o1, _, done) = b.access(5, 0, &t);
+        assert_eq!(o1, RowOutcome::Miss);
+        // Same row again: still a miss (auto-precharged), not a hit.
+        let (o2, _, _) = b.access(5, done, &t);
+        assert_eq!(o2, RowOutcome::Miss);
+        // Different row: a plain miss, not a conflict (no precharge stall).
+        let (o3, _, _) = b.access(6, 2 * done, &t);
+        assert_eq!(o3, RowOutcome::Miss);
+        assert_eq!(b.open_row(), None);
+    }
+
+    #[test]
+    fn interleaved_rows_thrash() {
+        // The Fig. 8 scenario: two request streams to the same bank with
+        // different rows — every access is a conflict after the first.
+        let t = timing();
+        let mut b = BankState::new(&t);
+        let mut now = 0;
+        let mut conflicts = 0;
+        for i in 0..10 {
+            let row = i % 2;
+            let (o, _, done) = b.access(row, now, &t);
+            if o == RowOutcome::Conflict {
+                conflicts += 1;
+            }
+            now = done;
+        }
+        assert_eq!(conflicts, 9);
+    }
+}

@@ -1,0 +1,48 @@
+//! # tint-dram — DRAM timing simulator
+//!
+//! Models the memory side of the paper's platform (§II.B): per-node memory
+//! controllers, channels, ranks, and banks with **row buffers**, controller
+//! front-end serialization, channel data-bus occupancy, and periodic refresh.
+//!
+//! The simulator is a *reservation* (busy-until) model: each shared resource
+//! (controller front-end, bank, channel data bus) carries the cycle at which
+//! it next becomes free. A request arriving at cycle `now` experiences
+//!
+//! ```text
+//! wait(controller) → wait(bank) → row-buffer outcome → wait(channel bus)
+//! ```
+//!
+//! which reproduces the contention phenomena the paper builds on:
+//!
+//! * two threads interleaving accesses to **the same bank with different
+//!   rows** thrash the row buffer → every access pays
+//!   `tRP + tRCD + tCAS` instead of `tCAS` (Fig. 8's scenario);
+//! * threads on **disjoint banks** proceed in parallel, paying only the
+//!   (much smaller) channel/controller serialization;
+//! * refresh periodically closes rows and steals `tRFC` per bank.
+//!
+//! Latency numbers come from [`tint_hw::machine::DramConfig`]; everything is
+//! in core cycles.
+
+//! ```
+//! use tint_dram::{DramSystem, RowOutcome};
+//! use tint_hw::machine::MachineConfig;
+//! use tint_hw::types::{BankColor, LlcColor, Rw};
+//!
+//! let m = MachineConfig::opteron_6128();
+//! let mut dram = DramSystem::new(m.mapping, m.dram);
+//! let a = m.mapping.compose_frame(BankColor(0), LlcColor(0), 7).base();
+//! let first = dram.access(a, Rw::Read, 0);
+//! assert_eq!(first.outcome, RowOutcome::Miss); // cold bank
+//! let again = dram.access(a, Rw::Read, first.complete_at);
+//! assert_eq!(again.outcome, RowOutcome::Hit); // open row
+//! assert!(again.latency < first.latency);
+//! ```
+
+pub mod bank;
+pub mod stats;
+pub mod system;
+
+pub use bank::{BankState, RowOutcome};
+pub use stats::{BankStats, DramStats};
+pub use system::{DramAccess, DramSystem};

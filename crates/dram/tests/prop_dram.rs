@@ -1,0 +1,101 @@
+//! Property tests for the DRAM timing model.
+
+use proptest::prelude::*;
+use tint_dram::{DramSystem, RowOutcome};
+use tint_hw::machine::MachineConfig;
+use tint_hw::types::{BankColor, LlcColor, Rw};
+
+fn arb_accesses() -> impl Strategy<Value = Vec<(u16, u16, u64, u64)>> {
+    // (bank color, llc color, row, inter-arrival gap)
+    prop::collection::vec((0u16..128, 0u16..32, 0u64..32, 0u64..200), 1..200)
+}
+
+proptest! {
+    /// Completion times are causally consistent: an access completes after
+    /// it arrives, and per-bank completions are monotone.
+    #[test]
+    fn completions_are_causal_and_banks_serialize(accs in arb_accesses()) {
+        let m = MachineConfig::opteron_6128();
+        let mut dram = DramSystem::new(m.mapping, m.dram);
+        let mut now = 0u64;
+        let mut last_done_per_bank = std::collections::HashMap::new();
+        for (bc, llc, row, gap) in accs {
+            now += gap;
+            let addr = m.mapping.compose_frame(BankColor(bc), LlcColor(llc), row).base();
+            let r = dram.access(addr, Rw::Read, now);
+            prop_assert!(r.complete_at > now, "completion after arrival");
+            prop_assert_eq!(r.latency, r.complete_at - now);
+            prop_assert_eq!(r.bank_color, BankColor(bc));
+            if let Some(&prev) = last_done_per_bank.get(&bc) {
+                prop_assert!(
+                    r.complete_at > prev,
+                    "bank {bc} must serialize its accesses"
+                );
+            }
+            last_done_per_bank.insert(bc, r.complete_at);
+        }
+    }
+
+    /// The row-buffer law: an access to the currently-open row is a Hit and
+    /// is never slower than any other outcome at the same arrival time.
+    #[test]
+    fn row_hits_are_cheapest(bc in 0u16..128, rows in prop::collection::vec(0u64..8, 2..50)) {
+        let m = MachineConfig::opteron_6128();
+        let mut dram = DramSystem::new(m.mapping, {
+            let mut t = m.dram;
+            t.t_refi = 0; // isolate the row logic from refresh
+            t
+        });
+        let mut now = 0u64;
+        let mut open: Option<u64> = None;
+        for row in rows {
+            let addr = m.mapping.compose_frame(BankColor(bc), LlcColor(0), row).base();
+            let r = dram.access(addr, Rw::Write, now);
+            match open {
+                Some(o) if o == row => prop_assert_eq!(r.outcome, RowOutcome::Hit),
+                Some(_) => prop_assert_eq!(r.outcome, RowOutcome::Conflict),
+                None => prop_assert_eq!(r.outcome, RowOutcome::Miss),
+            }
+            open = Some(row);
+            now = r.complete_at + 1;
+        }
+    }
+
+    /// Stats conservation: requests == sum of per-bank outcomes == sum of
+    /// per-node request counts.
+    #[test]
+    fn stats_conserve(accs in arb_accesses()) {
+        let m = MachineConfig::opteron_6128();
+        let mut dram = DramSystem::new(m.mapping, m.dram);
+        let mut now = 0;
+        for (bc, llc, row, gap) in &accs {
+            now += gap;
+            let addr = m.mapping.compose_frame(BankColor(*bc), LlcColor(*llc), *row).base();
+            dram.access(addr, Rw::Read, now);
+        }
+        let s = dram.stats();
+        prop_assert_eq!(s.requests, accs.len() as u64);
+        let bank_total: u64 = s.banks.iter().map(|b| b.accesses()).sum();
+        prop_assert_eq!(bank_total, s.requests);
+        let node_total: u64 = s.node_requests.iter().sum();
+        prop_assert_eq!(node_total, s.requests);
+        prop_assert!(s.hit_rate() >= 0.0 && s.hit_rate() <= 1.0);
+    }
+
+    /// Idle banks in parallel: simultaneous accesses to N distinct banks on
+    /// distinct nodes all see the unloaded latency.
+    #[test]
+    fn distinct_nodes_fully_parallel(rows in prop::collection::vec(1u64..1000, 4..=4)) {
+        let m = MachineConfig::opteron_6128();
+        let mut dram = DramSystem::new(m.mapping, m.dram);
+        let mut lat = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            let bc = BankColor((i * 32) as u16); // one bank per node
+            let addr = m.mapping.compose_frame(bc, LlcColor(0), *row).base();
+            lat.push(dram.access(addr, Rw::Read, 0).latency);
+        }
+        for w in lat.windows(2) {
+            prop_assert_eq!(w[0], w[1], "no shared resource between nodes");
+        }
+    }
+}

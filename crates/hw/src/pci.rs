@@ -1,0 +1,337 @@
+//! Emulated PCI configuration space for boot-time mapping discovery.
+//!
+//! The paper (§III.A) derives the address-translation bits at the late phase
+//! of booting Linux by reading PCI registers programmed by the BIOS:
+//!
+//! * **DRAM base / limit system address registers** — which address range
+//!   (and, with node interleaving enabled, which address *bits*) select the
+//!   memory node / controller;
+//! * **DRAM controller select low register** — the channel-select bit;
+//! * **CS (chip-select) base address registers** — rank and bank bits;
+//! * **bank address mapping register** — the row/column split.
+//!
+//! We reproduce that flow: [`PciConfigSpace`] is a bag of typed registers, a
+//! simulated BIOS programs it from an [`AddressMapping`]
+//! ([`PciConfigSpace::programmed_by_bios`]), and the simulated kernel's boot
+//! code re-derives the mapping from registers alone ([`derive_mapping`]). A
+//! round-trip test pins that derivation to the BIOS truth, and inconsistent
+//! register contents are rejected the way real boot code must.
+
+use crate::addrmap::AddressMapping;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// DRAM base/limit register pair for one node, in the AMD style: with node
+/// interleaving enabled, `intlv_en` is a mask of how many low node-select
+/// bits participate and `intlv_sel` is the node's value of those bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramBaseLimit {
+    /// First physical address owned by the node (with interleaving the range
+    /// is shared and selection happens through the interleave bits).
+    pub base: u64,
+    /// Last physical address owned by the node (inclusive).
+    pub limit: u64,
+    /// Interleave-enable mask: `0` = contiguous, `0b1` = 2-way, `0b11` =
+    /// 4-way, `0b111` = 8-way node interleaving.
+    pub intlv_en: u8,
+    /// This node's selector value among the interleaved nodes.
+    pub intlv_sel: u8,
+}
+
+/// DRAM controller select register: position/width of the channel bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DctSelect {
+    /// Lowest physical-address bit that selects the channel.
+    pub channel_bit: u32,
+    /// Number of channel-select bits (0 = single channel).
+    pub channel_bits: u32,
+}
+
+/// Chip-select base register: positions of the rank and bank select bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsBase {
+    /// Lowest physical-address bit selecting the rank.
+    pub rank_bit: u32,
+    /// Number of rank-select bits.
+    pub rank_bits: u32,
+    /// Lowest physical-address bit selecting the bank.
+    pub bank_bit: u32,
+    /// Number of bank-select bits.
+    pub bank_bits: u32,
+}
+
+/// Bank-address-mapping register: where the row field starts and how wide it
+/// is (the row/column split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankAddrMap {
+    /// Lowest physical-address bit of the DRAM row.
+    pub row_bit: u32,
+    /// Number of row bits.
+    pub row_bits: u32,
+    /// log2 of the burst/line size.
+    pub line_shift: u32,
+    /// Number of LLC color bits above the page offset (the L3 index bits a
+    /// page-coloring allocator can steer; the paper's bits 12–16).
+    pub llc_bits: u32,
+}
+
+/// The subset of PCI configuration space TintMalloc's boot code reads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PciConfigSpace {
+    /// One DRAM base/limit pair per node, indexed by node id.
+    pub dram_base_limit: Vec<DramBaseLimit>,
+    /// Controller (channel) select register.
+    pub dct_select: DctSelect,
+    /// Chip-select base register.
+    pub cs_base: CsBase,
+    /// Bank address mapping register.
+    pub bank_addr_map: BankAddrMap,
+}
+
+/// Errors the boot-time derivation can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PciError {
+    /// No DRAM base/limit registers are populated.
+    NoNodes,
+    /// Node count is not a power of two (interleaving requires it).
+    NodeCountNotPowerOfTwo(usize),
+    /// A node's `intlv_en` mask disagrees with the node count.
+    InterleaveMaskMismatch { node: usize, expect: u8, got: u8 },
+    /// Two nodes claim the same `intlv_sel` value.
+    DuplicateInterleaveSelect(u8),
+    /// The decoded fields are not contiguous above the page offset — frames
+    /// would not have page-granular colors.
+    FieldsNotContiguous { expected_bit: u32, got: u32, field: &'static str },
+}
+
+impl fmt::Display for PciError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PciError::NoNodes => write!(f, "no DRAM base/limit registers populated"),
+            PciError::NodeCountNotPowerOfTwo(n) => {
+                write!(f, "node count {n} is not a power of two")
+            }
+            PciError::InterleaveMaskMismatch { node, expect, got } => write!(
+                f,
+                "node {node}: interleave mask {got:#b} does not match node count (expect {expect:#b})"
+            ),
+            PciError::DuplicateInterleaveSelect(s) => {
+                write!(f, "duplicate interleave selector {s}")
+            }
+            PciError::FieldsNotContiguous { expected_bit, got, field } => write!(
+                f,
+                "{field} field starts at bit {got}, expected bit {expected_bit}: \
+                 fields are not contiguous above the page offset"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PciError {}
+
+impl PciConfigSpace {
+    /// What the BIOS programs for a machine with the given mapping. Node
+    /// interleaving is always enabled (multi-node) so the node-select bits sit
+    /// where [`AddressMapping`] places them.
+    pub fn programmed_by_bios(map: &AddressMapping) -> Self {
+        let nodes = map.node_count();
+        let intlv_en = (nodes - 1) as u8;
+        let channel_bit = 12;
+        let bank_bit = channel_bit + map.channel_bits;
+        let llc_bit = bank_bit + map.bank_bits;
+        let rank_bit = llc_bit + map.llc_bits;
+        let node_bit = rank_bit + map.rank_bits;
+        let row_bit = node_bit + map.node_bits;
+        let dram_base_limit = (0..nodes)
+            .map(|n| DramBaseLimit {
+                base: 0,
+                limit: map.total_bytes() - 1,
+                intlv_en,
+                intlv_sel: n as u8,
+            })
+            .collect();
+        Self {
+            dram_base_limit,
+            dct_select: DctSelect {
+                channel_bit,
+                channel_bits: map.channel_bits,
+            },
+            cs_base: CsBase {
+                rank_bit,
+                rank_bits: map.rank_bits,
+                bank_bit,
+                bank_bits: map.bank_bits,
+            },
+            bank_addr_map: BankAddrMap {
+                row_bit,
+                row_bits: map.row_bits,
+                line_shift: map.line_shift,
+                llc_bits: map.llc_bits,
+            },
+        }
+    }
+}
+
+/// Boot-time derivation (paper §III.A): reconstruct the [`AddressMapping`]
+/// from PCI registers alone, validating consistency the way real boot code
+/// must before it trusts the mapping.
+pub fn derive_mapping(pci: &PciConfigSpace) -> Result<AddressMapping, PciError> {
+    let nodes = pci.dram_base_limit.len();
+    if nodes == 0 {
+        return Err(PciError::NoNodes);
+    }
+    if !nodes.is_power_of_two() {
+        return Err(PciError::NodeCountNotPowerOfTwo(nodes));
+    }
+    let expect_mask = (nodes - 1) as u8;
+    let mut seen_sel = vec![false; nodes];
+    for (i, bl) in pci.dram_base_limit.iter().enumerate() {
+        if bl.intlv_en != expect_mask {
+            return Err(PciError::InterleaveMaskMismatch {
+                node: i,
+                expect: expect_mask,
+                got: bl.intlv_en,
+            });
+        }
+        let sel = bl.intlv_sel as usize;
+        if sel >= nodes || seen_sel[sel] {
+            return Err(PciError::DuplicateInterleaveSelect(bl.intlv_sel));
+        }
+        seen_sel[sel] = true;
+    }
+
+    let node_bits = nodes.trailing_zeros();
+    let llc_bits = pci.bank_addr_map.llc_bits;
+    let channel_bits = pci.dct_select.channel_bits;
+    let rank_bits = pci.cs_base.rank_bits;
+    let bank_bits = pci.cs_base.bank_bits;
+
+    // Validate contiguity of the field chain above the 4 KiB page offset:
+    // channel, bank, LLC color, rank (node and row follow).
+    let mut bit = 12;
+    let checks: [(&'static str, u32, u32); 2] = [
+        ("channel", pci.dct_select.channel_bit, channel_bits),
+        // The bank "width" below includes the LLC color field that sits
+        // between bank and rank in the chain.
+        ("bank", pci.cs_base.bank_bit, bank_bits + llc_bits),
+    ];
+    for (field, got, width) in checks {
+        if got != bit {
+            return Err(PciError::FieldsNotContiguous {
+                expected_bit: bit,
+                got,
+                field,
+            });
+        }
+        bit += width;
+    }
+    if pci.cs_base.rank_bit != bit {
+        return Err(PciError::FieldsNotContiguous {
+            expected_bit: bit,
+            got: pci.cs_base.rank_bit,
+            field: "rank",
+        });
+    }
+    bit += rank_bits;
+    // Node bits follow the bank bits; the row starts after the node bits.
+    let expected_row = bit + node_bits;
+    if pci.bank_addr_map.row_bit != expected_row {
+        return Err(PciError::FieldsNotContiguous {
+            expected_bit: expected_row,
+            got: pci.bank_addr_map.row_bit,
+            field: "row",
+        });
+    }
+
+    Ok(AddressMapping {
+        line_shift: pci.bank_addr_map.line_shift,
+        llc_bits,
+        channel_bits,
+        rank_bits,
+        bank_bits,
+        node_bits,
+        row_bits: pci.bank_addr_map.row_bits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bios_then_boot_roundtrips_opteron() {
+        let truth = AddressMapping::opteron_6128();
+        let pci = PciConfigSpace::programmed_by_bios(&truth);
+        let derived = derive_mapping(&pci).expect("boot derivation");
+        assert_eq!(derived, truth);
+    }
+
+    #[test]
+    fn bios_then_boot_roundtrips_tiny() {
+        let truth = AddressMapping::tiny();
+        let pci = PciConfigSpace::programmed_by_bios(&truth);
+        assert_eq!(derive_mapping(&pci).unwrap(), truth);
+    }
+
+    #[test]
+    fn empty_config_rejected() {
+        let mut pci = PciConfigSpace::programmed_by_bios(&AddressMapping::tiny());
+        pci.dram_base_limit.clear();
+        assert_eq!(derive_mapping(&pci), Err(PciError::NoNodes));
+    }
+
+    #[test]
+    fn non_power_of_two_nodes_rejected() {
+        let mut pci = PciConfigSpace::programmed_by_bios(&AddressMapping::opteron_6128());
+        pci.dram_base_limit.truncate(3);
+        assert_eq!(derive_mapping(&pci), Err(PciError::NodeCountNotPowerOfTwo(3)));
+    }
+
+    #[test]
+    fn mismatched_interleave_mask_rejected() {
+        let mut pci = PciConfigSpace::programmed_by_bios(&AddressMapping::opteron_6128());
+        pci.dram_base_limit[2].intlv_en = 0b1;
+        assert!(matches!(
+            derive_mapping(&pci),
+            Err(PciError::InterleaveMaskMismatch { node: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_interleave_selector_rejected() {
+        let mut pci = PciConfigSpace::programmed_by_bios(&AddressMapping::opteron_6128());
+        pci.dram_base_limit[3].intlv_sel = 0;
+        assert_eq!(
+            derive_mapping(&pci),
+            Err(PciError::DuplicateInterleaveSelect(0))
+        );
+    }
+
+    #[test]
+    fn gap_in_field_chain_rejected() {
+        let mut pci = PciConfigSpace::programmed_by_bios(&AddressMapping::opteron_6128());
+        pci.cs_base.bank_bit += 1;
+        assert!(matches!(
+            derive_mapping(&pci),
+            Err(PciError::FieldsNotContiguous { field: "bank", .. })
+        ));
+    }
+
+    #[test]
+    fn misplaced_row_rejected() {
+        let mut pci = PciConfigSpace::programmed_by_bios(&AddressMapping::opteron_6128());
+        pci.bank_addr_map.row_bit = 50;
+        assert!(matches!(
+            derive_mapping(&pci),
+            Err(PciError::FieldsNotContiguous { field: "row", .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = PciError::NoNodes;
+        assert!(!e.to_string().is_empty());
+        let e = PciError::FieldsNotContiguous { expected_bit: 17, got: 18, field: "channel" };
+        assert!(e.to_string().contains("channel"));
+    }
+}

@@ -1,0 +1,195 @@
+//! NUMA topology: sockets, nodes (memory controllers), cores, hop distances.
+//!
+//! The paper's platform (§IV): two AMD Opteron 6128 packages, four NUMA nodes
+//! (memory controllers), four cores per node, sixteen cores total. Cores
+//! within a node are 1 hop from their local controller, cores in the other
+//! node of the same socket are 2 hops away, and cores in the other socket are
+//! 3 hops away. We store hops as *extra* hops beyond local (0 = local).
+
+use crate::types::{CoreId, NodeId, SocketId};
+use serde::{Deserialize, Serialize};
+
+/// The machine's processor/memory-node layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of processor packages.
+    pub sockets: usize,
+    /// NUMA nodes (memory controllers) per socket.
+    pub nodes_per_socket: usize,
+    /// Cores per NUMA node.
+    pub cores_per_node: usize,
+}
+
+impl Topology {
+    /// Create a topology, validating that every level is non-empty.
+    pub fn new(sockets: usize, nodes_per_socket: usize, cores_per_node: usize) -> Self {
+        assert!(sockets > 0 && nodes_per_socket > 0 && cores_per_node > 0);
+        Self {
+            sockets,
+            nodes_per_socket,
+            cores_per_node,
+        }
+    }
+
+    /// Total number of NUMA nodes (= memory controllers).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.sockets * self.nodes_per_socket
+    }
+
+    /// Total number of cores.
+    #[inline]
+    pub fn core_count(&self) -> usize {
+        self.node_count() * self.cores_per_node
+    }
+
+    /// The node a core belongs to (cores are numbered node-major).
+    #[inline]
+    pub fn node_of_core(&self, core: CoreId) -> NodeId {
+        assert!(core.index() < self.core_count(), "core {core} out of range");
+        NodeId(core.index() / self.cores_per_node)
+    }
+
+    /// The socket a node belongs to.
+    #[inline]
+    pub fn socket_of_node(&self, node: NodeId) -> SocketId {
+        assert!(node.index() < self.node_count(), "node {node} out of range");
+        SocketId(node.index() / self.nodes_per_socket)
+    }
+
+    /// The socket a core belongs to.
+    #[inline]
+    pub fn socket_of_core(&self, core: CoreId) -> SocketId {
+        self.socket_of_node(self.node_of_core(core))
+    }
+
+    /// Cores local to `node`, in id order.
+    pub fn cores_of_node(&self, node: NodeId) -> impl Iterator<Item = CoreId> + '_ {
+        assert!(node.index() < self.node_count(), "node {node} out of range");
+        let lo = node.index() * self.cores_per_node;
+        (lo..lo + self.cores_per_node).map(CoreId)
+    }
+
+    /// All cores in id order.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.core_count()).map(CoreId)
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count()).map(NodeId)
+    }
+
+    /// Extra interconnect hops from a core to a memory node:
+    /// `0` = local node, `1` = different node on the same socket,
+    /// `2` = node on a different socket.
+    ///
+    /// (The paper counts absolute hops 1/2/3; we count hops *beyond local*
+    /// so the local case contributes no extra interconnect latency.)
+    #[inline]
+    pub fn hops(&self, core: CoreId, node: NodeId) -> u32 {
+        let cn = self.node_of_core(core);
+        if cn == node {
+            0
+        } else if self.socket_of_node(cn) == self.socket_of_node(node) {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// True when `core` is local to `node`.
+    #[inline]
+    pub fn is_local(&self, core: CoreId, node: NodeId) -> bool {
+        self.node_of_core(core) == node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opteron() -> Topology {
+        Topology::new(2, 2, 4)
+    }
+
+    #[test]
+    fn opteron_counts() {
+        let t = opteron();
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.core_count(), 16);
+    }
+
+    #[test]
+    fn node_major_core_numbering() {
+        let t = opteron();
+        assert_eq!(t.node_of_core(CoreId(0)), NodeId(0));
+        assert_eq!(t.node_of_core(CoreId(3)), NodeId(0));
+        assert_eq!(t.node_of_core(CoreId(4)), NodeId(1));
+        assert_eq!(t.node_of_core(CoreId(15)), NodeId(3));
+    }
+
+    #[test]
+    fn sockets() {
+        let t = opteron();
+        assert_eq!(t.socket_of_node(NodeId(0)), SocketId(0));
+        assert_eq!(t.socket_of_node(NodeId(1)), SocketId(0));
+        assert_eq!(t.socket_of_node(NodeId(2)), SocketId(1));
+        assert_eq!(t.socket_of_node(NodeId(3)), SocketId(1));
+        assert_eq!(t.socket_of_core(CoreId(9)), SocketId(1));
+    }
+
+    #[test]
+    fn hop_matrix_matches_paper() {
+        let t = opteron();
+        // Local: 0 extra hops.
+        assert_eq!(t.hops(CoreId(0), NodeId(0)), 0);
+        // Same socket, other node: 1 extra hop.
+        assert_eq!(t.hops(CoreId(0), NodeId(1)), 1);
+        // Other socket: 2 extra hops.
+        assert_eq!(t.hops(CoreId(0), NodeId(2)), 2);
+        assert_eq!(t.hops(CoreId(0), NodeId(3)), 2);
+        // Symmetric case from socket 1.
+        assert_eq!(t.hops(CoreId(12), NodeId(3)), 0);
+        assert_eq!(t.hops(CoreId(12), NodeId(2)), 1);
+        assert_eq!(t.hops(CoreId(12), NodeId(0)), 2);
+    }
+
+    #[test]
+    fn cores_of_node_covers_all_cores_once() {
+        let t = opteron();
+        let mut seen = vec![false; t.core_count()];
+        for n in t.nodes() {
+            for c in t.cores_of_node(n) {
+                assert!(!seen[c.index()], "core listed twice");
+                seen[c.index()] = true;
+                assert_eq!(t.node_of_core(c), n);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn is_local_consistent_with_hops() {
+        let t = opteron();
+        for c in t.cores() {
+            for n in t.nodes() {
+                assert_eq!(t.is_local(c, n), t.hops(c, n) == 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_core_panics() {
+        opteron().node_of_core(CoreId(16));
+    }
+
+    #[test]
+    fn single_node_machine_all_local() {
+        let t = Topology::new(1, 1, 4);
+        for c in t.cores() {
+            assert_eq!(t.hops(c, NodeId(0)), 0);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Strongly-typed identifiers shared across the whole workspace.
+//!
+//! The simulator deals in many small integers (core ids, node ids, physical
+//! addresses, frame numbers, colors). Mixing them up is the classic source of
+//! silent simulation bugs, so each one is a newtype.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Base-2 logarithm of the page size (4 KiB pages, as in the paper).
+pub const PAGE_SHIFT: u32 = 12;
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw integer value.
+            #[inline]
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+
+            /// The value as a `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A hardware core (execution context). Cores are numbered globally
+    /// across the machine, node-major: cores `[n*cpn, (n+1)*cpn)` belong to
+    /// node `n` where `cpn` is cores-per-node.
+    CoreId,
+    usize
+);
+id_newtype!(
+    /// A NUMA node = one memory controller and its local DRAM (paper §II.B).
+    NodeId,
+    usize
+);
+id_newtype!(
+    /// A physical processor package.
+    SocketId,
+    usize
+);
+id_newtype!(
+    /// A DRAM channel within a controller.
+    ChannelId,
+    usize
+);
+id_newtype!(
+    /// A DRAM rank within a channel.
+    RankId,
+    usize
+);
+id_newtype!(
+    /// A DRAM bank within a rank.
+    BankId,
+    usize
+);
+id_newtype!(
+    /// A *bank color*: the flattened (node, channel, rank, bank) coordinate
+    /// produced by the paper's equation (1). On the Opteron 6128 preset there
+    /// are 128 of these; colors `[32n, 32(n+1))` live on node `n`.
+    BankColor,
+    u16
+);
+id_newtype!(
+    /// An *LLC color*: the value of the physical-address bits that select a
+    /// disjoint region of last-level-cache sets (bits 12–16 on the Opteron
+    /// preset, 32 colors).
+    LlcColor,
+    u16
+);
+
+/// A physical (machine) address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhysAddr(pub u64);
+
+/// A virtual address within one simulated task's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VirtAddr(pub u64);
+
+/// A physical page-frame number (`PhysAddr >> PAGE_SHIFT`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FrameNumber(pub u64);
+
+/// A virtual page number (`VirtAddr >> PAGE_SHIFT`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageNumber(pub u64);
+
+impl PhysAddr {
+    /// The frame containing this address.
+    #[inline]
+    pub fn frame(self) -> FrameNumber {
+        FrameNumber(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+}
+
+impl VirtAddr {
+    /// The virtual page containing this address.
+    #[inline]
+    pub fn page(self) -> PageNumber {
+        PageNumber(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Address `bytes` further along.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+}
+
+impl FrameNumber {
+    /// First byte of the frame.
+    #[inline]
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// Physical address at `offset` within the frame.
+    #[inline]
+    pub fn at(self, offset: u64) -> PhysAddr {
+        debug_assert!(offset < PAGE_SIZE);
+        PhysAddr((self.0 << PAGE_SHIFT) | offset)
+    }
+}
+
+impl PageNumber {
+    /// First byte of the page.
+    #[inline]
+    pub fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for FrameNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+/// Direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rw {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl Rw {
+    /// True for [`Rw::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, Rw::Write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_addr_frame_and_offset_roundtrip() {
+        let a = PhysAddr(0xdead_beef);
+        assert_eq!(a.frame().at(a.page_offset()), a);
+    }
+
+    #[test]
+    fn frame_base_is_page_aligned() {
+        let f = FrameNumber(123);
+        assert_eq!(f.base().page_offset(), 0);
+        assert_eq!(f.base().frame(), f);
+    }
+
+    #[test]
+    fn virt_addr_page_roundtrip() {
+        let v = VirtAddr(0x1234_5678);
+        assert_eq!(v.page().base().0 + v.page_offset(), v.0);
+    }
+
+    #[test]
+    fn virt_addr_offset_advances() {
+        let v = VirtAddr(0x1000);
+        assert_eq!(v.offset(0x234), VirtAddr(0x1234));
+    }
+
+    #[test]
+    fn newtype_display_is_tagged() {
+        assert_eq!(CoreId(3).to_string(), "CoreId(3)");
+        assert_eq!(PhysAddr(0x10).to_string(), "pa:0x10");
+        assert_eq!(VirtAddr(0x10).to_string(), "va:0x10");
+        assert_eq!(FrameNumber(0x10).to_string(), "pfn:0x10");
+    }
+
+    #[test]
+    fn rw_is_write() {
+        assert!(Rw::Write.is_write());
+        assert!(!Rw::Read.is_write());
+    }
+
+    #[test]
+    fn ids_index() {
+        assert_eq!(NodeId(2).index(), 2);
+        assert_eq!(BankColor(127).index(), 127);
+        assert_eq!(LlcColor(31).raw(), 31);
+    }
+}

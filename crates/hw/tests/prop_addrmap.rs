@@ -1,0 +1,90 @@
+//! Property tests for the address-mapping color algebra.
+
+use proptest::prelude::*;
+use tint_hw::addrmap::AddressMapping;
+use tint_hw::pci::{derive_mapping, PciConfigSpace};
+use tint_hw::types::{BankColor, FrameNumber, LlcColor, PhysAddr};
+
+/// Strategy producing structurally valid mappings of varied widths.
+fn arb_mapping() -> impl Strategy<Value = AddressMapping> {
+    (0u32..=5, 0u32..=2, 0u32..=2, 0u32..=4, 0u32..=3, 1u32..=12, 5u32..=8).prop_map(
+        |(llc, ch, rank, bank, node, row, line)| AddressMapping {
+            line_shift: line,
+            llc_bits: llc,
+            channel_bits: ch,
+            rank_bits: rank,
+            bank_bits: bank,
+            node_bits: node,
+            row_bits: row,
+        },
+    )
+}
+
+proptest! {
+    /// Every frame decodes, and re-composing from its colors + row gives the
+    /// same frame back: decode_frame and compose_frame are mutual inverses.
+    #[test]
+    fn frame_decode_compose_roundtrip(map in arb_mapping(), seed in any::<u64>()) {
+        let frame = FrameNumber(seed % map.frame_count());
+        let d = map.decode_frame(frame);
+        let back = map.compose_frame(d.bank_color, d.llc_color, d.row);
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Equation (1) is a bijection: compose_frame hits distinct frames for
+    /// distinct (bank color, LLC color, row) triples.
+    #[test]
+    fn compose_is_injective(map in arb_mapping(), a in any::<u64>(), b in any::<u64>()) {
+        let n = map.bank_color_count() as u64 * map.llc_color_count() as u64
+            * map.frames_per_color_pair();
+        let (a, b) = (a % n, b % n);
+        let split = |v: u64| {
+            let row = v % map.frames_per_color_pair();
+            let v = v / map.frames_per_color_pair();
+            let llc = LlcColor((v % map.llc_color_count() as u64) as u16);
+            let bc = BankColor((v / map.llc_color_count() as u64) as u16);
+            (bc, llc, row)
+        };
+        let (bca, llca, rowa) = split(a);
+        let (bcb, llcb, rowb) = split(b);
+        let fa = map.compose_frame(bca, llca, rowa);
+        let fb = map.compose_frame(bcb, llcb, rowb);
+        prop_assert_eq!(fa == fb, a == b);
+    }
+
+    /// All bytes of a page share the page's colors (page-granular coloring,
+    /// required by color_list[MEM_ID][cache_ID]).
+    #[test]
+    fn colors_are_page_granular(map in arb_mapping(), seed in any::<u64>(), off in 0u64..4096) {
+        let frame = FrameNumber(seed % map.frame_count());
+        let base = map.decode(frame.base());
+        let d = map.decode(frame.at(off));
+        prop_assert_eq!(d.bank_color, base.bank_color);
+        prop_assert_eq!(d.llc_color, base.llc_color);
+        prop_assert_eq!(d.row, base.row);
+        prop_assert_eq!(d.node, base.node);
+    }
+
+    /// The node derived from a bank color agrees with decoding any address
+    /// of that color.
+    #[test]
+    fn node_of_bank_color_consistent(map in arb_mapping(), seed in any::<u64>()) {
+        let frame = FrameNumber(seed % map.frame_count());
+        let d = map.decode_frame(frame);
+        prop_assert_eq!(map.node_of_bank_color(d.bank_color), d.node);
+    }
+
+    /// BIOS programming followed by boot derivation reproduces the mapping.
+    #[test]
+    fn pci_roundtrip(map in arb_mapping()) {
+        let pci = PciConfigSpace::programmed_by_bios(&map);
+        prop_assert_eq!(derive_mapping(&pci).unwrap(), map);
+    }
+
+    /// LLC color of an address equals the LLC color of its frame.
+    #[test]
+    fn llc_color_matches_frame(map in arb_mapping(), seed in any::<u64>()) {
+        let addr = PhysAddr(seed % map.total_bytes());
+        prop_assert_eq!(map.llc_color(addr), map.decode_frame(addr.frame()).llc_color);
+    }
+}

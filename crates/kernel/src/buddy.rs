@@ -1,0 +1,373 @@
+//! The legacy Linux buddy allocator (paper §III.C).
+//!
+//! Memory is partitioned into "buddies" of exponentially increasing sizes
+//! (`2^(12+order)` bytes). An allocation is served from the matching order's
+//! free list or by splitting the next larger buddy; a free coalesces with its
+//! buddy recursively. Free lists are ordered sets keyed by start frame, so
+//! allocation is deterministic (lowest address first) — which is also what
+//! makes the *uncolored* baseline walk the physical address space in order
+//! and smear a task's pages across LLC colors, banks, and eventually nodes.
+
+use crate::MAX_ORDER;
+use std::collections::BTreeSet;
+use tint_hw::types::FrameNumber;
+
+/// Order-indexed free lists over a flat frame range `0..frame_count`.
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    /// `free_lists[order]` holds start frames of free `2^order`-page blocks.
+    free_lists: Vec<BTreeSet<u64>>,
+    frame_count: u64,
+    free_pages: u64,
+}
+
+impl BuddyAllocator {
+    /// Seed the allocator with all of physical memory, split into maximal
+    /// aligned blocks.
+    pub fn new(frame_count: u64) -> Self {
+        let mut b = Self {
+            free_lists: vec![BTreeSet::new(); (MAX_ORDER + 1) as usize],
+            frame_count,
+            free_pages: 0,
+        };
+        let mut start = 0u64;
+        while start < frame_count {
+            // Largest order that keeps the block aligned and in range.
+            let mut order = MAX_ORDER;
+            loop {
+                let size = 1u64 << order;
+                if start.is_multiple_of(size) && start + size <= frame_count {
+                    break;
+                }
+                order -= 1;
+            }
+            b.free_lists[order as usize].insert(start);
+            b.free_pages += 1 << order;
+            start += 1 << order;
+        }
+        b
+    }
+
+    /// Total frames managed.
+    pub fn frame_count(&self) -> u64 {
+        self.frame_count
+    }
+
+    /// Currently free pages (order-0 equivalents).
+    pub fn free_pages(&self) -> u64 {
+        self.free_pages
+    }
+
+    /// Number of free blocks at `order`.
+    pub fn free_blocks(&self, order: u32) -> usize {
+        self.free_lists[order as usize].len()
+    }
+
+    /// Allocate a `2^order`-page block, splitting larger buddies as needed.
+    /// Deterministic: always the lowest-addressed candidate.
+    pub fn alloc(&mut self, order: u32) -> Option<FrameNumber> {
+        assert!(order <= MAX_ORDER);
+        // Find the smallest order with a free block.
+        let from = (order..=MAX_ORDER).find(|&o| !self.free_lists[o as usize].is_empty())?;
+        let start = *self.free_lists[from as usize].iter().next().unwrap();
+        self.free_lists[from as usize].remove(&start);
+        // Split down, returning the low half each time and freeing the high
+        // half ("any remaining space is added to lower order free lists").
+        for o in (order..from).rev() {
+            let buddy = start + (1u64 << o);
+            self.free_lists[o as usize].insert(buddy);
+        }
+        self.free_pages -= 1 << order;
+        Some(FrameNumber(start))
+    }
+
+    /// Remove a *specific* free block from `order`'s list (used by
+    /// Algorithm 1 when it picks the buddy block that contains a page of the
+    /// required color). Panics if the block is not free at that order.
+    pub fn take_block(&mut self, order: u32, start: FrameNumber) -> FrameNumber {
+        let removed = self.free_lists[order as usize].remove(&start.0);
+        assert!(removed, "block {start} is not free at order {order}");
+        self.free_pages -= 1 << order;
+        start
+    }
+
+    /// Iterate the free blocks at `order`, lowest address first.
+    pub fn blocks(&self, order: u32) -> impl Iterator<Item = FrameNumber> + '_ {
+        self.free_lists[order as usize].iter().map(|&s| FrameNumber(s))
+    }
+
+    /// Insert a block without attempting to coalesce (used when splitting a
+    /// larger block whose outside buddy is known to be allocated).
+    fn insert_raw(&mut self, start: u64, order: u32) {
+        let inserted = self.free_lists[order as usize].insert(start);
+        assert!(inserted, "raw insert collides at {start:#x} order {order}");
+        self.free_pages += 1 << order;
+    }
+
+    /// Allocate one *specific* order-0 frame if it is currently free: locate
+    /// the free block containing it, split toward it, and return the
+    /// complement halves to the free lists. This is how the NUMA-aware
+    /// first-touch path takes the lowest local frame while preserving buddy
+    /// structure. Returns `false` when the frame is not free.
+    pub fn alloc_specific(&mut self, target: FrameNumber) -> bool {
+        if target.0 >= self.frame_count {
+            return false;
+        }
+        for order in 0..=MAX_ORDER {
+            let block = target.0 & !((1u64 << order) - 1);
+            if self.free_lists[order as usize].remove(&block) {
+                self.free_pages -= 1 << order;
+                // Split toward the target, freeing the half not containing it.
+                let mut start = block;
+                let mut o = order;
+                while o > 0 {
+                    o -= 1;
+                    let half = 1u64 << o;
+                    if target.0 < start + half {
+                        self.insert_raw(start + half, o);
+                    } else {
+                        self.insert_raw(start, o);
+                        start += half;
+                    }
+                }
+                debug_assert_eq!(start, target.0);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The lowest-addressed currently-free frame satisfying `pred`, if any.
+    /// Deterministic scan over all free blocks (sorted per order).
+    pub fn lowest_free_matching<P: Fn(FrameNumber) -> bool>(&self, pred: P) -> Option<FrameNumber> {
+        let mut best: Option<u64> = None;
+        for order in 0..=MAX_ORDER {
+            for &start in &self.free_lists[order as usize] {
+                if let Some(b) = best {
+                    if start >= b {
+                        break; // sorted: no lower frame in this order's tail
+                    }
+                }
+                let n = 1u64 << order;
+                if let Some(f) = (0..n).map(|i| start + i).find(|&f| pred(FrameNumber(f))) {
+                    if best.is_none_or(|b| f < b) {
+                        best = Some(f);
+                    }
+                    break; // lowest candidate in this order found
+                }
+            }
+        }
+        best.map(FrameNumber)
+    }
+
+    /// Free a `2^order`-page block, coalescing with free buddies.
+    pub fn free(&mut self, frame: FrameNumber, order: u32) {
+        assert!(order <= MAX_ORDER);
+        let mut start = frame.0;
+        assert!(start.is_multiple_of(1 << order), "misaligned free of {frame} at order {order}");
+        assert!(start + (1 << order) <= self.frame_count, "free beyond memory");
+        let mut order = order;
+        self.free_pages += 1 << order;
+        while order < MAX_ORDER {
+            let buddy = start ^ (1u64 << order);
+            if buddy + (1 << order) <= self.frame_count
+                && self.free_lists[order as usize].remove(&buddy)
+            {
+                start = start.min(buddy);
+                order += 1;
+            } else {
+                break;
+            }
+        }
+        let inserted = self.free_lists[order as usize].insert(start);
+        assert!(inserted, "double free of block {start:#x} at order {order}");
+    }
+
+    /// Check the structural invariants (used by property tests): no overlap,
+    /// alignment, and the free-page count matches the lists.
+    pub fn check_invariants(&self) {
+        let mut total = 0u64;
+        let mut blocks: Vec<(u64, u64)> = Vec::new();
+        for (o, list) in self.free_lists.iter().enumerate() {
+            for &s in list {
+                let size = 1u64 << o;
+                assert!(s % size == 0, "block {s:#x} misaligned at order {o}");
+                assert!(s + size <= self.frame_count, "block out of range");
+                blocks.push((s, s + size));
+                total += size;
+            }
+        }
+        assert_eq!(total, self.free_pages, "free-page count drifted");
+        blocks.sort();
+        for w in blocks.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping free blocks {w:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_full_memory() {
+        let b = BuddyAllocator::new(1 << 14);
+        assert_eq!(b.free_pages(), 1 << 14);
+        assert_eq!(b.free_blocks(MAX_ORDER), (1 << 14) >> MAX_ORDER);
+        b.check_invariants();
+    }
+
+    #[test]
+    fn seeds_unaligned_tail() {
+        // 3000 frames: not a power of two — seeded as a mix of orders.
+        let b = BuddyAllocator::new(3000);
+        assert_eq!(b.free_pages(), 3000);
+        b.check_invariants();
+    }
+
+    #[test]
+    fn alloc_splits_and_free_coalesces() {
+        let mut b = BuddyAllocator::new(1 << MAX_ORDER);
+        let f = b.alloc(0).unwrap();
+        assert_eq!(f, FrameNumber(0), "lowest address first");
+        assert_eq!(b.free_pages(), (1 << MAX_ORDER) - 1);
+        b.check_invariants();
+        b.free(f, 0);
+        assert_eq!(b.free_pages(), 1 << MAX_ORDER);
+        // Everything coalesced back into one max-order block.
+        assert_eq!(b.free_blocks(MAX_ORDER), 1);
+        b.check_invariants();
+    }
+
+    #[test]
+    fn alloc_order_matches_size() {
+        let mut b = BuddyAllocator::new(1 << 12);
+        let f = b.alloc(3).unwrap();
+        assert_eq!(f.0 % 8, 0, "order-3 block is 8-page aligned");
+        assert_eq!(b.free_pages(), (1 << 12) - 8);
+    }
+
+    #[test]
+    fn sequential_allocs_walk_addresses_upward() {
+        let mut b = BuddyAllocator::new(1 << 12);
+        let f1 = b.alloc(0).unwrap();
+        let f2 = b.alloc(0).unwrap();
+        let f3 = b.alloc(0).unwrap();
+        assert!(f1.0 < f2.0 && f2.0 < f3.0, "the uncolored baseline walks upward");
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut b = BuddyAllocator::new(4);
+        assert!(b.alloc(2).is_some());
+        assert!(b.alloc(0).is_none());
+    }
+
+    #[test]
+    fn take_block_removes_specific() {
+        let mut b = BuddyAllocator::new(1 << 12);
+        let blocks: Vec<_> = b.blocks(MAX_ORDER).collect();
+        assert_eq!(blocks.len(), 2);
+        let second = blocks[1];
+        b.take_block(MAX_ORDER, second);
+        assert_eq!(b.free_blocks(MAX_ORDER), 1);
+        assert_eq!(b.blocks(MAX_ORDER).next(), Some(blocks[0]));
+        b.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "not free")]
+    fn take_block_of_allocated_panics() {
+        let mut b = BuddyAllocator::new(1 << 12);
+        let f = b.alloc(MAX_ORDER).unwrap();
+        b.take_block(MAX_ORDER, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut b = BuddyAllocator::new(1 << 12);
+        let f0 = b.alloc(0).unwrap();
+        let _f1 = b.alloc(0).unwrap();
+        // f1 stays allocated so f0 cannot coalesce away; the second free of
+        // f0 is a detectable duplicate insert.
+        b.free(f0, 0);
+        b.free(f0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_free_panics() {
+        let mut b = BuddyAllocator::new(1 << 12);
+        b.free(FrameNumber(1), 3);
+    }
+
+    #[test]
+    fn alloc_specific_takes_exact_frame() {
+        let mut b = BuddyAllocator::new(1 << 12);
+        assert!(b.alloc_specific(FrameNumber(1234)));
+        assert_eq!(b.free_pages(), (1 << 12) - 1);
+        b.check_invariants();
+        // The frame is gone: a second specific alloc fails.
+        assert!(!b.alloc_specific(FrameNumber(1234)));
+        // Freeing restores full coalescing.
+        b.free(FrameNumber(1234), 0);
+        assert_eq!(b.free_blocks(MAX_ORDER), 2);
+        b.check_invariants();
+    }
+
+    #[test]
+    fn alloc_specific_out_of_range_fails() {
+        let mut b = BuddyAllocator::new(16);
+        assert!(!b.alloc_specific(FrameNumber(16)));
+    }
+
+    #[test]
+    fn lowest_free_matching_scans_ascending() {
+        let mut b = BuddyAllocator::new(1 << 12);
+        // Predicate: frames ≡ 3 (mod 8).
+        let pred = |f: FrameNumber| f.0 % 8 == 3;
+        assert_eq!(b.lowest_free_matching(pred), Some(FrameNumber(3)));
+        assert!(b.alloc_specific(FrameNumber(3)));
+        assert_eq!(b.lowest_free_matching(pred), Some(FrameNumber(11)));
+    }
+
+    #[test]
+    fn lowest_free_matching_none_when_no_match() {
+        let b = BuddyAllocator::new(16);
+        assert_eq!(b.lowest_free_matching(|f| f.0 > 100), None);
+    }
+
+    #[test]
+    fn sequential_specific_allocs_are_contiguous() {
+        // The NUMA-aware first-touch pattern: repeatedly take the lowest
+        // matching frame — a burst receives a contiguous run.
+        let mut b = BuddyAllocator::new(1 << 12);
+        let mut got = Vec::new();
+        for _ in 0..8 {
+            let f = b.lowest_free_matching(|_| true).unwrap();
+            assert!(b.alloc_specific(f));
+            got.push(f.0);
+        }
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        b.check_invariants();
+    }
+
+    #[test]
+    fn free_in_any_order_coalesces_fully() {
+        let mut b = BuddyAllocator::new(64);
+        let frames: Vec<_> = (0..64).map(|_| b.alloc(0).unwrap()).collect();
+        assert_eq!(b.free_pages(), 0);
+        // Free even frames first, then odd — exercises deferred coalescing.
+        for f in frames.iter().filter(|f| f.0 % 2 == 0) {
+            b.free(*f, 0);
+        }
+        b.check_invariants();
+        for f in frames.iter().filter(|f| f.0 % 2 == 1) {
+            b.free(*f, 0);
+        }
+        assert_eq!(b.free_pages(), 64);
+        assert_eq!(b.free_blocks(6.min(MAX_ORDER)), if MAX_ORDER >= 6 { 1 } else { 0 });
+        b.check_invariants();
+    }
+}

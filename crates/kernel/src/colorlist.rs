@@ -1,0 +1,249 @@
+//! The `color_list[MEM_ID][cache_ID]` matrix and Algorithm 2.
+//!
+//! The paper (§III.C): *"TintMalloc maintains a free list and 128\*32 color
+//! lists simultaneously inside the Linux kernel. Those color lists are
+//! defined as a matrix of color_list\[MEM_ID\]\[cache_ID\]. At boot-up, these
+//! color lists are empty, all free pages are in the non-colored free list of
+//! the buddy allocator."* Algorithm 2 (`create_color_list`) moves one buddy
+//! block into the matrix: the block of `2^order` pages is separated into
+//! single 4 KiB pages, each appended to the list matching its (bank color,
+//! LLC color).
+
+use std::collections::VecDeque;
+use tint_hw::addrmap::AddressMapping;
+use tint_hw::types::{BankColor, FrameNumber, LlcColor};
+
+/// The matrix of per-(bank color, LLC color) page free lists.
+#[derive(Debug, Clone)]
+pub struct ColorMatrix {
+    /// `lists[bank_color][llc_color]` — FIFO page lists.
+    lists: Vec<Vec<VecDeque<FrameNumber>>>,
+    mapping: AddressMapping,
+    /// Pages currently held across all lists.
+    pages: u64,
+}
+
+impl ColorMatrix {
+    /// Empty matrix for a mapping (the boot-up state).
+    pub fn new(mapping: AddressMapping) -> Self {
+        let banks = mapping.bank_color_count();
+        let llcs = mapping.llc_color_count();
+        Self {
+            lists: vec![vec![VecDeque::new(); llcs]; banks],
+            mapping,
+            pages: 0,
+        }
+    }
+
+    /// Total pages held in color lists.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Pages held in one specific list.
+    pub fn len(&self, bc: BankColor, llc: LlcColor) -> usize {
+        self.lists[bc.index()][llc.index()].len()
+    }
+
+    /// True when every list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages == 0
+    }
+
+    /// **Algorithm 2** — `create_color_list(order, page)`: separate the
+    /// buddy block starting at `head` into `2^order` single pages and append
+    /// each to the color list matching its decoded colors. Returns the page
+    /// count moved.
+    pub fn create_color_list(&mut self, order: u32, head: FrameNumber) -> u64 {
+        let n = 1u64 << order;
+        for i in 0..n {
+            let f = FrameNumber(head.0 + i);
+            let d = self.mapping.decode_frame(f);
+            self.lists[d.bank_color.index()][d.llc_color.index()].push_back(f);
+        }
+        self.pages += n;
+        n
+    }
+
+    /// Append one page (a colored free()): the paper — "calls to free heap
+    /// space by the application cause the kernel to add pages to the
+    /// corresponding colored free lists".
+    pub fn push(&mut self, frame: FrameNumber) {
+        let d = self.mapping.decode_frame(frame);
+        self.lists[d.bank_color.index()][d.llc_color.index()].push_back(frame);
+        self.pages += 1;
+    }
+
+    /// Pop a page of exactly this (bank color, LLC color).
+    pub fn pop(&mut self, bc: BankColor, llc: LlcColor) -> Option<FrameNumber> {
+        let f = self.lists[bc.index()][llc.index()].pop_front()?;
+        self.pages -= 1;
+        Some(f)
+    }
+
+    /// Pop a page whose bank color is `bc` with *any* LLC color (MEM-only
+    /// coloring), round-robining across LLC colors starting at `cursor` to
+    /// spread usage. Returns the page and the LLC color it came from.
+    pub fn pop_bank(&mut self, bc: BankColor, cursor: usize) -> Option<(FrameNumber, LlcColor)> {
+        let llcs = self.mapping.llc_color_count();
+        for i in 0..llcs {
+            let l = (cursor + i) % llcs;
+            if let Some(f) = self.lists[bc.index()][l].pop_front() {
+                self.pages -= 1;
+                return Some((f, LlcColor(l as u16)));
+            }
+        }
+        None
+    }
+
+    /// Pop a page whose LLC color is `llc` with *any* bank color (LLC-only
+    /// coloring), round-robining across bank colors starting at `cursor`.
+    pub fn pop_llc(&mut self, llc: LlcColor, cursor: usize) -> Option<(FrameNumber, BankColor)> {
+        let banks = self.mapping.bank_color_count();
+        for i in 0..banks {
+            let b = (cursor + i) % banks;
+            if let Some(f) = self.lists[b][llc.index()].pop_front() {
+                self.pages -= 1;
+                return Some((f, BankColor(b as u16)));
+            }
+        }
+        None
+    }
+
+    /// The mapping used to decode frames.
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    /// Check structural invariants: every page sits in the list matching its
+    /// decoded colors and the page count is consistent.
+    pub fn check_invariants(&self) {
+        let mut total = 0u64;
+        for (b, row) in self.lists.iter().enumerate() {
+            for (l, list) in row.iter().enumerate() {
+                for &f in list {
+                    let d = self.mapping.decode_frame(f);
+                    assert_eq!(d.bank_color.index(), b, "page {f} in wrong bank list");
+                    assert_eq!(d.llc_color.index(), l, "page {f} in wrong LLC list");
+                }
+                total += list.len() as u64;
+            }
+        }
+        assert_eq!(total, self.pages, "page count drifted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> ColorMatrix {
+        ColorMatrix::new(AddressMapping::tiny())
+    }
+
+    #[test]
+    fn starts_empty() {
+        let m = matrix();
+        assert!(m.is_empty());
+        assert_eq!(m.pages(), 0);
+    }
+
+    #[test]
+    fn create_color_list_sorts_pages_by_color() {
+        let mut m = matrix();
+        // Tiny mapping: 4 bank colors × 4 LLC colors = 16 combos; an order-4
+        // block (16 pages, aligned) covers each combo exactly once.
+        let moved = m.create_color_list(4, FrameNumber(0));
+        assert_eq!(moved, 16);
+        assert_eq!(m.pages(), 16);
+        for b in 0..4 {
+            for l in 0..4 {
+                assert_eq!(m.len(BankColor(b), LlcColor(l)), 1, "combo ({b},{l})");
+            }
+        }
+        m.check_invariants();
+    }
+
+    #[test]
+    fn pop_exact_color() {
+        let mut m = matrix();
+        m.create_color_list(4, FrameNumber(0));
+        let f = m.pop(BankColor(2), LlcColor(3)).unwrap();
+        let d = m.mapping().decode_frame(f);
+        assert_eq!(d.bank_color, BankColor(2));
+        assert_eq!(d.llc_color, LlcColor(3));
+        assert_eq!(m.pop(BankColor(2), LlcColor(3)), None, "only one page of that combo");
+        m.check_invariants();
+    }
+
+    #[test]
+    fn pop_is_fifo() {
+        let mut m = matrix();
+        // Two order-4 blocks: each combo now has two pages, block-0's first.
+        m.create_color_list(4, FrameNumber(0));
+        m.create_color_list(4, FrameNumber(16));
+        let f1 = m.pop(BankColor(0), LlcColor(0)).unwrap();
+        let f2 = m.pop(BankColor(0), LlcColor(0)).unwrap();
+        assert!(f1.0 < f2.0, "FIFO: first block's page first");
+    }
+
+    #[test]
+    fn pop_bank_round_robins_llc() {
+        let mut m = matrix();
+        m.create_color_list(4, FrameNumber(0));
+        let (_, l0) = m.pop_bank(BankColor(1), 0).unwrap();
+        let (_, l1) = m.pop_bank(BankColor(1), 1).unwrap();
+        assert_eq!(l0, LlcColor(0));
+        assert_eq!(l1, LlcColor(1));
+        // Cursor pointing at an exhausted color falls through to the next.
+        let (_, l2) = m.pop_bank(BankColor(1), 0).unwrap();
+        assert_eq!(l2, LlcColor(2));
+    }
+
+    #[test]
+    fn pop_llc_round_robins_banks() {
+        let mut m = matrix();
+        m.create_color_list(4, FrameNumber(0));
+        let (f, b) = m.pop_llc(LlcColor(2), 3).unwrap();
+        assert_eq!(b, BankColor(3));
+        assert_eq!(m.mapping().decode_frame(f).llc_color, LlcColor(2));
+    }
+
+    #[test]
+    fn pop_exhausted_returns_none() {
+        let mut m = matrix();
+        assert_eq!(m.pop(BankColor(0), LlcColor(0)), None);
+        assert_eq!(m.pop_bank(BankColor(0), 0), None);
+        assert_eq!(m.pop_llc(LlcColor(0), 0), None);
+    }
+
+    #[test]
+    fn push_returns_page_to_its_list() {
+        let mut m = matrix();
+        m.create_color_list(4, FrameNumber(0));
+        let f = m.pop(BankColor(1), LlcColor(1)).unwrap();
+        m.push(f);
+        assert_eq!(m.len(BankColor(1), LlcColor(1)), 1);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn opteron_block_covers_all_colors() {
+        // On the Opteron mapping an order-11 block has frames covering all
+        // 12 color bits except the top node bit — i.e. half the machine's
+        // color combos, 4096/2 = 2048 distinct combos, one page each.
+        let mut m = ColorMatrix::new(AddressMapping::opteron_6128());
+        let moved = m.create_color_list(11, FrameNumber(0));
+        assert_eq!(moved, 2048);
+        let mut nonempty = 0;
+        for b in 0..128 {
+            for l in 0..32 {
+                if m.len(BankColor(b), LlcColor(l)) > 0 {
+                    nonempty += 1;
+                }
+            }
+        }
+        assert_eq!(nonempty, 2048);
+        m.check_invariants();
+    }
+}

@@ -1,0 +1,44 @@
+//! Kernel error codes, in the spirit of the paper's "mmap() will return an
+//! error code indicating that no more pages of this color are available".
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error codes returned by the simulated system calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Errno {
+    /// Out of memory — for colored allocations, *of that color* (§III.B).
+    Enomem,
+    /// Malformed argument (bad color id, bad mode bits, zero-length map
+    /// without the color flag, ...).
+    Einval,
+    /// Unknown task.
+    Esrch,
+    /// Access to an unmapped virtual address (simulated SIGSEGV).
+    Efault,
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Errno::Enomem => "ENOMEM: no page of the requested color available",
+            Errno::Einval => "EINVAL: malformed argument",
+            Errno::Esrch => "ESRCH: no such task",
+            Errno::Efault => "EFAULT: access to unmapped address",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Errno::Enomem.to_string().contains("color"));
+        assert!(Errno::Efault.to_string().contains("unmapped"));
+    }
+}

@@ -1,0 +1,1182 @@
+//! The simulated kernel: `mmap()` color protocol, page faults, Algorithm 1.
+//!
+//! ## The `mmap()` protocol (paper §III.B, Fig. 6)
+//!
+//! A **zero-length** `mmap()` whose protection argument has bit 30
+//! ([`COLOR_ALLOC`]) set is interpreted as a color-set operation: the
+//! address argument carries a mode in its most significant bits and the
+//! color in its low bits:
+//!
+//! ```text
+//! char *A = (char*) mmap(c | SET_LLC_COLOR, 0, prot | COLOR_ALLOC, ...);
+//! ```
+//!
+//! The color is recorded in the calling task's TCB together with the
+//! `using_bank`/`using_llc` flags; subsequent ordinary heap allocations are
+//! colored without any further source change.
+//!
+//! ## Algorithm 1 (colored page selection)
+//!
+//! Order-0 requests from a task with a coloring flag set are served from
+//! `color_list[MEM_ID][LLC_ID]`. When the matching lists are empty, the
+//! kernel walks the buddy free lists from low order to `MAX_ORDER`, finds a
+//! block *containing a page of a matching color*, and moves it into the
+//! color matrix with `create_color_list` (Algorithm 2) — then retries. When
+//! no such block exists the allocation fails with `ENOMEM` ("no more page of
+//! this color"). Orders greater than zero and uncolored tasks go straight to
+//! the legacy buddy allocator.
+
+use crate::buddy::BuddyAllocator;
+use crate::colorlist::ColorMatrix;
+use crate::errno::Errno;
+use crate::task::{ColorOp, HeapPolicy, TaskStruct, Tid, VmId};
+use crate::vm::AddressSpace;
+use crate::MAX_ORDER;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tint_hw::addrmap::AddressMapping;
+use tint_hw::pci::{derive_mapping, PciConfigSpace};
+use tint_hw::topology::Topology;
+use tint_hw::types::{
+    BankColor, CoreId, FrameNumber, LlcColor, PageNumber, PhysAddr, VirtAddr, PAGE_SIZE,
+};
+
+/// Protection-argument flag (bit 30): "interpret this `mmap()` as a color
+/// operation" (paper Fig. 6).
+pub const COLOR_ALLOC: u64 = 1 << 30;
+
+/// Mode nibble (bits 60–63 of the address argument): add a memory color.
+pub const SET_MEM_COLOR: u64 = 1 << 60;
+/// Mode nibble: add an LLC color.
+pub const SET_LLC_COLOR: u64 = 2 << 60;
+/// Mode nibble: clear all memory colors.
+pub const CLEAR_MEM_COLOR: u64 = 3 << 60;
+/// Mode nibble: clear all LLC colors.
+pub const CLEAR_LLC_COLOR: u64 = 4 << 60;
+
+const MODE_SHIFT: u32 = 60;
+const COLOR_MASK: u64 = (1 << MODE_SHIFT) - 1;
+
+/// Cycle costs charged to a faulting task for kernel work. These surface in
+/// thread runtimes: the paper notes the overhead of colored allocation "is
+/// higher for the first heap requests as the kernel traverses the general
+/// buddy free list" (§III.C) — `block_scan`/`per_page_move` is that cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelCosts {
+    /// Base cost of any page fault (trap, zeroing, page-table update).
+    pub page_fault: u64,
+    /// Cost per buddy block *examined* while locating a block for
+    /// `create_color_list` — restrictive color sets scan further, which is
+    /// the paper's "traverses the general buddy free list" overhead.
+    pub block_scan: u64,
+    /// Per-page cost of moving pages into the color matrix.
+    pub per_page_move: u64,
+    /// Cost of copying one page during migration (recoloring).
+    pub page_copy: u64,
+}
+
+impl Default for KernelCosts {
+    fn default() -> Self {
+        Self {
+            page_fault: 1500,
+            block_scan: 150,
+            per_page_move: 4,
+            page_copy: 800,
+        }
+    }
+}
+
+/// Allocation-path counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Order-0 pages served by the legacy buddy path.
+    pub legacy_allocs: u64,
+    /// Pages served from the color matrix.
+    pub colored_allocs: u64,
+    /// Pages served by the first-touch local-node preference.
+    pub firsttouch_allocs: u64,
+    /// First-touch pages that fell back to the global list (remote).
+    pub fallback_allocs: u64,
+    /// Algorithm 2 invocations.
+    pub create_color_list_calls: u64,
+    /// Pages moved from buddy lists into the color matrix.
+    pub pages_moved: u64,
+    /// Page faults served.
+    pub page_faults: u64,
+    /// Colored allocations that failed (no page of the color left).
+    pub color_enomem: u64,
+    /// Pages migrated by [`Kernel::recolor_task`].
+    pub pages_migrated: u64,
+    /// Total fault cycles charged to tasks.
+    pub fault_cycles: u64,
+}
+
+/// What a page fault returned: the frame plus the cycles the kernel charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocOutcome {
+    /// The frame that now backs the page.
+    pub frame: FrameNumber,
+    /// Kernel cycles charged to the faulting task.
+    pub cycles: u64,
+}
+
+/// Result of an address translation that may have faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The physical address.
+    pub phys: PhysAddr,
+    /// Fault cost if this access took a page fault (first touch).
+    pub fault_cycles: u64,
+}
+
+/// The simulated kernel.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    mapping: AddressMapping,
+    topology: Topology,
+    buddy: BuddyAllocator,
+    colors: ColorMatrix,
+    tasks: HashMap<Tid, TaskStruct>,
+    /// Address spaces; threads created with [`Kernel::create_thread`] share
+    /// their group leader's entry (CLONE_VM).
+    vms: Vec<AddressSpace>,
+    next_tid: u64,
+    costs: KernelCosts,
+    stats: KernelStats,
+}
+
+impl Kernel {
+    /// Boot with a known mapping (tests, presets).
+    pub fn new(mapping: AddressMapping, topology: Topology, costs: KernelCosts) -> Self {
+        assert_eq!(
+            mapping.node_count(),
+            topology.node_count(),
+            "mapping and topology disagree on node count"
+        );
+        Self {
+            buddy: BuddyAllocator::new(mapping.frame_count()),
+            colors: ColorMatrix::new(mapping),
+            tasks: HashMap::new(),
+            vms: Vec::new(),
+            next_tid: 1,
+            mapping,
+            topology,
+            costs,
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// Boot the way the paper does (§III.A): derive the mapping from the
+    /// PCI configuration space "in the late phase of booting Linux".
+    pub fn boot_from_pci(
+        pci: &PciConfigSpace,
+        topology: Topology,
+        costs: KernelCosts,
+    ) -> Result<Self, tint_hw::pci::PciError> {
+        Ok(Self::new(derive_mapping(pci)?, topology, costs))
+    }
+
+    /// The address mapping in force.
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    /// The machine topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Allocation-path counters.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// The buddy allocator (inspection).
+    pub fn buddy(&self) -> &BuddyAllocator {
+        &self.buddy
+    }
+
+    /// The color matrix (inspection).
+    pub fn color_lists(&self) -> &ColorMatrix {
+        &self.colors
+    }
+
+    /// An address space (inspection).
+    pub fn vm(&self, id: VmId) -> &AddressSpace {
+        &self.vms[id.0]
+    }
+
+    /// Simulate pre-existing system activity: permanently consume `pages`
+    /// order-0 pages from the buddy allocator. Gives the "10 repetitions"
+    /// of the paper's experiments distinct physical layouts per seed.
+    pub fn consume_boot_noise(&mut self, pages: u64) {
+        for _ in 0..pages {
+            let _ = self.buddy.alloc(0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tasks
+    // ------------------------------------------------------------------
+
+    /// Create a task pinned to `core` with a fresh address space (a new
+    /// process / OpenMP group leader).
+    pub fn create_task(&mut self, core: CoreId) -> Tid {
+        assert!(core.index() < self.topology.core_count(), "no such core");
+        let vm = VmId(self.vms.len());
+        self.vms.push(AddressSpace::new());
+        let tid = Tid(self.next_tid);
+        self.next_tid += 1;
+        self.tasks.insert(tid, TaskStruct::new(tid, core, vm));
+        tid
+    }
+
+    /// Create a thread pinned to `core` sharing `leader`'s address space
+    /// (CLONE_VM) — the OpenMP team model. Colors remain per-thread in the
+    /// TCB, so the *first-touching* thread's colors place each page.
+    pub fn create_thread(&mut self, core: CoreId, leader: Tid) -> Result<Tid, Errno> {
+        assert!(core.index() < self.topology.core_count(), "no such core");
+        let vm = self.task(leader)?.vm;
+        let tid = Tid(self.next_tid);
+        self.next_tid += 1;
+        self.tasks.insert(tid, TaskStruct::new(tid, core, vm));
+        Ok(tid)
+    }
+
+    /// Immutable task access.
+    pub fn task(&self, tid: Tid) -> Result<&TaskStruct, Errno> {
+        self.tasks.get(&tid).ok_or(Errno::Esrch)
+    }
+
+    /// Mutable task access.
+    pub fn task_mut(&mut self, tid: Tid) -> Result<&mut TaskStruct, Errno> {
+        self.tasks.get_mut(&tid).ok_or(Errno::Esrch)
+    }
+
+    /// Set the base policy used when no colors are active.
+    pub fn set_policy(&mut self, tid: Tid, policy: HeapPolicy) -> Result<(), Errno> {
+        self.task_mut(tid)?.policy = policy;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // System calls
+    // ------------------------------------------------------------------
+
+    /// The `mmap()` system call. Color protocol (zero length + bit 30 in
+    /// `prot`) or ordinary anonymous mapping of `length` bytes.
+    pub fn sys_mmap(
+        &mut self,
+        tid: Tid,
+        addr_arg: u64,
+        length: u64,
+        prot: u64,
+    ) -> Result<VirtAddr, Errno> {
+        if length == 0 {
+            if prot & COLOR_ALLOC == 0 {
+                return Err(Errno::Einval);
+            }
+            let op = self.decode_color_op(addr_arg)?;
+            self.task_mut(tid)?.apply(op);
+            return Ok(VirtAddr(0));
+        }
+        let pages = length.div_ceil(PAGE_SIZE);
+        let vm = self.task(tid)?.vm;
+        Ok(self.vms[vm.0].map_region(pages))
+    }
+
+    /// The `munmap()` system call: unmap a region and return its frames to
+    /// the allocator — colored pages to their color lists (the paper:
+    /// "calls to free heap space ... add pages to the corresponding colored
+    /// free lists"), legacy pages to the buddy allocator.
+    pub fn sys_munmap(&mut self, tid: Tid, base: VirtAddr, length: u64) -> Result<(), Errno> {
+        let pages = length.div_ceil(PAGE_SIZE);
+        let task = self.tasks.get(&tid).ok_or(Errno::Esrch)?;
+        let colored = task.coloring_active();
+        let vm = task.vm;
+        let frames = self.vms[vm.0].unmap_region(base, pages)?;
+        for f in frames {
+            if colored {
+                self.colors.push(f);
+            } else {
+                self.buddy.free(f, 0);
+            }
+        }
+        Ok(())
+    }
+
+    fn decode_color_op(&self, addr_arg: u64) -> Result<ColorOp, Errno> {
+        let mode = addr_arg & !COLOR_MASK;
+        let color = addr_arg & COLOR_MASK;
+        match mode {
+            SET_MEM_COLOR => {
+                if (color as usize) < self.mapping.bank_color_count() {
+                    Ok(ColorOp::SetMemColor(BankColor(color as u16)))
+                } else {
+                    Err(Errno::Einval)
+                }
+            }
+            SET_LLC_COLOR => {
+                if (color as usize) < self.mapping.llc_color_count() {
+                    Ok(ColorOp::SetLlcColor(LlcColor(color as u16)))
+                } else {
+                    Err(Errno::Einval)
+                }
+            }
+            CLEAR_MEM_COLOR => Ok(ColorOp::ClearMemColors),
+            CLEAR_LLC_COLOR => Ok(ColorOp::ClearLlcColors),
+            _ => Err(Errno::Einval),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Page faults and translation
+    // ------------------------------------------------------------------
+
+    /// Translate `addr` for `tid`, taking a page fault (and allocating a
+    /// frame under the task's policy) on first touch.
+    pub fn translate(&mut self, tid: Tid, addr: VirtAddr) -> Result<Translation, Errno> {
+        let task = self.tasks.get(&tid).ok_or(Errno::Esrch)?;
+        if let Some(phys) = self.vms[task.vm.0].translate(addr) {
+            return Ok(Translation {
+                phys,
+                fault_cycles: 0,
+            });
+        }
+        let out = self.page_fault(tid, addr.page())?;
+        Ok(Translation {
+            phys: out.frame.at(addr.page_offset()),
+            fault_cycles: out.cycles,
+        })
+    }
+
+    /// Handle a page fault at `page` for `tid`: allocate a frame under the
+    /// faulting task's policy (Algorithm 1 for colored tasks) and install it
+    /// into the task's — possibly shared — address space.
+    pub fn page_fault(&mut self, tid: Tid, page: PageNumber) -> Result<AllocOutcome, Errno> {
+        let task = self.tasks.get_mut(&tid).ok_or(Errno::Esrch)?;
+        let vm = task.vm;
+        if self.vms[vm.0].vma_of(page).is_none() {
+            return Err(Errno::Efault);
+        }
+        let out = Self::alloc_pages(
+            &self.mapping,
+            &self.topology,
+            &mut self.buddy,
+            &mut self.colors,
+            &mut self.stats,
+            &self.costs,
+            task,
+            0,
+        )?;
+        self.vms[vm.0]
+            .install(page, out.frame)
+            .expect("vma checked above");
+        self.stats.page_faults += 1;
+        self.stats.fault_cycles += out.cycles;
+        Ok(out)
+    }
+
+    /// Allocate a raw `2^order`-page block for `tid` (no page-table
+    /// involvement). Exposes Algorithm 1's order gate: order-0 requests from
+    /// colored tasks go through the color lists; **orders greater than zero
+    /// always default to the standard buddy allocator** ("return page from
+    /// normal_buddy_alloc"), exactly as the paper restricts TintMalloc to
+    /// order-zero requests (§III.C).
+    pub fn alloc_pages_raw(&mut self, tid: Tid, order: u32) -> Result<AllocOutcome, Errno> {
+        assert!(order <= MAX_ORDER, "order beyond MAX_ORDER");
+        let task = self.tasks.get_mut(&tid).ok_or(Errno::Esrch)?;
+        Self::alloc_pages(
+            &self.mapping,
+            &self.topology,
+            &mut self.buddy,
+            &mut self.colors,
+            &mut self.stats,
+            &self.costs,
+            task,
+            order,
+        )
+    }
+
+    /// Free a block obtained from [`Kernel::alloc_pages_raw`].
+    pub fn free_pages_raw(&mut self, frame: FrameNumber, order: u32) {
+        self.buddy.free(frame, order);
+    }
+
+    /// Dynamic recoloring: migrate every resident page of `tid`'s address
+    /// space whose frame violates the task's *current* color constraints to
+    /// a conforming frame (an extension of the paper's design, where colors
+    /// are fixed at initialization). Old frames return to their color lists;
+    /// the caller is charged `page_copy` plus the usual Algorithm-1 cost per
+    /// migrated page.
+    ///
+    /// Returns `(pages_migrated, cycles_charged)`. On color exhaustion the
+    /// migration stops early with `ENOMEM`; already-migrated pages keep
+    /// their new frames (partial migration, like an interrupted kernel
+    /// compaction pass).
+    pub fn recolor_task(&mut self, tid: Tid) -> Result<(u64, u64), Errno> {
+        self.recolor(tid, None)
+    }
+
+    /// Range-scoped recoloring (like `migrate_pages`/`mbind` on a range):
+    /// migrate only the resident pages of `[base, base + len)` — the right
+    /// tool inside a CLONE_VM team, where whole-space recoloring would drag
+    /// teammates' pages onto the caller's colors.
+    pub fn recolor_range(
+        &mut self,
+        tid: Tid,
+        base: VirtAddr,
+        len: u64,
+    ) -> Result<(u64, u64), Errno> {
+        self.recolor(tid, Some((base.page(), len.div_ceil(PAGE_SIZE))))
+    }
+
+    fn recolor(
+        &mut self,
+        tid: Tid,
+        range: Option<(PageNumber, u64)>,
+    ) -> Result<(u64, u64), Errno> {
+        let task = self.tasks.get(&tid).ok_or(Errno::Esrch)?;
+        if !task.coloring_active() {
+            return Ok((0, 0));
+        }
+        let vm = task.vm;
+        // Collect the violating pages first (cannot mutate while iterating).
+        let violating: Vec<(PageNumber, FrameNumber)> = self.vms[vm.0]
+            .resident()
+            .filter(|&(p, _)| {
+                range.is_none_or(|(start, pages)| p.0 >= start.0 && p.0 < start.0 + pages)
+            })
+            .filter(|&(_, f)| !Self::frame_matches(&self.mapping, task, f))
+            .collect();
+        let mut cycles = 0u64;
+        let mut migrated = 0u64;
+        for (page, old) in violating {
+            let task = self.tasks.get_mut(&tid).expect("checked above");
+            let out = Self::alloc_pages(
+                &self.mapping,
+                &self.topology,
+                &mut self.buddy,
+                &mut self.colors,
+                &mut self.stats,
+                &self.costs,
+                task,
+                0,
+            );
+            let out = match out {
+                Ok(o) => o,
+                Err(e) => {
+                    self.stats.pages_migrated += migrated;
+                    self.stats.fault_cycles += cycles;
+                    return Err(e);
+                }
+            };
+            self.vms[vm.0].remap(page, out.frame);
+            self.colors.push(old);
+            cycles += out.cycles + self.costs.page_copy;
+            migrated += 1;
+        }
+        self.stats.pages_migrated += migrated;
+        self.stats.fault_cycles += cycles;
+        Ok((migrated, cycles))
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 1
+    // ------------------------------------------------------------------
+
+    /// Colored page selection (paper Algorithm 1) plus the legacy and
+    /// first-touch fallbacks. Associated function to allow split borrows.
+    #[allow(clippy::too_many_arguments)]
+    fn alloc_pages(
+        mapping: &AddressMapping,
+        topology: &Topology,
+        buddy: &mut BuddyAllocator,
+        colors: &mut ColorMatrix,
+        stats: &mut KernelStats,
+        costs: &KernelCosts,
+        task: &mut TaskStruct,
+        order: u32,
+    ) -> Result<AllocOutcome, Errno> {
+        if order == 0 && task.coloring_active() {
+            return Self::colored_alloc(mapping, topology, buddy, colors, stats, costs, task);
+        }
+        if order == 0 && task.policy == HeapPolicy::FirstTouch {
+            return Self::first_touch_alloc(mapping, topology, buddy, colors, stats, costs, task);
+        }
+        if order == 0 {
+            // Legacy buddy path ("return page from normal_buddy_alloc"),
+            // with Linux's per-CPU page batching: a refill reserves a run of
+            // contiguous frames so each task's faults stream sequentially.
+            if task.pcp.is_empty() {
+                Self::refill_pcp(buddy, task, |_| true);
+            }
+            let frame = task.pcp.pop_front().ok_or(Errno::Enomem)?;
+            stats.legacy_allocs += 1;
+            return Ok(AllocOutcome {
+                frame,
+                cycles: costs.page_fault,
+            });
+        }
+        let frame = buddy.alloc(order).ok_or(Errno::Enomem)?;
+        stats.legacy_allocs += 1 << order;
+        Ok(AllocOutcome {
+            frame,
+            cycles: costs.page_fault,
+        })
+    }
+
+    /// Linux pcp batch size (order-0 pages reserved per refill).
+    const PCP_BATCH: u64 = 32;
+
+    /// Refill a task's pcp list with up to [`Self::PCP_BATCH`] *contiguous*
+    /// frames starting at the lowest free frame satisfying `pred`.
+    fn refill_pcp<P: Fn(FrameNumber) -> bool>(
+        buddy: &mut BuddyAllocator,
+        task: &mut TaskStruct,
+        pred: P,
+    ) {
+        let Some(start) = buddy.lowest_free_matching(&pred) else {
+            return;
+        };
+        for i in 0..Self::PCP_BATCH {
+            let f = FrameNumber(start.0 + i);
+            if f.0 >= buddy.frame_count() || !pred(f) || !buddy.alloc_specific(f) {
+                break;
+            }
+            task.pcp.push_back(f);
+        }
+    }
+
+    /// Try to pop a page matching the task's flags/colors, rotating the
+    /// task's cursors on success so pages spread across its color set.
+    ///
+    /// When only the LLC is colored, banks are unconstrained — but a stock
+    /// Linux kernel would still serve the fault from the local node's zone,
+    /// so the bank rotation prefers the faulting task's local bank colors
+    /// before spilling to remote ones.
+    fn try_pop_colored(
+        mapping: &AddressMapping,
+        topology: &Topology,
+        colors: &mut ColorMatrix,
+        task: &mut TaskStruct,
+    ) -> Option<FrameNumber> {
+        if task.using_bank && task.using_llc {
+            // Rotate the *bank* cursor every allocation (LLC cursor on
+            // wrap-around): consecutive pages land on different banks, so a
+            // thread's own streams never chase each other on one bank.
+            let m = task.mem_colors().len();
+            let l = task.llc_colors().len();
+            for i in 0..m {
+                let bc = task.mem_colors()[(task.mem_cursor + i) % m];
+                for j in 0..l {
+                    let llc = task.llc_colors()[(task.llc_cursor + j) % l];
+                    if let Some(f) = colors.pop(bc, llc) {
+                        task.mem_cursor = (task.mem_cursor + 1) % m;
+                        if task.mem_cursor == 0 {
+                            task.llc_cursor = (task.llc_cursor + 1) % l;
+                        }
+                        return Some(f);
+                    }
+                }
+            }
+            None
+        } else if task.using_bank {
+            let m = task.mem_colors().len();
+            for i in 0..m {
+                let bc = task.mem_colors()[(task.mem_cursor + i) % m];
+                if let Some((f, _)) = colors.pop_bank(bc, task.llc_cursor) {
+                    task.mem_cursor = (task.mem_cursor + 1) % m;
+                    task.llc_cursor = task.llc_cursor.wrapping_add(1);
+                    return Some(f);
+                }
+            }
+            None
+        } else {
+            // LLC-only coloring: the caller drives two stages — local banks
+            // only (zone-local preference), then any bank (remote spill).
+            Self::try_pop_llc_only(mapping, topology, colors, task, true)
+                .or_else(|| Self::try_pop_llc_only(mapping, topology, colors, task, false))
+        }
+    }
+
+    /// LLC-only pop restricted to the local node's banks (`local_only`) or
+    /// to any bank. Rotates the task's cursors on success.
+    fn try_pop_llc_only(
+        mapping: &AddressMapping,
+        topology: &Topology,
+        colors: &mut ColorMatrix,
+        task: &mut TaskStruct,
+        local_only: bool,
+    ) -> Option<FrameNumber> {
+        let l = task.llc_colors().len();
+        let node = topology.node_of_core(task.core);
+        let cpn = mapping.bank_colors_per_node();
+        let lo = node.index() * cpn;
+        let banks = mapping.bank_color_count();
+        for j in 0..l {
+            let llc = task.llc_colors()[(task.llc_cursor + j) % l];
+            let mut found = None;
+            if local_only {
+                for i in 0..cpn {
+                    let bc = BankColor((lo + (task.mem_cursor + i) % cpn) as u16);
+                    if let Some(f) = colors.pop(bc, llc) {
+                        found = Some(f);
+                        break;
+                    }
+                }
+            } else {
+                for b in 0..banks {
+                    if b >= lo && b < lo + cpn {
+                        continue;
+                    }
+                    if let Some(f) = colors.pop(BankColor(b as u16), llc) {
+                        found = Some(f);
+                        break;
+                    }
+                }
+            }
+            if let Some(f) = found {
+                task.llc_cursor = (task.llc_cursor + 1) % l;
+                task.mem_cursor = task.mem_cursor.wrapping_add(1);
+                return Some(f);
+            }
+        }
+        None
+    }
+
+    /// Does a frame satisfy the task's color requirements?
+    fn frame_matches(mapping: &AddressMapping, task: &TaskStruct, f: FrameNumber) -> bool {
+        let d = mapping.decode_frame(f);
+        (!task.using_bank || task.mem_colors().contains(&d.bank_color))
+            && (!task.using_llc || task.llc_colors().contains(&d.llc_color))
+    }
+
+    /// Find a free buddy block (lowest order, lowest address) containing at
+    /// least one frame satisfying `pred`. Also returns how many blocks were
+    /// examined, which the caller charges to the faulting task.
+    fn find_matching_block<P: Fn(FrameNumber) -> bool>(
+        buddy: &BuddyAllocator,
+        pred: P,
+    ) -> (u64, Option<(u32, FrameNumber)>) {
+        let mut scanned = 0u64;
+        for order in 0..=MAX_ORDER {
+            for start in buddy.blocks(order) {
+                scanned += 1;
+                let n = 1u64 << order;
+                if (0..n).any(|i| pred(FrameNumber(start.0 + i))) {
+                    return (scanned, Some((order, start)));
+                }
+            }
+        }
+        (scanned, None)
+    }
+
+    fn colored_alloc(
+        mapping: &AddressMapping,
+        topology: &Topology,
+        buddy: &mut BuddyAllocator,
+        colors: &mut ColorMatrix,
+        stats: &mut KernelStats,
+        costs: &KernelCosts,
+        task: &mut TaskStruct,
+    ) -> Result<AllocOutcome, Errno> {
+        let mut extra = 0u64;
+        let llc_only = task.using_llc && !task.using_bank;
+        // Stage 1 (LLC-only coloring): local-node pages, replenishing from
+        // buddy blocks that contain a *local* frame of a wanted color —
+        // zone-local free-list traversal — before any remote spill.
+        if llc_only {
+            let node = topology.node_of_core(task.core);
+            loop {
+                if let Some(frame) = Self::try_pop_llc_only(mapping, topology, colors, task, true)
+                {
+                    stats.colored_allocs += 1;
+                    return Ok(AllocOutcome {
+                        frame,
+                        cycles: costs.page_fault + extra,
+                    });
+                }
+                let (scanned, found) = Self::find_matching_block(buddy, |f| {
+                    let d = mapping.decode_frame(f);
+                    d.node == node && Self::frame_matches(mapping, task, f)
+                });
+                extra += costs.block_scan * scanned;
+                match found {
+                    Some((order, start)) => {
+                        buddy.take_block(order, start);
+                        let moved = colors.create_color_list(order, start);
+                        stats.create_color_list_calls += 1;
+                        stats.pages_moved += moved;
+                        extra += costs.per_page_move * moved;
+                    }
+                    None => break, // local supply exhausted: fall through
+                }
+            }
+        }
+        // Stage 2: the general path (for bank-colored tasks this is the only
+        // stage; for LLC-only tasks it is the remote spill).
+        loop {
+            let popped = if llc_only {
+                Self::try_pop_llc_only(mapping, topology, colors, task, false)
+            } else {
+                Self::try_pop_colored(mapping, topology, colors, task)
+            };
+            if let Some(frame) = popped {
+                stats.colored_allocs += 1;
+                return Ok(AllocOutcome {
+                    frame,
+                    cycles: costs.page_fault + extra,
+                });
+            }
+            let (scanned, found) =
+                Self::find_matching_block(buddy, |f| Self::frame_matches(mapping, task, f));
+            extra += costs.block_scan * scanned;
+            match found {
+                Some((order, start)) => {
+                    buddy.take_block(order, start);
+                    let moved = colors.create_color_list(order, start);
+                    stats.create_color_list_calls += 1;
+                    stats.pages_moved += moved;
+                    extra += costs.per_page_move * moved;
+                }
+                None => {
+                    stats.color_enomem += 1;
+                    return Err(Errno::Enomem);
+                }
+            }
+        }
+    }
+
+    /// The NUMA-aware buddy behaviour of a stock Linux kernel: serve the
+    /// fault from the *lowest free frame on the faulting task's local node*
+    /// (zone-list preference), falling back to any free frame when the node
+    /// is exhausted. Bursts of faults therefore receive contiguous local
+    /// frames — preserving row-buffer locality but sharing banks and LLC
+    /// colors freely between tasks, exactly the baseline the paper beats.
+    fn first_touch_alloc(
+        mapping: &AddressMapping,
+        topology: &Topology,
+        buddy: &mut BuddyAllocator,
+        _colors: &mut ColorMatrix,
+        stats: &mut KernelStats,
+        costs: &KernelCosts,
+        task: &mut TaskStruct,
+    ) -> Result<AllocOutcome, Errno> {
+        let node = topology.node_of_core(task.core);
+        if task.pcp.is_empty() {
+            Self::refill_pcp(buddy, task, |f| mapping.decode_frame(f).node == node);
+        }
+        if let Some(frame) = task.pcp.pop_front() {
+            stats.firsttouch_allocs += 1;
+            return Ok(AllocOutcome {
+                frame,
+                cycles: costs.page_fault,
+            });
+        }
+        // Local node exhausted: fall back to any free page (remote).
+        let frame = buddy.alloc(0).ok_or(Errno::Enomem)?;
+        stats.fallback_allocs += 1;
+        Ok(AllocOutcome {
+            frame,
+            cycles: costs.page_fault,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> Kernel {
+        Kernel::new(
+            AddressMapping::tiny(),
+            Topology::new(2, 1, 2),
+            KernelCosts::default(),
+        )
+    }
+
+    fn colored_task(k: &mut Kernel, core: usize, bank: u16, llc: u16) -> Tid {
+        let tid = k.create_task(CoreId(core));
+        k.sys_mmap(tid, SET_MEM_COLOR | bank as u64, 0, COLOR_ALLOC).unwrap();
+        k.sys_mmap(tid, SET_LLC_COLOR | llc as u64, 0, COLOR_ALLOC).unwrap();
+        tid
+    }
+
+    #[test]
+    fn boot_from_pci_matches_direct() {
+        let map = AddressMapping::tiny();
+        let pci = PciConfigSpace::programmed_by_bios(&map);
+        let k = Kernel::boot_from_pci(&pci, Topology::new(2, 1, 2), KernelCosts::default())
+            .expect("boot");
+        assert_eq!(k.mapping(), &map);
+    }
+
+    #[test]
+    fn color_protocol_sets_tcb() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        let r = k.sys_mmap(tid, SET_LLC_COLOR | 2, 0, COLOR_ALLOC).unwrap();
+        assert_eq!(r, VirtAddr(0));
+        let t = k.task(tid).unwrap();
+        assert!(t.using_llc && !t.using_bank);
+        assert_eq!(t.llc_colors(), &[LlcColor(2)]);
+    }
+
+    #[test]
+    fn zero_length_without_flag_is_einval() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        assert_eq!(k.sys_mmap(tid, 0, 0, 0), Err(Errno::Einval));
+    }
+
+    #[test]
+    fn out_of_range_color_is_einval() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        assert_eq!(
+            k.sys_mmap(tid, SET_LLC_COLOR | 99, 0, COLOR_ALLOC),
+            Err(Errno::Einval)
+        );
+        assert_eq!(
+            k.sys_mmap(tid, SET_MEM_COLOR | 99, 0, COLOR_ALLOC),
+            Err(Errno::Einval)
+        );
+        assert_eq!(k.sys_mmap(tid, 7 << 60, 0, COLOR_ALLOC), Err(Errno::Einval));
+    }
+
+    #[test]
+    fn unknown_task_is_esrch() {
+        let mut k = kernel();
+        assert_eq!(k.sys_mmap(Tid(99), 0, 4096, 0), Err(Errno::Esrch));
+    }
+
+    #[test]
+    fn legacy_fault_uses_buddy() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        let base = k.sys_mmap(tid, 0, 4096 * 3, 0).unwrap();
+        let t = k.translate(tid, base).unwrap();
+        assert!(t.fault_cycles > 0, "first touch faults");
+        let again = k.translate(tid, base.offset(8)).unwrap();
+        assert_eq!(again.fault_cycles, 0, "second touch is mapped");
+        assert_eq!(again.phys.0, t.phys.0 + 8);
+        assert_eq!(k.stats().legacy_allocs, 1);
+        assert_eq!(k.stats().page_faults, 1);
+    }
+
+    #[test]
+    fn colored_fault_returns_matching_colors() {
+        let mut k = kernel();
+        let tid = colored_task(&mut k, 0, 1, 2);
+        let base = k.sys_mmap(tid, 0, 4096 * 8, 0).unwrap();
+        for p in 0..8u64 {
+            let t = k.translate(tid, base.offset(p * 4096)).unwrap();
+            let d = k.mapping().decode_frame(t.phys.frame());
+            assert_eq!(d.bank_color, BankColor(1), "page {p}");
+            assert_eq!(d.llc_color, LlcColor(2), "page {p}");
+        }
+        assert_eq!(k.stats().colored_allocs, 8);
+        assert!(k.stats().create_color_list_calls >= 1);
+    }
+
+    #[test]
+    fn multi_color_task_rotates_colors() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        k.sys_mmap(tid, SET_MEM_COLOR, 0, COLOR_ALLOC).unwrap();
+        k.sys_mmap(tid, SET_LLC_COLOR, 0, COLOR_ALLOC).unwrap();
+        k.sys_mmap(tid, SET_LLC_COLOR | 1, 0, COLOR_ALLOC).unwrap();
+        let base = k.sys_mmap(tid, 0, 4096 * 8, 0).unwrap();
+        let mut seen = [0u32; 2];
+        for p in 0..8u64 {
+            let t = k.translate(tid, base.offset(p * 4096)).unwrap();
+            let d = k.mapping().decode_frame(t.phys.frame());
+            assert_eq!(d.bank_color, BankColor(0));
+            seen[d.llc_color.index()] += 1;
+        }
+        assert_eq!(seen, [4, 4], "pages spread evenly across owned LLC colors");
+    }
+
+    #[test]
+    fn llc_only_coloring_ignores_banks() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        k.sys_mmap(tid, SET_LLC_COLOR | 3, 0, COLOR_ALLOC).unwrap();
+        let base = k.sys_mmap(tid, 0, 4096 * 4, 0).unwrap();
+        let mut banks_seen = std::collections::HashSet::new();
+        for p in 0..4u64 {
+            let t = k.translate(tid, base.offset(p * 4096)).unwrap();
+            let d = k.mapping().decode_frame(t.phys.frame());
+            assert_eq!(d.llc_color, LlcColor(3));
+            banks_seen.insert(d.bank_color);
+        }
+        assert!(banks_seen.len() > 1, "bank colors rotate when uncolored");
+    }
+
+    #[test]
+    fn first_touch_prefers_local_node() {
+        let mut k = kernel();
+        // Core 1 is on node 1 in the 2×1×2 topology.
+        let tid = k.create_task(CoreId(3));
+        k.set_policy(tid, HeapPolicy::FirstTouch).unwrap();
+        let base = k.sys_mmap(tid, 0, 4096 * 6, 0).unwrap();
+        for p in 0..6u64 {
+            let t = k.translate(tid, base.offset(p * 4096)).unwrap();
+            let d = k.mapping().decode_frame(t.phys.frame());
+            assert_eq!(d.node.index(), 1, "page {p} must be node-local");
+        }
+        assert_eq!(k.stats().firsttouch_allocs, 6);
+        assert_eq!(k.stats().fallback_allocs, 0);
+    }
+
+    #[test]
+    fn first_touch_burst_gets_contiguous_frames() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        k.set_policy(tid, HeapPolicy::FirstTouch).unwrap();
+        let base = k.sys_mmap(tid, 0, 4096 * 4, 0).unwrap();
+        let frames: Vec<_> = (0..4u64)
+            .map(|p| k.translate(tid, base.offset(p * 4096)).unwrap().phys.frame().0)
+            .collect();
+        for w in frames.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "burst faults receive contiguous frames");
+        }
+    }
+
+    #[test]
+    fn first_touch_falls_back_remote_when_node_full() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0)); // node 0
+        k.set_policy(tid, HeapPolicy::FirstTouch).unwrap();
+        // Node 0 owns half the tiny machine's frames.
+        let node0_frames = k.mapping().frame_count() / 2;
+        let base = k.sys_mmap(tid, 0, 4096 * (node0_frames + 1), 0).unwrap();
+        for p in 0..node0_frames {
+            k.translate(tid, base.offset(p * 4096)).unwrap();
+        }
+        assert_eq!(k.stats().fallback_allocs, 0);
+        let t = k.translate(tid, base.offset(node0_frames * 4096)).unwrap();
+        assert_eq!(
+            k.mapping().decode_frame(t.phys.frame()).node.index(),
+            1,
+            "spill lands on the remote node"
+        );
+        assert_eq!(k.stats().fallback_allocs, 1);
+    }
+
+    #[test]
+    fn colored_enomem_when_color_exhausted() {
+        let mut k = kernel();
+        let tid = colored_task(&mut k, 0, 0, 0);
+        // tiny mapping: 2^10 rows → 1024 pages of combo (0,0).
+        let total = k.mapping().frames_per_color_pair();
+        let base = k.sys_mmap(tid, 0, 4096 * (total + 1), 0).unwrap();
+        for p in 0..total {
+            k.translate(tid, base.offset(p * 4096)).unwrap();
+        }
+        let r = k.translate(tid, base.offset(total * 4096));
+        assert_eq!(r, Err(Errno::Enomem), "paper: error when color exhausted");
+        assert_eq!(k.stats().color_enomem, 1);
+    }
+
+    #[test]
+    fn munmap_colored_pages_return_to_color_lists() {
+        let mut k = kernel();
+        let tid = colored_task(&mut k, 0, 2, 1);
+        let base = k.sys_mmap(tid, 0, 4096 * 4, 0).unwrap();
+        for p in 0..4u64 {
+            k.translate(tid, base.offset(p * 4096)).unwrap();
+        }
+        let before = k.color_lists().len(BankColor(2), LlcColor(1));
+        k.sys_munmap(tid, base, 4096 * 4).unwrap();
+        let after = k.color_lists().len(BankColor(2), LlcColor(1));
+        assert_eq!(after, before + 4);
+        // And they are reusable: next faults pop them again.
+        let base2 = k.sys_mmap(tid, 0, 4096 * 4, 0).unwrap();
+        for p in 0..4u64 {
+            let t = k.translate(tid, base2.offset(p * 4096)).unwrap();
+            assert_eq!(
+                k.mapping().decode_frame(t.phys.frame()).bank_color,
+                BankColor(2)
+            );
+        }
+    }
+
+    #[test]
+    fn munmap_legacy_pages_return_to_buddy() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        let free0 = k.buddy().free_pages();
+        let base = k.sys_mmap(tid, 0, 4096 * 4, 0).unwrap();
+        for p in 0..4u64 {
+            k.translate(tid, base.offset(p * 4096)).unwrap();
+        }
+        // One pcp batch was reserved; 4 of its pages are installed.
+        assert_eq!(k.buddy().free_pages(), free0 - 32);
+        k.sys_munmap(tid, base, 4096 * 4).unwrap();
+        assert_eq!(k.buddy().free_pages(), free0 - 32 + 4);
+    }
+
+    #[test]
+    fn unmapped_access_is_efault() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        assert_eq!(k.translate(tid, VirtAddr(0xdead_0000)), Err(Errno::Efault));
+    }
+
+    #[test]
+    fn first_colored_alloc_charges_population_cost() {
+        let mut k = kernel();
+        let tid = colored_task(&mut k, 0, 0, 0);
+        let base = k.sys_mmap(tid, 0, 4096 * 2, 0).unwrap();
+        let t1 = k.translate(tid, base).unwrap();
+        let t2 = k.translate(tid, base.offset(4096)).unwrap();
+        assert!(
+            t1.fault_cycles > t2.fault_cycles,
+            "first request pays the color-list population cost (§III.C)"
+        );
+    }
+
+    #[test]
+    fn threads_share_address_space() {
+        let mut k = kernel();
+        let leader = k.create_task(CoreId(0));
+        let worker = k.create_thread(CoreId(2), leader).unwrap();
+        let base = k.sys_mmap(leader, 0, 4096 * 2, 0).unwrap();
+        // The worker can touch the leader's mapping...
+        let t = k.translate(worker, base).unwrap();
+        assert!(t.fault_cycles > 0);
+        // ...and the leader then sees the same frame without faulting.
+        let t2 = k.translate(leader, base).unwrap();
+        assert_eq!(t2.fault_cycles, 0);
+        assert_eq!(t2.phys, t.phys);
+    }
+
+    #[test]
+    fn first_toucher_colors_decide_placement() {
+        let mut k = kernel();
+        let leader = k.create_task(CoreId(0));
+        let worker = k.create_thread(CoreId(2), leader).unwrap();
+        // Worker owns color (3, 1); leader is uncolored.
+        k.sys_mmap(worker, SET_MEM_COLOR | 3, 0, COLOR_ALLOC).unwrap();
+        k.sys_mmap(worker, SET_LLC_COLOR | 1, 0, COLOR_ALLOC).unwrap();
+        let base = k.sys_mmap(leader, 0, 4096, 0).unwrap();
+        let t = k.translate(worker, base).unwrap();
+        let d = k.mapping().decode_frame(t.phys.frame());
+        assert_eq!(d.bank_color, BankColor(3), "worker's colors placed the page");
+        assert_eq!(d.llc_color, LlcColor(1));
+    }
+
+    #[test]
+    fn create_thread_for_unknown_leader_fails() {
+        let mut k = kernel();
+        assert_eq!(k.create_thread(CoreId(0), Tid(77)), Err(Errno::Esrch));
+    }
+
+    #[test]
+    fn recolor_migrates_violating_pages_only() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        // Touch 6 pages uncolored: frames scattered across colors.
+        let base = k.sys_mmap(tid, 0, 4096 * 6, 0).unwrap();
+        for p in 0..6u64 {
+            k.translate(tid, base.offset(p * 4096)).unwrap();
+        }
+        // Now adopt colors and recolor.
+        k.sys_mmap(tid, SET_MEM_COLOR | 1, 0, COLOR_ALLOC).unwrap();
+        k.sys_mmap(tid, SET_LLC_COLOR | 2, 0, COLOR_ALLOC).unwrap();
+        let (migrated, cycles) = k.recolor_task(tid).unwrap();
+        assert!(migrated >= 5, "most scattered pages violated (got {migrated})");
+        assert!(cycles >= migrated * 800, "page_copy charged per page");
+        // Every page now conforms, and translation is intact.
+        for p in 0..6u64 {
+            let tr = k.translate(tid, base.offset(p * 4096)).unwrap();
+            assert_eq!(tr.fault_cycles, 0, "no re-fault after migration");
+            let d = k.mapping().decode_frame(tr.phys.frame());
+            assert_eq!(d.bank_color, BankColor(1));
+            assert_eq!(d.llc_color, LlcColor(2));
+        }
+        assert_eq!(k.stats().pages_migrated, migrated);
+        // A second pass is a no-op.
+        assert_eq!(k.recolor_task(tid).unwrap().0, 0);
+        k.color_lists().check_invariants();
+    }
+
+    #[test]
+    fn recolor_uncolored_task_is_noop() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        let base = k.sys_mmap(tid, 0, 4096, 0).unwrap();
+        k.translate(tid, base).unwrap();
+        assert_eq!(k.recolor_task(tid).unwrap(), (0, 0));
+    }
+
+    #[test]
+    fn recolor_stops_with_enomem_when_color_exhausted() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        let per_pair = k.mapping().frames_per_color_pair();
+        // Touch more pages than one color pair can hold, uncolored.
+        let base = k.sys_mmap(tid, 0, 4096 * (per_pair + 16), 0).unwrap();
+        for p in 0..per_pair + 16 {
+            k.translate(tid, base.offset(p * 4096)).unwrap();
+        }
+        k.sys_mmap(tid, SET_MEM_COLOR, 0, COLOR_ALLOC).unwrap();
+        k.sys_mmap(tid, SET_LLC_COLOR, 0, COLOR_ALLOC).unwrap();
+        let r = k.recolor_task(tid);
+        assert_eq!(r, Err(Errno::Enomem), "partial migration reports ENOMEM");
+        assert!(k.stats().pages_migrated > 0, "some pages did move");
+        // Address space still fully translated (old frames kept where the
+        // migration stopped).
+        for p in 0..per_pair + 16 {
+            assert_eq!(
+                k.translate(tid, base.offset(p * 4096)).unwrap().fault_cycles,
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn order_gt_zero_defaults_to_buddy_even_when_colored() {
+        // Algorithm 1 lines 27–28: only order-0 requests are colored.
+        let mut k = kernel();
+        let tid = colored_task(&mut k, 0, 1, 2);
+        let out = k.alloc_pages_raw(tid, 3).unwrap();
+        assert_eq!(out.frame.0 % 8, 0, "aligned buddy block");
+        // The block's pages span multiple colors: it did NOT come from the
+        // color lists.
+        let colors: std::collections::HashSet<_> = (0..8)
+            .map(|i| k.mapping().decode_frame(FrameNumber(out.frame.0 + i)).bank_color)
+            .collect();
+        assert!(colors.len() > 1, "multi-color block ⇒ normal_buddy_alloc path");
+        assert_eq!(k.stats().colored_allocs, 0);
+        k.free_pages_raw(out.frame, 3);
+        k.buddy().check_invariants();
+    }
+
+    #[test]
+    fn order_zero_raw_respects_colors() {
+        let mut k = kernel();
+        let tid = colored_task(&mut k, 1, 2, 3);
+        let out = k.alloc_pages_raw(tid, 0).unwrap();
+        let d = k.mapping().decode_frame(out.frame);
+        assert_eq!(d.bank_color, BankColor(2));
+        assert_eq!(d.llc_color, LlcColor(3));
+        assert_eq!(k.stats().colored_allocs, 1);
+    }
+
+    #[test]
+    fn boot_noise_shifts_legacy_allocation() {
+        let mut k1 = kernel();
+        let mut k2 = kernel();
+        k2.consume_boot_noise(17);
+        let t1 = k1.create_task(CoreId(0));
+        let t2 = k2.create_task(CoreId(0));
+        let b1 = k1.sys_mmap(t1, 0, 4096, 0).unwrap();
+        let b2 = k2.sys_mmap(t2, 0, 4096, 0).unwrap();
+        let p1 = k1.translate(t1, b1).unwrap().phys;
+        let p2 = k2.translate(t2, b2).unwrap().phys;
+        assert_ne!(p1.frame(), p2.frame());
+    }
+}

@@ -1,0 +1,63 @@
+//! # tint-kernel — simulated OS memory management
+//!
+//! TintMalloc is implemented *inside the Linux kernel* (paper §III): it
+//! modifies `mmap()`, the task control block, and `alloc_pages`. This crate
+//! reproduces that machinery against the simulated physical memory of
+//! [`tint_hw`]:
+//!
+//! * [`buddy`] — the legacy Linux **buddy allocator** (order-indexed free
+//!   lists with split and coalesce), the baseline TintMalloc falls back to
+//!   and competes against (§III.C);
+//! * [`colorlist`] — the `color_list[MEM_ID][cache_ID]` matrix and
+//!   **Algorithm 2** (`create_color_list`): moving a buddy block into the
+//!   per-color page lists;
+//! * [`task`] — the TCB (`task_struct`) with per-task color sets and the
+//!   `using_bank` / `using_llc` flags;
+//! * [`vm`] — per-task virtual address spaces: VMAs, page tables, and
+//!   demand (first-touch) paging;
+//! * [`kernel`] — the [`kernel::Kernel`] facade: the `mmap()` system call
+//!   with the paper's zero-length/bit-30 color-setting protocol (§III.B),
+//!   and **Algorithm 1** (colored page selection) wired into the page-fault
+//!   path.
+//!
+//! The crate is purely about *which frame* a task gets and *what the kernel
+//! charges for it*; timing of subsequent accesses to those frames is the
+//! business of `tint-mem`.
+//!
+//! ```
+//! use tint_hw::addrmap::AddressMapping;
+//! use tint_hw::topology::Topology;
+//! use tint_hw::types::{BankColor, CoreId, LlcColor};
+//! use tint_kernel::kernel::{COLOR_ALLOC, SET_LLC_COLOR, SET_MEM_COLOR};
+//! use tint_kernel::{Kernel, KernelCosts};
+//!
+//! let mut k = Kernel::new(AddressMapping::tiny(), Topology::new(2, 1, 2), KernelCosts::default());
+//! let t = k.create_task(CoreId(0));
+//! // The paper's color protocol: zero-length mmap with bit 30 set.
+//! k.sys_mmap(t, SET_MEM_COLOR | 1, 0, COLOR_ALLOC).unwrap();
+//! k.sys_mmap(t, SET_LLC_COLOR | 2, 0, COLOR_ALLOC).unwrap();
+//! // An ordinary mapping then faults colored frames on first touch.
+//! let base = k.sys_mmap(t, 0, 4096, 0).unwrap();
+//! let tr = k.translate(t, base).unwrap();
+//! let d = k.mapping().decode_frame(tr.phys.frame());
+//! assert_eq!(d.bank_color, BankColor(1));
+//! assert_eq!(d.llc_color, LlcColor(2));
+//! ```
+
+pub mod buddy;
+pub mod colorlist;
+pub mod errno;
+pub mod kernel;
+pub mod task;
+pub mod vm;
+
+pub use buddy::BuddyAllocator;
+pub use colorlist::ColorMatrix;
+pub use errno::Errno;
+pub use kernel::{AllocOutcome, Kernel, KernelCosts, KernelStats};
+pub use task::{ColorOp, HeapPolicy, TaskStruct, Tid};
+pub use vm::AddressSpace;
+
+/// Largest buddy order (blocks of `2^MAX_ORDER` pages = 8 MiB), mirroring
+/// Linux's historical `MAX_ORDER` of 11.
+pub const MAX_ORDER: u32 = 11;

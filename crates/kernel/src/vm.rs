@@ -1,0 +1,218 @@
+//! Per-task virtual memory: VMAs, a page table, and demand paging.
+//!
+//! `mmap()` only creates a *virtual memory area*; physical frames are bound
+//! lazily, on first touch, by the page-fault path — which is exactly where
+//! TintMalloc's colored `alloc_pages` (Algorithm 1) plugs in. The address
+//! space here is a map from virtual page numbers to frames plus a sorted
+//! list of mapped regions.
+
+use crate::errno::Errno;
+use std::collections::HashMap;
+use tint_hw::types::{FrameNumber, PageNumber, PhysAddr, VirtAddr, PAGE_SHIFT};
+
+/// Base of the simulated mmap arena (like Linux's mmap_base, just fixed).
+pub const MMAP_BASE: u64 = 0x7000_0000_0000;
+
+/// One mapped region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vma {
+    /// First page of the region.
+    pub start: PageNumber,
+    /// Length in pages.
+    pub pages: u64,
+}
+
+impl Vma {
+    /// Does the region contain `page`?
+    #[inline]
+    pub fn contains(&self, page: PageNumber) -> bool {
+        page.0 >= self.start.0 && page.0 < self.start.0 + self.pages
+    }
+}
+
+/// A task's address space.
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    vmas: Vec<Vma>,
+    table: HashMap<u64, FrameNumber>,
+    next_base: u64,
+}
+
+impl AddressSpace {
+    /// Empty address space.
+    pub fn new() -> Self {
+        Self {
+            vmas: Vec::new(),
+            table: HashMap::new(),
+            next_base: MMAP_BASE >> PAGE_SHIFT,
+        }
+    }
+
+    /// Create a new VMA of `pages` pages; returns its base address.
+    /// (A bump allocator over a huge virtual range — regions are never
+    /// reused, matching how short-lived simulations use mmap.)
+    pub fn map_region(&mut self, pages: u64) -> VirtAddr {
+        assert!(pages > 0, "zero-length VMAs are the color protocol's job");
+        let start = PageNumber(self.next_base);
+        self.next_base += pages;
+        self.vmas.push(Vma { start, pages });
+        start.base()
+    }
+
+    /// The VMA containing `page`, if any.
+    pub fn vma_of(&self, page: PageNumber) -> Option<&Vma> {
+        self.vmas.iter().find(|v| v.contains(page))
+    }
+
+    /// Is `addr` inside some VMA (mapped, though possibly not yet backed)?
+    pub fn is_mapped(&self, addr: VirtAddr) -> bool {
+        self.vma_of(addr.page()).is_some()
+    }
+
+    /// Translate without faulting: the frame backing `page`, if present.
+    pub fn lookup(&self, page: PageNumber) -> Option<FrameNumber> {
+        self.table.get(&page.0).copied()
+    }
+
+    /// Translate a full address without faulting.
+    pub fn translate(&self, addr: VirtAddr) -> Option<PhysAddr> {
+        self.lookup(addr.page()).map(|f| f.at(addr.page_offset()))
+    }
+
+    /// Install a frame for `page`. Returns `Err(Efault)` if the page is not
+    /// covered by any VMA, panics on double-install (kernel bug).
+    pub fn install(&mut self, page: PageNumber, frame: FrameNumber) -> Result<(), Errno> {
+        if self.vma_of(page).is_none() {
+            return Err(Errno::Efault);
+        }
+        let prev = self.table.insert(page.0, frame);
+        assert!(prev.is_none(), "double page-fault install at {page:?}");
+        Ok(())
+    }
+
+    /// Replace the frame backing an already-resident page (page migration).
+    /// Panics if the page is not resident — migration only moves what exists.
+    pub fn remap(&mut self, page: PageNumber, frame: FrameNumber) {
+        let prev = self.table.insert(page.0, frame);
+        assert!(prev.is_some(), "remap of a non-resident page {page:?}");
+    }
+
+    /// Remove the region starting exactly at `base` spanning `pages`,
+    /// returning every frame that was backing it (for the kernel to free).
+    pub fn unmap_region(&mut self, base: VirtAddr, pages: u64) -> Result<Vec<FrameNumber>, Errno> {
+        let start = base.page();
+        let pos = self
+            .vmas
+            .iter()
+            .position(|v| v.start == start && v.pages == pages)
+            .ok_or(Errno::Einval)?;
+        self.vmas.remove(pos);
+        let mut frames = Vec::new();
+        for p in start.0..start.0 + pages {
+            if let Some(f) = self.table.remove(&p) {
+                frames.push(f);
+            }
+        }
+        Ok(frames)
+    }
+
+    /// Number of resident (backed) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of live VMAs.
+    pub fn vma_count(&self) -> usize {
+        self.vmas.len()
+    }
+
+    /// Iterate over resident (page, frame) pairs in unspecified order.
+    pub fn resident(&self) -> impl Iterator<Item = (PageNumber, FrameNumber)> + '_ {
+        self.table.iter().map(|(&p, &f)| (PageNumber(p), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_region_returns_page_aligned_disjoint_bases() {
+        let mut a = AddressSpace::new();
+        let r1 = a.map_region(4);
+        let r2 = a.map_region(2);
+        assert_eq!(r1.page_offset(), 0);
+        assert_eq!(r2.0, r1.0 + 4 * 4096);
+        assert_eq!(a.vma_count(), 2);
+    }
+
+    #[test]
+    fn translate_unbacked_is_none_but_mapped() {
+        let mut a = AddressSpace::new();
+        let base = a.map_region(1);
+        assert!(a.is_mapped(base));
+        assert_eq!(a.translate(base), None, "no frame until first touch");
+    }
+
+    #[test]
+    fn install_then_translate() {
+        let mut a = AddressSpace::new();
+        let base = a.map_region(2);
+        a.install(base.page(), FrameNumber(7)).unwrap();
+        let t = a.translate(base.offset(12)).unwrap();
+        assert_eq!(t, FrameNumber(7).at(12));
+        assert_eq!(a.resident_pages(), 1);
+    }
+
+    #[test]
+    fn install_outside_vma_is_efault() {
+        let mut a = AddressSpace::new();
+        assert_eq!(
+            a.install(PageNumber(999), FrameNumber(0)),
+            Err(Errno::Efault)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "double page-fault install")]
+    fn double_install_panics() {
+        let mut a = AddressSpace::new();
+        let base = a.map_region(1);
+        a.install(base.page(), FrameNumber(1)).unwrap();
+        a.install(base.page(), FrameNumber(2)).unwrap();
+    }
+
+    #[test]
+    fn unmap_returns_backed_frames_only() {
+        let mut a = AddressSpace::new();
+        let base = a.map_region(3);
+        a.install(base.page(), FrameNumber(10)).unwrap();
+        a.install(PageNumber(base.page().0 + 2), FrameNumber(12)).unwrap();
+        let frames = a.unmap_region(base, 3).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert!(frames.contains(&FrameNumber(10)));
+        assert!(frames.contains(&FrameNumber(12)));
+        assert_eq!(a.vma_count(), 0);
+        assert!(!a.is_mapped(base));
+    }
+
+    #[test]
+    fn unmap_wrong_region_is_einval() {
+        let mut a = AddressSpace::new();
+        let base = a.map_region(3);
+        assert_eq!(a.unmap_region(base, 2), Err(Errno::Einval));
+        assert_eq!(a.unmap_region(base.offset(4096), 3), Err(Errno::Einval));
+    }
+
+    #[test]
+    fn vma_contains() {
+        let v = Vma {
+            start: PageNumber(10),
+            pages: 2,
+        };
+        assert!(!v.contains(PageNumber(9)));
+        assert!(v.contains(PageNumber(10)));
+        assert!(v.contains(PageNumber(11)));
+        assert!(!v.contains(PageNumber(12)));
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests for the simulated kernel: buddy structure, color-list
+//! consistency, and allocation correctness under random operation sequences.
+
+use proptest::prelude::*;
+use tint_hw::addrmap::AddressMapping;
+use tint_hw::topology::Topology;
+use tint_hw::types::{BankColor, CoreId, LlcColor, VirtAddr, PAGE_SIZE};
+use tint_kernel::kernel::{COLOR_ALLOC, SET_LLC_COLOR, SET_MEM_COLOR};
+use tint_kernel::{BuddyAllocator, Errno, HeapPolicy, Kernel, KernelCosts, MAX_ORDER};
+
+/// Random alloc/free traffic keeps every buddy invariant.
+#[derive(Debug, Clone)]
+enum BuddyOp {
+    Alloc(u32),
+    FreeNth(usize),
+    AllocSpecific(u64),
+}
+
+fn arb_buddy_ops() -> impl Strategy<Value = Vec<BuddyOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..=4).prop_map(BuddyOp::Alloc),
+            any::<usize>().prop_map(BuddyOp::FreeNth),
+            (0u64..512).prop_map(BuddyOp::AllocSpecific),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #[test]
+    fn buddy_invariants_under_random_traffic(ops in arb_buddy_ops()) {
+        let mut b = BuddyAllocator::new(512);
+        let mut live: Vec<(tint_hw::types::FrameNumber, u32)> = Vec::new();
+        let mut live_pages = 0u64;
+        for op in ops {
+            match op {
+                BuddyOp::Alloc(order) => {
+                    if let Some(f) = b.alloc(order) {
+                        live.push((f, order));
+                        live_pages += 1 << order;
+                    }
+                }
+                BuddyOp::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (f, order) = live.remove(n % live.len());
+                        b.free(f, order);
+                        live_pages -= 1 << order;
+                    }
+                }
+                BuddyOp::AllocSpecific(f) => {
+                    let f = tint_hw::types::FrameNumber(f);
+                    if b.alloc_specific(f) {
+                        live.push((f, 0));
+                        live_pages += 1;
+                    }
+                }
+            }
+            b.check_invariants();
+            prop_assert_eq!(b.free_pages() + live_pages, 512, "pages conserved");
+        }
+        // Freeing everything coalesces back to the initial state.
+        for (f, order) in live.drain(..) {
+            b.free(f, order);
+        }
+        b.check_invariants();
+        prop_assert_eq!(b.free_pages(), 512);
+        prop_assert_eq!(b.free_blocks(9.min(MAX_ORDER)), 1, "fully coalesced");
+    }
+
+    /// No two live allocations overlap.
+    #[test]
+    fn buddy_allocations_never_overlap(ops in arb_buddy_ops()) {
+        let mut b = BuddyAllocator::new(512);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                BuddyOp::Alloc(order) => {
+                    if let Some(f) = b.alloc(order) {
+                        live.push((f.0, f.0 + (1 << order)));
+                    }
+                }
+                BuddyOp::AllocSpecific(f) => {
+                    if b.alloc_specific(tint_hw::types::FrameNumber(f)) {
+                        live.push((f, f + 1));
+                    }
+                }
+                BuddyOp::FreeNth(_) => {} // keep everything live for overlap check
+            }
+        }
+        let mut sorted = live.clone();
+        sorted.sort();
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlap between {:?} and {:?}", w[0], w[1]);
+        }
+    }
+
+    /// Every page a colored task faults matches one of its colors, no page
+    /// is handed out twice, and ENOMEM only happens when the color is
+    /// genuinely exhausted.
+    #[test]
+    fn colored_pages_always_match_task_colors(
+        bank in 0u16..4,
+        llc in 0u16..4,
+        pages in 1u64..80,
+        seed_noise in 0u64..64,
+    ) {
+        let mut k = Kernel::new(
+            AddressMapping::tiny(),
+            Topology::new(2, 1, 2),
+            KernelCosts::default(),
+        );
+        k.consume_boot_noise(seed_noise);
+        let t = k.create_task(CoreId(0));
+        k.sys_mmap(t, SET_MEM_COLOR | bank as u64, 0, COLOR_ALLOC).unwrap();
+        k.sys_mmap(t, SET_LLC_COLOR | llc as u64, 0, COLOR_ALLOC).unwrap();
+        let base = k.sys_mmap(t, 0, pages * PAGE_SIZE, 0).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..pages {
+            let tr = k.translate(t, base.offset(p * PAGE_SIZE)).unwrap();
+            let d = k.mapping().decode_frame(tr.phys.frame());
+            prop_assert_eq!(d.bank_color, BankColor(bank));
+            prop_assert_eq!(d.llc_color, LlcColor(llc));
+            prop_assert!(seen.insert(tr.phys.frame()), "frame handed out twice");
+        }
+        k.color_lists().check_invariants();
+        k.buddy().check_invariants();
+    }
+
+    /// Translation is stable: once faulted, a page keeps its frame.
+    #[test]
+    fn translation_is_stable(pages in 1u64..40, probes in 1usize..30) {
+        let mut k = Kernel::new(
+            AddressMapping::tiny(),
+            Topology::new(2, 1, 2),
+            KernelCosts::default(),
+        );
+        let t = k.create_task(CoreId(1));
+        k.set_policy(t, HeapPolicy::FirstTouch).unwrap();
+        let base = k.sys_mmap(t, 0, pages * PAGE_SIZE, 0).unwrap();
+        let first: Vec<_> = (0..pages)
+            .map(|p| k.translate(t, base.offset(p * PAGE_SIZE)).unwrap().phys)
+            .collect();
+        for i in 0..probes {
+            let p = (i as u64 * 7) % pages;
+            let tr = k.translate(t, base.offset(p * PAGE_SIZE)).unwrap();
+            prop_assert_eq!(tr.phys, first[p as usize]);
+            prop_assert_eq!(tr.fault_cycles, 0, "no re-fault");
+        }
+    }
+
+    /// munmap then re-malloc recycles memory without leaking pages.
+    #[test]
+    fn alloc_free_cycles_conserve_pages(rounds in 1usize..8, pages in 1u64..32) {
+        let mut k = Kernel::new(
+            AddressMapping::tiny(),
+            Topology::new(2, 1, 2),
+            KernelCosts::default(),
+        );
+        let t = k.create_task(CoreId(0));
+        k.sys_mmap(t, SET_MEM_COLOR, 0, COLOR_ALLOC).unwrap();
+        let total = k.buddy().free_pages() + k.color_lists().pages();
+        for _ in 0..rounds {
+            let base = k.sys_mmap(t, 0, pages * PAGE_SIZE, 0).unwrap();
+            for p in 0..pages {
+                k.translate(t, base.offset(p * PAGE_SIZE)).unwrap();
+            }
+            k.sys_munmap(t, base, pages * PAGE_SIZE).unwrap();
+            prop_assert_eq!(
+                k.buddy().free_pages() + k.color_lists().pages(),
+                total,
+                "pages conserved across alloc/free cycles"
+            );
+        }
+    }
+
+    /// The mmap color protocol rejects malformed arguments without state
+    /// changes.
+    #[test]
+    fn malformed_color_ops_are_rejected(mode in 5u64..16, color in 0u64..1000) {
+        let mut k = Kernel::new(
+            AddressMapping::tiny(),
+            Topology::new(2, 1, 2),
+            KernelCosts::default(),
+        );
+        let t = k.create_task(CoreId(0));
+        let r = k.sys_mmap(t, (mode << 60) | color, 0, COLOR_ALLOC);
+        prop_assert_eq!(r, Err(Errno::Einval));
+        prop_assert!(!k.task(t).unwrap().coloring_active());
+        let _ = VirtAddr(0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # tint-mem — the composed memory system
+//!
+//! Glues the cache hierarchy ([`tint_cache`]), the NUMA interconnect, and
+//! the DRAM simulator ([`tint_dram`]) into a single entry point:
+//!
+//! ```text
+//! MemorySystem::access(core, phys_addr, rw, now) -> AccessResult
+//! ```
+//!
+//! An access walks L1 → L2 → L3; on an LLC miss it crosses the interconnect
+//! to the *home node* of the physical address (0, 1 or 2 extra hops — paper
+//! Fig. 1) and is served by that node's memory controller. The result carries
+//! a full latency breakdown (hierarchy / interconnect / DRAM) and per-core
+//! local-vs-remote counters, which is exactly the instrumentation the paper's
+//! narrative claims (1)–(2) need.
+
+//! ```
+//! use tint_hw::machine::MachineConfig;
+//! use tint_hw::types::{BankColor, CoreId, LlcColor, Rw};
+//! use tint_mem::MemorySystem;
+//!
+//! let m = MachineConfig::opteron_6128();
+//! let mut mem = MemorySystem::new(m.clone());
+//! let local = m.mapping.compose_frame(BankColor(0), LlcColor(0), 1).base();
+//! let remote = m.mapping.compose_frame(BankColor(96), LlcColor(0), 1).base();
+//! let r0 = mem.access(CoreId(0), local, Rw::Read, 0);
+//! let r2 = mem.access(CoreId(0), remote, Rw::Read, 100_000);
+//! assert!(r2.latency > r0.latency); // cross-socket hop penalty
+//! assert_eq!(r2.hops, 2);
+//! ```
+
+pub mod stats;
+pub mod system;
+
+pub use stats::{CoreMemStats, MemStats};
+pub use system::{AccessResult, MemorySystem};

@@ -1,0 +1,384 @@
+//! The conservative discrete-event SPMD scheduler.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tint_hw::types::{CoreId, Rw, VirtAddr};
+use tint_kernel::{Errno, Tid};
+use tintmalloc::System;
+
+/// A simulated thread: a kernel task pinned to a core plus a local clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimThread {
+    /// Kernel task id.
+    pub tid: Tid,
+    /// Core the thread is pinned to.
+    pub core: CoreId,
+    /// Local clock in cycles.
+    pub clock: u64,
+}
+
+impl SimThread {
+    /// Spawn an OpenMP-style team: the first core gets the group leader (a
+    /// fresh address space); the rest are threads sharing that space.
+    pub fn spawn_all(sys: &mut System, cores: &[CoreId]) -> Vec<SimThread> {
+        assert!(!cores.is_empty());
+        let leader = sys.spawn(cores[0]);
+        let mut team = vec![SimThread {
+            tid: leader,
+            core: cores[0],
+            clock: 0,
+        }];
+        for &core in &cores[1..] {
+            team.push(SimThread {
+                tid: sys
+                    .spawn_thread(core, leader)
+                    .expect("leader exists"),
+                core,
+                clock: 0,
+            });
+        }
+        team
+    }
+}
+
+/// One operation of a thread's instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Pure computation: advance the thread clock by `cycles`.
+    Compute(u64),
+    /// One memory reference.
+    Access {
+        /// Virtual address touched.
+        addr: VirtAddr,
+        /// Load or store.
+        rw: Rw,
+    },
+}
+
+/// A thread's work within one parallel (or serial) section, pulled
+/// operation-by-operation so huge traces never materialize.
+pub trait SectionBody {
+    /// The next operation, or `None` when the thread reaches the barrier.
+    fn next_op(&mut self) -> Option<Op>;
+}
+
+/// Blanket impl so closures/iterators can be used as bodies in tests.
+impl<I: Iterator<Item = Op>> SectionBody for I {
+    fn next_op(&mut self) -> Option<Op> {
+        self.next()
+    }
+}
+
+/// Run one parallel section: each thread executes its body to completion;
+/// the section ends at the implicit barrier. Returns each thread's end time
+/// (the engine caller computes idle per Algorithm 3).
+///
+/// Determinism: the runnable thread with the smallest clock executes its
+/// next operation; ties break by thread index.
+pub fn run_section(
+    sys: &mut System,
+    threads: &mut [SimThread],
+    bodies: &mut [Box<dyn SectionBody + '_>],
+    ops_budget: u64,
+) -> Result<Vec<u64>, Errno> {
+    assert_eq!(threads.len(), bodies.len(), "one body per thread");
+    let n = threads.len();
+    let mut end = vec![0u64; n];
+    // Min-heap of (clock, thread index).
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n)
+        .map(|i| Reverse((threads[i].clock, i)))
+        .collect();
+    let mut ops = 0u64;
+    while let Some(Reverse((clock, i))) = heap.pop() {
+        debug_assert_eq!(clock, threads[i].clock);
+        match bodies[i].next_op() {
+            Some(Op::Compute(c)) => {
+                threads[i].clock += c;
+                heap.push(Reverse((threads[i].clock, i)));
+            }
+            Some(Op::Access { addr, rw }) => {
+                let acc = sys.access(threads[i].tid, addr, rw, threads[i].clock)?;
+                threads[i].clock += acc.latency;
+                heap.push(Reverse((threads[i].clock, i)));
+            }
+            None => {
+                end[i] = threads[i].clock;
+            }
+        }
+        ops += 1;
+        assert!(
+            ops <= ops_budget,
+            "section exceeded its operation budget ({ops_budget}); runaway body?"
+        );
+    }
+    // The implicit barrier: every thread resumes at the latest end time.
+    let barrier = end.iter().copied().max().unwrap_or(0);
+    for t in threads.iter_mut() {
+        t.clock = barrier;
+    }
+    Ok(end)
+}
+
+/// Run a parallel section with **dynamic scheduling** (OpenMP
+/// `schedule(dynamic)`): `chunks` is a shared work queue; every thread pulls
+/// the next chunk when it finishes its current one, and the section ends
+/// when the queue drains and every thread reaches the barrier. Determinism:
+/// chunks are handed out in queue order to whichever thread asks first under
+/// the min-clock rule (ties by thread index).
+pub fn run_section_dynamic(
+    sys: &mut System,
+    threads: &mut [SimThread],
+    mut chunks: std::collections::VecDeque<Box<dyn SectionBody + '_>>,
+    ops_budget: u64,
+) -> Result<Vec<u64>, Errno> {
+    let n = threads.len();
+    let mut end = vec![0u64; n];
+    let mut current: Vec<Option<Box<dyn SectionBody + '_>>> = (0..n).map(|_| None).collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n)
+        .map(|i| Reverse((threads[i].clock, i)))
+        .collect();
+    let mut ops = 0u64;
+    while let Some(Reverse((_, i))) = heap.pop() {
+        // Ensure the thread has a chunk; pull the next one if needed.
+        if current[i].is_none() {
+            current[i] = chunks.pop_front();
+        }
+        let Some(body) = current[i].as_mut() else {
+            end[i] = threads[i].clock; // queue drained: this thread is done
+            continue;
+        };
+        match body.next_op() {
+            Some(Op::Compute(c)) => threads[i].clock += c,
+            Some(Op::Access { addr, rw }) => {
+                let acc = sys.access(threads[i].tid, addr, rw, threads[i].clock)?;
+                threads[i].clock += acc.latency;
+            }
+            None => {
+                current[i] = None; // chunk finished; try the queue next turn
+            }
+        }
+        heap.push(Reverse((threads[i].clock, i)));
+        ops += 1;
+        assert!(
+            ops <= ops_budget,
+            "dynamic section exceeded its operation budget ({ops_budget})"
+        );
+    }
+    let barrier = end.iter().copied().max().unwrap_or(0);
+    for t in threads.iter_mut() {
+        t.clock = barrier;
+    }
+    Ok(end)
+}
+
+/// Run a serial section on the master (index 0); the other threads simply
+/// wait (their clocks move to the master's end — serial time is excluded
+/// from idle accounting, as in the paper's Algorithm 3 instrumentation).
+pub fn run_serial(
+    sys: &mut System,
+    threads: &mut [SimThread],
+    body: &mut (dyn SectionBody + '_),
+    ops_budget: u64,
+) -> Result<u64, Errno> {
+    let master = &mut threads[0];
+    let mut ops = 0u64;
+    while let Some(op) = body.next_op() {
+        match op {
+            Op::Compute(c) => master.clock += c,
+            Op::Access { addr, rw } => {
+                let acc = sys.access(master.tid, addr, rw, master.clock)?;
+                master.clock += acc.latency;
+            }
+        }
+        ops += 1;
+        assert!(ops <= ops_budget, "serial section exceeded its budget");
+    }
+    let end = threads[0].clock;
+    for t in threads.iter_mut() {
+        t.clock = end;
+    }
+    Ok(end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tint_hw::machine::MachineConfig;
+
+    fn setup(n: usize) -> (System, Vec<SimThread>) {
+        let mut sys = System::boot(MachineConfig::tiny());
+        let cores: Vec<_> = (0..n).map(CoreId).collect();
+        let threads = SimThread::spawn_all(&mut sys, &cores);
+        (sys, threads)
+    }
+
+    fn compute_body(steps: u64, each: u64) -> Box<dyn SectionBody + 'static> {
+        Box::new((0..steps).map(move |_| Op::Compute(each)))
+    }
+
+    #[test]
+    fn pure_compute_section_ends_deterministically() {
+        let (mut sys, mut threads) = setup(2);
+        let mut bodies = vec![compute_body(10, 100), compute_body(5, 100)];
+        let end = run_section(&mut sys, &mut threads, &mut bodies, 1_000).unwrap();
+        assert_eq!(end, vec![1000, 500]);
+        // Barrier: both clocks jump to the max.
+        assert!(threads.iter().all(|t| t.clock == 1000));
+    }
+
+    #[test]
+    fn idle_is_max_minus_end() {
+        let (mut sys, mut threads) = setup(2);
+        let mut bodies = vec![compute_body(4, 100), compute_body(1, 100)];
+        let end = run_section(&mut sys, &mut threads, &mut bodies, 1_000).unwrap();
+        let max = *end.iter().max().unwrap();
+        let idle: Vec<u64> = end.iter().map(|e| max - e).collect();
+        assert_eq!(idle, vec![0, 300], "Algorithm 3");
+    }
+
+    #[test]
+    fn access_ops_advance_by_latency() {
+        let (mut sys, mut threads) = setup(1);
+        let t = threads[0].tid;
+        let a = sys.malloc(t, 4096).unwrap();
+        let mut bodies: Vec<Box<dyn SectionBody>> = vec![Box::new(
+            [
+                Op::Access { addr: a, rw: Rw::Write },
+                Op::Access { addr: a, rw: Rw::Read },
+            ]
+            .into_iter(),
+        )];
+        let end = run_section(&mut sys, &mut threads, &mut bodies, 100).unwrap();
+        assert!(end[0] > 0);
+        let st = sys.mem().stats().core(CoreId(0));
+        assert_eq!(st.accesses, 2);
+    }
+
+    #[test]
+    fn interleaving_is_clock_ordered() {
+        // A fast thread issues many cheap ops while a slow one issues few
+        // expensive ones; both make progress and end at their own times.
+        let (mut sys, mut threads) = setup(2);
+        let mut bodies = vec![compute_body(100, 1), compute_body(2, 500)];
+        let end = run_section(&mut sys, &mut threads, &mut bodies, 10_000).unwrap();
+        assert_eq!(end, vec![100, 1000]);
+    }
+
+    #[test]
+    fn serial_section_runs_on_master_only() {
+        let (mut sys, mut threads) = setup(2);
+        let mut body = (0..3).map(|_| Op::Compute(100));
+        let end = run_serial(&mut sys, &mut threads, &mut body, 100).unwrap();
+        assert_eq!(end, 300);
+        assert!(threads.iter().all(|t| t.clock == 300));
+    }
+
+    #[test]
+    fn sections_resume_from_barrier_time() {
+        let (mut sys, mut threads) = setup(2);
+        let mut b1 = vec![compute_body(1, 700), compute_body(1, 100)];
+        run_section(&mut sys, &mut threads, &mut b1, 100).unwrap();
+        let mut b2 = vec![compute_body(1, 50), compute_body(1, 50)];
+        let end = run_section(&mut sys, &mut threads, &mut b2, 100).unwrap();
+        assert_eq!(end, vec![750, 750]);
+    }
+
+    #[test]
+    #[should_panic(expected = "operation budget")]
+    fn runaway_body_trips_budget() {
+        let (mut sys, mut threads) = setup(1);
+        let mut bodies: Vec<Box<dyn SectionBody>> =
+            vec![Box::new(std::iter::repeat(Op::Compute(1)))];
+        let _ = run_section(&mut sys, &mut threads, &mut bodies, 10);
+    }
+
+    #[test]
+    fn empty_bodies_end_immediately() {
+        let (mut sys, mut threads) = setup(2);
+        let mut bodies: Vec<Box<dyn SectionBody>> = vec![
+            Box::new(std::iter::empty()),
+            Box::new(std::iter::empty()),
+        ];
+        let end = run_section(&mut sys, &mut threads, &mut bodies, 10).unwrap();
+        assert_eq!(end, vec![0, 0]);
+    }
+
+    #[test]
+    fn dynamic_scheduling_balances_imbalanced_chunks() {
+        // 8 chunks of very different sizes over 2 threads. Static pairing
+        // (0..4 vs 4..8) would idle one thread heavily; dynamic pulls from
+        // the queue and ends nearly balanced.
+        let sizes = [800u64, 100, 100, 100, 100, 100, 100, 100];
+        let mk = |s: u64| -> Box<dyn SectionBody + 'static> {
+            Box::new((0..s).map(|_| Op::Compute(1)))
+        };
+        let (mut sys, mut threads) = setup(2);
+        let chunks: std::collections::VecDeque<_> = sizes.iter().map(|&s| mk(s)).collect();
+        let end = run_section_dynamic(&mut sys, &mut threads, chunks, 100_000).unwrap();
+        let max = *end.iter().max().unwrap();
+        let min = *end.iter().min().unwrap();
+        // Thread 0 takes the 800-chunk; thread 1 drains the seven
+        // 100-chunks (700) in the meantime: 800 vs 700 — near-balanced,
+        // where a static 4+4 split would be 1100 vs 300.
+        assert_eq!(max, 800);
+        assert_eq!(min, 700);
+    }
+
+    #[test]
+    fn dynamic_with_fewer_chunks_than_threads() {
+        let (mut sys, mut threads) = setup(4);
+        let chunks: std::collections::VecDeque<Box<dyn SectionBody>> =
+            vec![compute_body(3, 10), compute_body(1, 10)]
+                .into_iter()
+                .collect();
+        let end = run_section_dynamic(&mut sys, &mut threads, chunks, 1000).unwrap();
+        assert_eq!(end.iter().filter(|&&e| e > 0).count(), 2, "2 threads worked");
+        assert!(threads.iter().all(|t| t.clock == 30), "barrier at max end");
+    }
+
+    #[test]
+    fn dynamic_empty_queue_ends_immediately() {
+        let (mut sys, mut threads) = setup(2);
+        let end = run_section_dynamic(
+            &mut sys,
+            &mut threads,
+            std::collections::VecDeque::new(),
+            10,
+        )
+        .unwrap();
+        assert_eq!(end, vec![0, 0]);
+    }
+
+    #[test]
+    fn dynamic_is_deterministic() {
+        let run = || {
+            let (mut sys, mut threads) = setup(3);
+            let chunks: std::collections::VecDeque<Box<dyn SectionBody>> = (0..9)
+                .map(|i| compute_body(i % 4 + 1, 50))
+                .collect();
+            run_section_dynamic(&mut sys, &mut threads, chunks, 10_000).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        let run = || {
+            let (mut sys, mut threads) = setup(4);
+            // Each thread writes its own array: contention at the controller.
+            let mut bodies: Vec<Box<dyn SectionBody>> = Vec::new();
+            let addrs: Vec<_> = threads
+                .iter()
+                .map(|t| sys.malloc(t.tid, 16 * 4096).unwrap())
+                .collect();
+            for a in addrs {
+                bodies.push(Box::new((0..64u64).map(move |i| Op::Access {
+                    addr: a.offset(i * 1024 % (16 * 4096)),
+                    rw: Rw::Write,
+                })));
+            }
+            run_section(&mut sys, &mut threads, &mut bodies, 100_000).unwrap()
+        };
+        assert_eq!(run(), run(), "bit-identical repeat runs");
+    }
+}

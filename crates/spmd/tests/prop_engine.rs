@@ -1,0 +1,97 @@
+//! Property tests for the SPMD engine: clock monotonicity, barrier algebra,
+//! and determinism under arbitrary compute workloads.
+
+use proptest::prelude::*;
+use tint_hw::machine::MachineConfig;
+use tint_hw::types::CoreId;
+use tint_spmd::{Op, Program, SectionBody, SimThread};
+use tintmalloc::System;
+
+fn arb_bodies(n_threads: usize) -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(
+        prop::collection::vec(1u64..500, 0..30),
+        n_threads..=n_threads,
+    )
+}
+
+fn run_program(work: &[Vec<u64>]) -> tint_spmd::RunMetrics {
+    let mut sys = System::boot(MachineConfig::tiny());
+    let cores: Vec<_> = (0..work.len()).map(|i| CoreId(i % 4)).collect();
+    let mut threads = SimThread::spawn_all(&mut sys, &cores);
+    let bodies: Vec<Box<dyn SectionBody>> = work
+        .iter()
+        .map(|w| {
+            Box::new(w.clone().into_iter().map(Op::Compute)) as Box<dyn SectionBody>
+        })
+        .collect();
+    Program::new()
+        .parallel(bodies)
+        .run(&mut sys, &mut threads)
+        .unwrap()
+}
+
+proptest! {
+    /// For pure-compute sections the engine is exact: each thread's busy
+    /// time equals the sum of its compute ops, the barrier is the max, and
+    /// idle is barrier − busy (Algorithm 3).
+    #[test]
+    fn compute_sections_are_exact(work in arb_bodies(4)) {
+        let m = run_program(&work);
+        let sums: Vec<u64> = work.iter().map(|w| w.iter().sum()).collect();
+        let barrier = *sums.iter().max().unwrap();
+        prop_assert_eq!(&m.thread_runtime, &sums);
+        for (idle, sum) in m.thread_idle.iter().zip(&sums) {
+            prop_assert_eq!(*idle, barrier - sum);
+        }
+        prop_assert_eq!(m.runtime, barrier);
+        prop_assert_eq!(m.total_idle(), sums.iter().map(|s| barrier - s).sum::<u64>());
+    }
+
+    /// Determinism: identical inputs give identical metrics.
+    #[test]
+    fn engine_is_deterministic(work in arb_bodies(3)) {
+        prop_assert_eq!(run_program(&work), run_program(&work));
+    }
+
+    /// Permuting section order across two parallel sections never changes
+    /// the total busy time of a thread (sections are independent barriers).
+    #[test]
+    fn two_sections_accumulate(work_a in arb_bodies(2), work_b in arb_bodies(2)) {
+        let mut sys = System::boot(MachineConfig::tiny());
+        let cores = vec![CoreId(0), CoreId(1)];
+        let mut threads = SimThread::spawn_all(&mut sys, &cores);
+        let mk = |w: &Vec<u64>| {
+            Box::new(w.clone().into_iter().map(Op::Compute)) as Box<dyn SectionBody>
+        };
+        let m = Program::new()
+            .parallel(work_a.iter().map(&mk).collect())
+            .parallel(work_b.iter().map(&mk).collect())
+            .run(&mut sys, &mut threads)
+            .unwrap();
+        for i in 0..2 {
+            let expect: u64 =
+                work_a[i].iter().sum::<u64>() + work_b[i].iter().sum::<u64>();
+            prop_assert_eq!(m.thread_runtime[i], expect);
+        }
+        prop_assert_eq!(m.parallel_sections, 2);
+        // Runtime = sum of the two barriers.
+        let b1 = work_a.iter().map(|w| w.iter().sum::<u64>()).max().unwrap();
+        let b2 = work_b.iter().map(|w| w.iter().sum::<u64>()).max().unwrap();
+        prop_assert_eq!(m.runtime, b1 + b2);
+    }
+
+    /// Serial sections only advance the master but move everyone's clock.
+    #[test]
+    fn serial_section_cost(serial in prop::collection::vec(1u64..200, 0..20)) {
+        let mut sys = System::boot(MachineConfig::tiny());
+        let cores = vec![CoreId(0), CoreId(1)];
+        let mut threads = SimThread::spawn_all(&mut sys, &cores);
+        let body = Box::new(serial.clone().into_iter().map(Op::Compute))
+            as Box<dyn SectionBody>;
+        let m = Program::new().serial(body).run(&mut sys, &mut threads).unwrap();
+        let total: u64 = serial.iter().sum();
+        prop_assert_eq!(m.serial_cycles, total);
+        prop_assert_eq!(m.runtime, total);
+        prop_assert_eq!(m.total_idle(), 0, "serial time is not idle time");
+    }
+}

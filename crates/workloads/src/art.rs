@@ -1,0 +1,108 @@
+//! SPEC/art emulator — Adaptive Resonance Theory neural network.
+//!
+//! Character (paper §V.B: "sped up significantly"): repeated scans over
+//! weight arrays — a medium working set with *high reuse*, which makes art
+//! sensitive to LLC interference (another thread evicting the weights
+//! between scans) on top of bank contention. Modeled as repeated full
+//! passes over a per-thread weight region with moderate compute.
+
+use crate::patterns::Seq;
+use crate::traits::{Scale, Workload};
+use tint_spmd::{Program, SectionBody, SimThread};
+use tintmalloc::System;
+
+/// The art emulator.
+#[derive(Debug, Clone)]
+pub struct Art {
+    /// Weight arrays per thread, bytes.
+    pub bytes_per_thread: u64,
+    /// Training epochs (parallel sections).
+    pub epochs: u32,
+    /// Scans per epoch.
+    pub scans_per_epoch: u32,
+    /// Compute cycles per access.
+    pub compute: u64,
+}
+
+impl Art {
+    /// Defaults at `scale`: 640 KiB/thread, 3 epochs × 2 scans.
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            // 640 KiB: larger than the private L2 (512 KiB) but inside a
+            // 2-LLC-color slice (768 KiB) — the LLC-sensitivity window.
+            bytes_per_thread: scale.bytes(640 << 10),
+            epochs: scale.count(3) as u32,
+            scans_per_epoch: 2,
+            compute: 8,
+        }
+    }
+}
+
+impl Workload for Art {
+    fn name(&self) -> &'static str {
+        "art"
+    }
+
+    fn build(
+        &self,
+        sys: &mut System,
+        threads: &[SimThread],
+        _seed: u64,
+    ) -> Result<Program<'static>, tint_kernel::Errno> {
+        let line = sys.machine().mapping.line_size();
+        let weights: Vec<_> = threads
+            .iter()
+            .map(|t| sys.malloc(t.tid, self.bytes_per_thread))
+            .collect::<Result<_, _>>()?;
+        let mut program = Program::new();
+        for _epoch in 0..self.epochs {
+            // Partition-remainder imbalance, as in the other benchmarks.
+            let bodies: Vec<Box<dyn SectionBody>> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| {
+                    let len = self.bytes_per_thread - (i as u64 % 4) * (self.bytes_per_thread / 128);
+                    Box::new(Seq::new(
+                        w,
+                        len.max(line),
+                        line,
+                        self.scans_per_epoch,
+                        self.compute,
+                        4,
+                    )) as Box<dyn SectionBody>
+                })
+                .collect();
+            program = program.parallel(bodies);
+        }
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tint_hw::machine::MachineConfig;
+    use tint_hw::types::CoreId;
+
+    #[test]
+    fn reuse_hits_cache_on_later_scans() {
+        let mut sys = System::boot(MachineConfig::tiny());
+        let mut threads = SimThread::spawn_all(&mut sys, &[CoreId(0)]);
+        // Region small enough to fit the tiny L2/L3.
+        let w = Art {
+            bytes_per_thread: 8 * 4096,
+            epochs: 1,
+            scans_per_epoch: 3,
+            compute: 0,
+        };
+        let p = w.build(&mut sys, &threads, 0).unwrap();
+        p.run(&mut sys, &mut threads).unwrap();
+        let st = sys.mem().stats().core(CoreId(0));
+        assert!(
+            st.cache_resolved > st.dram_total(),
+            "scans 2..3 mostly hit the caches ({} cache vs {} dram)",
+            st.cache_resolved,
+            st.dram_total()
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Parsec/blackscholes emulator — option pricing.
+//!
+//! The paper's weakest case: *"blackscholes has the least performance
+//! improvement ... it reads a large amount of input data and is less
+//! memory intensive. Furthermore, the large fraction of the master
+//! thread's runtime prevents further performance enhancements since the
+//! master thread suffers from more restrictive memory allocation due to
+//! coloring."* (§V.B; best case is MEM+LLC(part) at just 3.6 %.)
+//!
+//! Modeled as: a long *serial* input-parsing section on the master over a
+//! large master-owned buffer, then compute-dominated parallel sections with
+//! small private working sets. With full MEM+LLC coloring the master's big
+//! input scan is squeezed into its few private LLC colors (conflict
+//! misses); MEM+LLC(part) gives the master its group's larger LLC share.
+
+use crate::patterns::Seq;
+use crate::traits::{Scale, Workload};
+use tint_spmd::{Program, SectionBody, SimThread};
+use tintmalloc::System;
+
+/// The blackscholes emulator.
+#[derive(Debug, Clone)]
+pub struct Blackscholes {
+    /// Input option data (master-owned), bytes.
+    pub input_bytes: u64,
+    /// Private per-thread working set, bytes.
+    pub private_bytes: u64,
+    /// Pricing rounds (parallel sections).
+    pub rounds: u32,
+    /// Compute cycles per access in parallel sections (high: compute-bound).
+    pub compute: u64,
+    /// Serial input-scan passes.
+    pub input_passes: u32,
+}
+
+impl Blackscholes {
+    /// Defaults at `scale`: 16 MiB input (exceeds the 12 MiB LLC: the parse
+    /// misses under every policy, as the real benchmark's huge option file
+    /// does), 128 KiB/thread, 3 rounds.
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            input_bytes: scale.bytes(16 << 20),
+            private_bytes: scale.bytes(128 << 10),
+            rounds: scale.count(3) as u32,
+            compute: 40,
+            input_passes: 1,
+        }
+    }
+}
+
+impl Workload for Blackscholes {
+    fn name(&self) -> &'static str {
+        "blackscholes"
+    }
+
+    fn build(
+        &self,
+        sys: &mut System,
+        threads: &[SimThread],
+        _seed: u64,
+    ) -> Result<Program<'static>, tint_kernel::Errno> {
+        let line = sys.machine().mapping.line_size();
+        let master = threads[0].tid;
+        // Input options are read from a file: page-cache pages, not colored
+        // heap (the parse itself is still timed in the serial section).
+        let input = sys.malloc_pagecache(master, self.input_bytes)?;
+        let privs: Vec<_> = threads
+            .iter()
+            .map(|t| sys.malloc(t.tid, self.private_bytes))
+            .collect::<Result<_, _>>()?;
+
+        // Serial section: the master parses the input (first touch included:
+        // the scan faults the pages — under restrictive coloring this is
+        // where the master pays).
+        let mut program = Program::new().serial(Box::new(Seq::new(
+            input,
+            self.input_bytes,
+            line,
+            self.input_passes,
+            2,
+            4,
+        )) as Box<dyn SectionBody>);
+
+        for _round in 0..self.rounds {
+            // The option list does not divide evenly: later threads get the
+            // remainder chunk (a real blackscholes imbalance), so a small
+            // idle floor exists under every allocator.
+            let bodies: Vec<Box<dyn SectionBody>> = privs
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    let len = self.private_bytes - (i as u64 % 4) * (self.private_bytes / 64);
+                    Box::new(Seq::new(p, len.max(line), line, 2, self.compute, 3))
+                        as Box<dyn SectionBody>
+                })
+                .collect();
+            program = program.parallel(bodies);
+        }
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tint_hw::machine::MachineConfig;
+    use tint_hw::types::CoreId;
+
+    #[test]
+    fn serial_fraction_is_large() {
+        let mut sys = System::boot(MachineConfig::tiny());
+        let mut threads = SimThread::spawn_all(&mut sys, &[CoreId(0), CoreId(1)]);
+        let w = Blackscholes {
+            input_bytes: 64 * 4096,
+            private_bytes: 4 * 4096,
+            rounds: 2,
+            compute: 40,
+            input_passes: 2,
+        };
+        let p = w.build(&mut sys, &threads, 0).unwrap();
+        let m = p.run(&mut sys, &mut threads).unwrap();
+        assert!(
+            m.serial_cycles * 4 > m.runtime,
+            "serial section is a large fraction ({} of {})",
+            m.serial_cycles,
+            m.runtime
+        );
+    }
+
+    #[test]
+    fn parallel_sections_are_compute_bound() {
+        let mut sys = System::boot(MachineConfig::tiny());
+        let mut threads = SimThread::spawn_all(&mut sys, &[CoreId(0)]);
+        let w = Blackscholes {
+            input_bytes: 16 * 4096,
+            private_bytes: 4 * 4096,
+            rounds: 1,
+            compute: 40,
+            input_passes: 1,
+        };
+        let p = w.build(&mut sys, &threads, 0).unwrap();
+        p.run(&mut sys, &mut threads).unwrap();
+        let st = sys.mem().stats().core(CoreId(0));
+        assert!(st.accesses > 0);
+    }
+}

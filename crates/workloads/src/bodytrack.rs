@@ -1,0 +1,128 @@
+//! Parsec/bodytrack emulator — particle-filter body tracking.
+//!
+//! Character (paper: "sped up significantly"): per-frame parallel phases
+//! where every worker reads a *shared read-only image* (master-loaded) and
+//! updates its private particle set; moderate memory intensity with real
+//! reuse of the particle state. Shared-image reads give remote traffic
+//! under every policy; the private particle state is what coloring
+//! localizes and isolates.
+
+use crate::patterns::{Interleave, RandomTaps, Seq};
+use crate::traits::{Scale, Workload};
+use tint_spmd::{Program, SectionBody, SimThread};
+use tintmalloc::System;
+
+/// The bodytrack emulator.
+#[derive(Debug, Clone)]
+pub struct Bodytrack {
+    /// Shared image data (master-owned), bytes.
+    pub image_bytes: u64,
+    /// Private particle state per thread, bytes.
+    pub particle_bytes: u64,
+    /// Frames processed (parallel sections).
+    pub frames: u32,
+    /// Image samples per thread per frame.
+    pub samples: u64,
+    /// Compute cycles per access.
+    pub compute: u64,
+}
+
+impl Bodytrack {
+    /// Defaults at `scale`: 2 MiB image, 256 KiB particles, 4 frames.
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            image_bytes: scale.bytes(2 << 20),
+            particle_bytes: scale.bytes(640 << 10),
+            frames: scale.count(4) as u32,
+            samples: scale.count(1024),
+            compute: 10,
+        }
+    }
+}
+
+impl Workload for Bodytrack {
+    fn name(&self) -> &'static str {
+        "bodytrack"
+    }
+
+    fn build(
+        &self,
+        sys: &mut System,
+        threads: &[SimThread],
+        seed: u64,
+    ) -> Result<Program<'static>, tint_kernel::Errno> {
+        let line = sys.machine().mapping.line_size();
+        let master = threads[0].tid;
+        // Frames are decoded from disk into page-cache pages (uncolored).
+        let image = sys.malloc_pagecache(master, self.image_bytes)?;
+        let particles: Vec<_> = threads
+            .iter()
+            .map(|t| sys.malloc(t.tid, self.particle_bytes))
+            .collect::<Result<_, _>>()?;
+
+        let mut program = Program::new();
+        for frame in 0..self.frames {
+            let bodies: Vec<Box<dyn SectionBody>> = particles
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    let sampling = RandomTaps::new(
+                        image,
+                        self.image_bytes,
+                        line,
+                        self.samples,
+                        self.compute,
+                        0,
+                        seed ^ ((i as u64) << 10) ^ ((frame as u64) << 30),
+                    );
+                    // Particle update: two passes (weigh, then resample); the
+                    // particle set does not divide evenly across threads.
+                    let len = self.particle_bytes - (i as u64 % 4) * (self.particle_bytes / 128);
+                    let update = Seq::new(p, len.max(line), line, 2, self.compute, 2);
+                    Box::new(Interleave::new(sampling, update)) as Box<dyn SectionBody>
+                })
+                .collect();
+            program = program.parallel(bodies);
+        }
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tint_hw::machine::MachineConfig;
+    use tint_hw::types::CoreId;
+
+    #[test]
+    fn builds_one_section_per_frame() {
+        let mut sys = System::boot(MachineConfig::tiny());
+        let threads = SimThread::spawn_all(&mut sys, &[CoreId(0), CoreId(1)]);
+        let w = Bodytrack {
+            image_bytes: 16 * 4096,
+            particle_bytes: 8 * 4096,
+            frames: 4,
+            samples: 50,
+            compute: 1,
+        };
+        let p = w.build(&mut sys, &threads, 0).unwrap();
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn particle_reuse_warms_cache() {
+        let mut sys = System::boot(MachineConfig::tiny());
+        let mut threads = SimThread::spawn_all(&mut sys, &[CoreId(0)]);
+        let w = Bodytrack {
+            image_bytes: 16 * 4096,
+            particle_bytes: 4 * 4096,
+            frames: 3,
+            samples: 10,
+            compute: 0,
+        };
+        let p = w.build(&mut sys, &threads, 0).unwrap();
+        p.run(&mut sys, &mut threads).unwrap();
+        let st = sys.mem().stats().core(CoreId(0));
+        assert!(st.cache_resolved > 0, "particle passes 2+ hit the caches");
+    }
+}

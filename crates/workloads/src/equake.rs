@@ -1,0 +1,137 @@
+//! SPEC/equake emulator — earthquake wave propagation (sparse FEM solver).
+//!
+//! Character: sparse matrix-vector products — irregular gathers from a
+//! *shared* vector (allocated by the master, so it lives on the master's
+//! node and is remote for most threads under every policy: the paper's
+//! "shared data regions ... can generally not be resolved" caveat) combined
+//! with sequential updates to private state. The paper singles equake out:
+//! its idle-time improvement is *smaller* than its runtime improvement
+//! (§V.B) — the shared-vector traffic keeps a floor of divergence that
+//! coloring cannot remove.
+
+use crate::patterns::{Interleave, RandomTaps, Seq};
+use crate::traits::{Scale, Workload};
+use tint_spmd::{Program, SectionBody, SimThread};
+use tintmalloc::System;
+
+/// The equake emulator.
+#[derive(Debug, Clone)]
+pub struct Equake {
+    /// Shared (master-owned) mesh vector, bytes.
+    pub shared_bytes: u64,
+    /// Private per-thread state, bytes.
+    pub private_bytes: u64,
+    /// Solver iterations (parallel sections).
+    pub iterations: u32,
+    /// Random gathers from the shared vector per thread per section.
+    pub gathers: u64,
+    /// Compute cycles per access.
+    pub compute: u64,
+}
+
+impl Equake {
+    /// Defaults at `scale`: 1 MiB shared, 640 KiB private, 3 iterations.
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            shared_bytes: scale.bytes(1 << 20),
+            private_bytes: scale.bytes(640 << 10),
+            iterations: scale.count(3) as u32,
+            gathers: scale.count(512),
+            compute: 6,
+        }
+    }
+}
+
+impl Workload for Equake {
+    fn name(&self) -> &'static str {
+        "equake"
+    }
+
+    fn build(
+        &self,
+        sys: &mut System,
+        threads: &[SimThread],
+        seed: u64,
+    ) -> Result<Program<'static>, tint_kernel::Errno> {
+        let line = sys.machine().mapping.line_size();
+        let master = threads[0].tid;
+        // The mesh geometry is parsed from the input file during serial
+        // init: page-cache pages, first-touched by the master (node-local to
+        // it, remote DRAM for everyone else — but LLC-cacheable by all).
+        let shared = sys.malloc_pagecache(master, self.shared_bytes)?;
+        let privs: Vec<_> = threads
+            .iter()
+            .map(|t| sys.malloc(t.tid, self.private_bytes))
+            .collect::<Result<_, _>>()?;
+
+        let mut program = Program::new();
+        for it in 0..self.iterations {
+            let bodies: Vec<Box<dyn SectionBody>> = privs
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    let taps = RandomTaps::new(
+                        shared,
+                        self.shared_bytes,
+                        line,
+                        self.gathers,
+                        self.compute,
+                        0, // gathers are reads
+                        seed ^ (i as u64) << 8 ^ (it as u64) << 24,
+                    );
+                    let len =
+                        self.private_bytes - (i as u64 % 4) * (self.private_bytes / 128);
+                    let update =
+                        Seq::new(p, len.max(line), line, 1, self.compute, 1 /* writes */);
+                    Box::new(Interleave::new(taps, update)) as Box<dyn SectionBody>
+                })
+                .collect();
+            program = program.parallel(bodies);
+        }
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tint_hw::machine::MachineConfig;
+    use tint_hw::types::CoreId;
+
+    #[test]
+    fn shared_vector_lives_on_master_node() {
+        let mut sys = System::boot(MachineConfig::tiny());
+        let mut threads = SimThread::spawn_all(&mut sys, &[CoreId(0), CoreId(2)]);
+        let w = Equake {
+            shared_bytes: 16 * 4096,
+            private_bytes: 8 * 4096,
+            iterations: 1,
+            gathers: 200,
+            compute: 0,
+        };
+        let p = w.build(&mut sys, &threads, 1).unwrap();
+        p.run(&mut sys, &mut threads).unwrap();
+        // Thread on core 2 (node 1) gathered from node-0 memory: remote.
+        let st = sys.mem().stats().core(CoreId(2));
+        assert!(st.dram_cross_socket + st.dram_same_socket > 0 || st.dram_total() == 0);
+    }
+
+    #[test]
+    fn seed_changes_gather_stream() {
+        let run = |seed| {
+            let mut sys = System::boot(MachineConfig::tiny());
+            let mut threads = SimThread::spawn_all(&mut sys, &[CoreId(0), CoreId(1)]);
+            let w = Equake {
+                shared_bytes: 16 * 4096,
+                private_bytes: 8 * 4096,
+                iterations: 1,
+                gathers: 100,
+                compute: 0,
+            };
+            let p = w.build(&mut sys, &threads, seed).unwrap();
+            p.run(&mut sys, &mut threads).unwrap().runtime
+        };
+        assert_eq!(run(5), run(5), "determinism");
+        assert_ne!(run(5), run(6), "seed sensitivity");
+    }
+}

@@ -1,0 +1,107 @@
+//! SPEC/lbm emulator — Lattice-Boltzmann fluid dynamics.
+//!
+//! The paper's biggest winner (up to 29.84 % runtime reduction at
+//! 16_threads_4_nodes). Its character (§V.B): a very large heap, streamed
+//! repeatedly (high memory intensity, full-grid reuse across timesteps),
+//! negligible inter-thread sharing, and a data partition that matches
+//! per-thread first touch. We model each thread sweeping its private grid
+//! partition once per timestep with a read-modify-write line walk and
+//! little compute per access.
+
+use crate::patterns::Seq;
+use crate::traits::{Scale, Workload};
+use tint_spmd::{Program, SectionBody, SimThread};
+use tintmalloc::System;
+
+/// The lbm emulator.
+#[derive(Debug, Clone)]
+pub struct Lbm {
+    /// Grid partition per thread, bytes.
+    pub bytes_per_thread: u64,
+    /// Timesteps (one parallel section each).
+    pub timesteps: u32,
+    /// Compute cycles per access (low: memory-bound).
+    pub compute: u64,
+}
+
+impl Lbm {
+    /// Paper-shaped defaults at `scale`: 896 KiB/thread × 3 timesteps.
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            bytes_per_thread: scale.bytes(896 << 10),
+            timesteps: scale.count(3) as u32,
+            compute: 4,
+        }
+    }
+}
+
+impl Workload for Lbm {
+    fn name(&self) -> &'static str {
+        "lbm"
+    }
+
+    fn build(
+        &self,
+        sys: &mut System,
+        threads: &[SimThread],
+        _seed: u64,
+    ) -> Result<Program<'static>, tint_kernel::Errno> {
+        let line = sys.machine().mapping.line_size();
+        let grids: Vec<_> = threads
+            .iter()
+            .map(|t| sys.malloc(t.tid, self.bytes_per_thread))
+            .collect::<Result<_, _>>()?;
+        let mut program = Program::new();
+        for _step in 0..self.timesteps {
+            // The grid does not divide evenly: later threads own slightly
+            // smaller partitions (the usual `omp for` remainder), so a small
+            // idle floor exists under every allocator.
+            let bodies: Vec<Box<dyn SectionBody>> = grids
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| {
+                    let len = self.bytes_per_thread - (i as u64 % 4) * (self.bytes_per_thread / 128);
+                    Box::new(Seq::new(g, len.max(line), line, 1, self.compute, 2))
+                        as Box<dyn SectionBody>
+                })
+                .collect();
+            program = program.parallel(bodies);
+        }
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tint_hw::machine::MachineConfig;
+    use tint_hw::types::CoreId;
+
+    #[test]
+    fn builds_one_section_per_timestep() {
+        let mut sys = System::boot(MachineConfig::tiny());
+        let threads = SimThread::spawn_all(&mut sys, &[CoreId(0), CoreId(1)]);
+        let w = Lbm {
+            bytes_per_thread: 16 * 4096,
+            timesteps: 3,
+            compute: 4,
+        };
+        let p = w.build(&mut sys, &threads, 0).unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn second_timestep_reuses_no_faults() {
+        let mut sys = System::boot(MachineConfig::tiny());
+        let mut threads = SimThread::spawn_all(&mut sys, &[CoreId(0)]);
+        let w = Lbm {
+            bytes_per_thread: 16 * 4096,
+            timesteps: 2,
+            compute: 0,
+        };
+        let p = w.build(&mut sys, &threads, 0).unwrap();
+        p.run(&mut sys, &mut threads).unwrap();
+        // Page faults = exactly the 16 pages, not 32.
+        assert_eq!(sys.kernel().stats().page_faults, 16);
+    }
+}

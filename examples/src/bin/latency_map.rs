@@ -1,0 +1,58 @@
+//! Latency map: measure the NUMA access-latency matrix of the simulated
+//! machine directly — every core against every memory node — plus the cache
+//! hit ladder. This is the machine characterization behind the paper's
+//! Fig. 1 narrative ("local ≪ 1 hop ≪ 2 hops").
+//!
+//! Run: `cargo run --release -p tint-examples --bin latency_map`
+
+use tint_hw::types::{BankColor, LlcColor};
+use tint_mem::MemorySystem;
+use tintmalloc::prelude::*;
+
+fn main() {
+    let machine = MachineConfig::opteron_6128();
+    let mut sys = MemorySystem::new(machine.clone());
+
+    println!(
+        "DRAM load latency (cycles @2 GHz, unloaded row miss), core × node:\n"
+    );
+    print!("{:<8}", "core");
+    for n in 0..machine.topology.node_count() {
+        print!("{:>8}", format!("node{n}"));
+    }
+    println!();
+    let mut clock = 0u64;
+    let mut row = 0u64;
+    for c in machine.topology.cores() {
+        print!("{:<8}", c.index());
+        for n in 0..machine.topology.node_count() {
+            // First bank color of node n, a fresh row for every probe.
+            let bc = BankColor((n * machine.mapping.bank_colors_per_node()) as u16);
+            let f = machine.mapping.compose_frame(bc, LlcColor(0), row % 1024);
+            row += 1;
+            clock += 100_000; // idle gap: no queueing between probes
+            let r = sys.access(c, f.base(), Rw::Read, clock);
+            print!("{:>8}", r.latency);
+        }
+        println!();
+    }
+
+    println!("\ncache hit ladder (core 0):");
+    let f = machine.mapping.compose_frame(BankColor(0), LlcColor(0), 900);
+    clock += 1_000_000;
+    let miss = sys.access(CoreId(0), f.base(), Rw::Read, clock);
+    let l1 = sys.access(CoreId(0), f.base(), Rw::Read, clock + miss.latency);
+    // Another core: private L1/L2 miss, shared L3 hit.
+    let l3 = sys.access(CoreId(1), f.base(), Rw::Read, clock + 2 * miss.latency);
+    println!("  DRAM (cold):     {:>5} cycles", miss.latency);
+    println!("  L1 (re-read):    {:>5} cycles", l1.latency);
+    println!("  L3 (other core): {:>5} cycles", l3.latency);
+
+    println!("\nnanoseconds at {} GHz:", machine.core_ghz);
+    println!(
+        "  local {:.0} ns, 1 hop {:.0} ns, 2 hops {:.0} ns",
+        machine.cycles_to_ns(miss.latency),
+        machine.cycles_to_ns(miss.latency + machine.interconnect.same_socket_extra),
+        machine.cycles_to_ns(miss.latency + machine.interconnect.cross_socket_extra),
+    );
+}

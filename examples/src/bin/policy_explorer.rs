@@ -1,0 +1,68 @@
+//! Policy explorer: sweep every coloring policy over a chosen benchmark and
+//! pinning configuration from the command line.
+//!
+//! Run: `cargo run --release -p tint-examples --bin policy_explorer -- \
+//!           [bench] [config]`
+//! where `bench` ∈ {lbm, art, equake, bodytrack, freqmine, blackscholes,
+//! synthetic} (default lbm) and `config` ∈ {16t4n, 8t4n, 8t2n, 4t4n, 4t1n}
+//! (default 16t4n).
+
+use tint_spmd::SimThread;
+use tint_workloads::traits::{all_benchmarks, Scale, Workload};
+use tint_workloads::{PinConfig, Synthetic};
+use tintmalloc::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = args.first().map(String::as_str).unwrap_or("lbm");
+    let config = match args.get(1).map(String::as_str).unwrap_or("16t4n") {
+        "16t4n" => PinConfig::T16N4,
+        "8t4n" => PinConfig::T8N4,
+        "8t2n" => PinConfig::T8N2,
+        "4t4n" => PinConfig::T4N4,
+        "4t1n" => PinConfig::T4N1,
+        other => panic!("unknown config {other}"),
+    };
+
+    let workloads = all_benchmarks(Scale(1.0));
+    let synthetic = Synthetic::new(Scale(1.0));
+    let w: &dyn Workload = if bench == "synthetic" {
+        &synthetic
+    } else {
+        workloads
+            .iter()
+            .map(|b| b.as_ref())
+            .find(|b| b.name() == bench)
+            .unwrap_or_else(|| panic!("unknown benchmark {bench}"))
+    };
+
+    println!("{bench} at {config} — all allocation policies\n");
+    println!(
+        "{:<16}{:>12}{:>10}{:>12}{:>9}{:>9}",
+        "policy", "runtime", "vs buddy", "total idle", "remote", "rowhit"
+    );
+    println!("{}", "-".repeat(68));
+
+    let mut buddy_runtime = None;
+    for scheme in ColorScheme::ALL {
+        let mut sys = System::boot(MachineConfig::opteron_6128());
+        let cores = config.cores();
+        let mut threads = SimThread::spawn_all(&mut sys, &cores);
+        for (t, p) in threads.iter().zip(&scheme.plan(sys.machine(), &cores)) {
+            sys.apply_colors(t.tid, p).unwrap();
+        }
+        let program = w.build(&mut sys, &threads, 1).unwrap();
+        let m = program.run(&mut sys, &mut threads).unwrap();
+        let base = *buddy_runtime.get_or_insert(m.runtime as f64);
+        println!(
+            "{:<16}{:>12}{:>10.3}{:>12}{:>9.3}{:>9.3}",
+            scheme.label(),
+            m.runtime,
+            m.runtime as f64 / base,
+            m.total_idle(),
+            sys.mem().stats().remote_fraction(),
+            sys.mem().dram().stats().hit_rate(),
+        );
+    }
+    println!("\n(ratio < 1.0 beats the stock Linux buddy allocator)");
+}

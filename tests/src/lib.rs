@@ -1,0 +1,28 @@
+//! # tint-integration — cross-crate integration tests
+//!
+//! The actual tests live in `tests/`; this library only hosts shared
+//! helpers for them.
+
+use tint_spmd::SimThread;
+use tint_workloads::traits::Workload;
+use tint_workloads::PinConfig;
+use tintmalloc::prelude::*;
+
+/// Boot the Opteron machine, pin a team per `pin`, apply `scheme`, run the
+/// workload, and return (metrics, final system) — the whole stack end to end.
+pub fn run_stack(
+    workload: &dyn Workload,
+    scheme: ColorScheme,
+    pin: PinConfig,
+    seed: u64,
+) -> (tint_spmd::RunMetrics, System) {
+    let mut sys = System::boot(MachineConfig::opteron_6128());
+    let cores = pin.cores();
+    let mut threads = SimThread::spawn_all(&mut sys, &cores);
+    for (t, p) in threads.iter().zip(&scheme.plan(sys.machine(), &cores)) {
+        sys.apply_colors(t.tid, p).expect("apply colors");
+    }
+    let program = workload.build(&mut sys, &threads, seed).expect("build");
+    let metrics = program.run(&mut sys, &mut threads).expect("run");
+    (metrics, sys)
+}

@@ -1,0 +1,178 @@
+//! End-to-end integration: the whole stack from PCI boot to barrier metrics.
+
+use tint_hw::types::{BankColor, CoreId, LlcColor, NodeId, Rw};
+use tint_integration::run_stack;
+use tint_spmd::SimThread;
+use tint_workloads::lbm::Lbm;
+use tint_workloads::synthetic::Synthetic;
+use tint_workloads::PinConfig;
+use tintmalloc::prelude::*;
+
+/// Small lbm so debug-mode runs stay fast.
+fn mini_lbm() -> Lbm {
+    Lbm {
+        bytes_per_thread: 48 * 4096,
+        timesteps: 2,
+        compute: 4,
+    }
+}
+
+fn mini_synth() -> Synthetic {
+    Synthetic {
+        bytes_per_thread: 48 * 4096,
+    }
+}
+
+#[test]
+fn boot_spawns_and_colors_through_the_real_syscall_path() {
+    let mut sys = System::boot(MachineConfig::opteron_6128());
+    let t = sys.spawn(CoreId(5)); // node 1
+    sys.set_mem_color(t, BankColor(40)).unwrap(); // node 1 color
+    sys.set_llc_color(t, LlcColor(7)).unwrap();
+    let a = sys.malloc(t, 32 * 4096).unwrap();
+    for p in 0..32u64 {
+        let pa = sys.resolve(t, a.offset(p * 4096)).unwrap();
+        let d = sys.machine().mapping.decode_frame(pa.frame());
+        assert_eq!(d.bank_color, BankColor(40));
+        assert_eq!(d.llc_color, LlcColor(7));
+        assert_eq!(d.node, NodeId(1));
+    }
+}
+
+#[test]
+fn memllc_beats_buddy_on_lbm_and_is_more_balanced() {
+    let w = mini_lbm();
+    let (buddy, _) = run_stack(&w, ColorScheme::Buddy, PinConfig::T16N4, 1);
+    let (tint, _) = run_stack(&w, ColorScheme::MemLlc, PinConfig::T16N4, 1);
+    assert!(
+        tint.runtime < buddy.runtime,
+        "MEM+LLC {} must beat buddy {}",
+        tint.runtime,
+        buddy.runtime
+    );
+    assert!(
+        tint.max_thread_runtime() < buddy.max_thread_runtime(),
+        "the slowest thread must get faster (the balance mechanism)"
+    );
+}
+
+#[test]
+fn memllc_eliminates_remote_accesses_and_llc_interference() {
+    let w = mini_lbm();
+    let (_, sys) = run_stack(&w, ColorScheme::MemLlc, PinConfig::T16N4, 1);
+    assert_eq!(
+        sys.mem().stats().remote_fraction(),
+        0.0,
+        "paper claim: remote accesses avoided entirely for private data"
+    );
+    assert_eq!(
+        sys.mem().hierarchy().stats().total_llc_interference(),
+        0,
+        "disjoint LLC colors cannot evict each other"
+    );
+}
+
+#[test]
+fn buddy_suffers_llc_interference_when_aggregate_exceeds_llc() {
+    // 16 × 224 pages = 14.6 MiB > the 12 MiB L3: streams evict each other.
+    let w = Synthetic {
+        bytes_per_thread: 224 * 4096,
+    };
+    let (_, sys) = run_stack(&w, ColorScheme::Buddy, PinConfig::T16N4, 1);
+    assert!(
+        sys.mem().hierarchy().stats().total_llc_interference() > 0,
+        "uncolored tasks share LLC sets"
+    );
+}
+
+#[test]
+fn bpm_is_remote_heavy_buddy_is_local() {
+    let w = mini_synth();
+    let (_, buddy_sys) = run_stack(&w, ColorScheme::Buddy, PinConfig::T4N4, 1);
+    let (_, bpm_sys) = run_stack(&w, ColorScheme::Bpm, PinConfig::T4N4, 1);
+    assert_eq!(buddy_sys.mem().stats().remote_fraction(), 0.0);
+    let bpm_remote = bpm_sys.mem().stats().remote_fraction();
+    assert!(
+        bpm_remote > 0.5,
+        "BPM ignores the controller: expected mostly-remote banks, got {bpm_remote}"
+    );
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let w = mini_lbm();
+    let (a, _) = run_stack(&w, ColorScheme::MemLlc, PinConfig::T8N4, 7);
+    let (b, _) = run_stack(&w, ColorScheme::MemLlc, PinConfig::T8N4, 7);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn every_scheme_runs_on_every_config() {
+    let w = Synthetic {
+        bytes_per_thread: 16 * 4096,
+    };
+    for pin in PinConfig::ALL {
+        for scheme in ColorScheme::ALL {
+            let (m, _) = run_stack(&w, scheme, pin, 1);
+            assert!(m.runtime > 0, "{scheme} at {pin}");
+            assert_eq!(m.threads, pin.threads());
+        }
+    }
+}
+
+#[test]
+fn idle_accounting_satisfies_algorithm_3() {
+    // For every thread: accumulated busy + idle == total parallel time.
+    let w = mini_lbm();
+    let (m, _) = run_stack(&w, ColorScheme::Buddy, PinConfig::T8N2, 1);
+    for i in 0..m.threads {
+        let total = m.thread_runtime[i] + m.thread_idle[i];
+        let expect = m.thread_runtime.iter().zip(&m.thread_idle).map(|(r, i)| r + i).max();
+        assert_eq!(Some(total), expect, "thread {i}: busy+idle must equal the barrier sum");
+    }
+}
+
+#[test]
+fn shared_address_space_lets_threads_exchange_data() {
+    let mut sys = System::boot(MachineConfig::opteron_6128());
+    let mut threads = SimThread::spawn_all(&mut sys, &[CoreId(0), CoreId(8)]);
+    let master = threads[0].tid;
+    let shared = sys.malloc(master, 4 * 4096).unwrap();
+    // The worker touches the master's allocation first: first-touch puts the
+    // page on the worker's node.
+    let worker = threads[1].tid;
+    sys.set_policy(worker, HeapPolicy::FirstTouch).unwrap();
+    let acc = sys.access(worker, shared, Rw::Write, 0).unwrap();
+    assert!(acc.faulted);
+    let pa = sys.resolve(master, shared).unwrap();
+    assert_eq!(
+        sys.machine().mapping.decode_frame(pa.frame()).node,
+        NodeId(2),
+        "first-touch by the worker (core 8 = node 2) placed the page"
+    );
+    threads[0].clock = 0; // silence unused-mut style concerns
+}
+
+#[test]
+fn color_exhaustion_propagates_to_the_runner() {
+    // A thread with exactly one (bank, LLC) color pair owns 4 MiB; ask for
+    // more and the access path must report ENOMEM, not panic.
+    let mut sys = System::boot(MachineConfig::opteron_6128());
+    let t = sys.spawn(CoreId(0));
+    sys.set_mem_color(t, BankColor(0)).unwrap();
+    sys.set_llc_color(t, LlcColor(0)).unwrap();
+    let per_pair = sys.machine().mapping.frames_per_color_pair();
+    let a = sys.malloc(t, (per_pair + 8) * 4096).unwrap();
+    let mut saw_enomem = false;
+    for p in 0..per_pair + 8 {
+        match sys.access(t, a.offset(p * 4096), Rw::Write, 0) {
+            Ok(_) => {}
+            Err(Errno::Enomem) => {
+                saw_enomem = true;
+                break;
+            }
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+    assert!(saw_enomem);
+}

@@ -1,0 +1,94 @@
+//! End-to-end property tests: the whole stack under randomized small
+//! workloads on the tiny machine.
+
+use proptest::prelude::*;
+use tint_hw::machine::MachineConfig;
+use tint_hw::types::{CoreId, Rw};
+use tint_spmd::{Op, Program, SectionBody, SimThread};
+use tintmalloc::prelude::*;
+
+/// A randomized two-thread program: per thread, a list of (region pages,
+/// accesses, stride) triples, one parallel section each.
+fn arb_workload() -> impl Strategy<Value = Vec<Vec<(u64, u64, u64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((1u64..8, 1u64..64, 1u64..3), 1..4),
+        2..=2,
+    )
+}
+
+fn run(
+    work: &[Vec<(u64, u64, u64)>],
+    scheme: ColorScheme,
+    noise: u64,
+) -> (tint_spmd::RunMetrics, u64, u64) {
+    let mut sys = System::boot(MachineConfig::tiny());
+    sys.boot_noise(noise);
+    let cores = vec![CoreId(0), CoreId(2)];
+    let mut threads = SimThread::spawn_all(&mut sys, &cores);
+    for (t, p) in threads.iter().zip(&scheme.plan(sys.machine(), &cores)) {
+        sys.apply_colors(t.tid, p).unwrap();
+    }
+    let mut program = Program::new();
+    let mut bodies: Vec<Box<dyn SectionBody>> = Vec::new();
+    for (ti, sections) in work.iter().enumerate() {
+        let mut ops: Vec<Op> = Vec::new();
+        for &(pages, accesses, stride) in sections {
+            let base = sys.malloc(threads[ti].tid, pages * 4096).unwrap();
+            let span = pages * 4096;
+            for a in 0..accesses {
+                ops.push(Op::Access {
+                    addr: base.offset((a * stride * 64) % span),
+                    rw: if a % 3 == 0 { Rw::Write } else { Rw::Read },
+                });
+                ops.push(Op::Compute(3));
+            }
+        }
+        bodies.push(Box::new(ops.into_iter()));
+    }
+    program = program.parallel(bodies);
+    let m = program.run(&mut sys, &mut threads).unwrap();
+    let faults = sys.kernel().stats().page_faults;
+    let free = sys.kernel().buddy().free_pages() + sys.kernel().color_lists().pages();
+    (m, faults, free)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bit-determinism end to end, for a colored and an uncolored scheme.
+    #[test]
+    fn stack_is_deterministic(work in arb_workload(), noise in 0u64..64) {
+        for scheme in [ColorScheme::Buddy, ColorScheme::MemLlc] {
+            let a = run(&work, scheme, noise);
+            let b = run(&work, scheme, noise);
+            prop_assert_eq!(a.0, b.0, "{} metrics differ", scheme);
+            prop_assert_eq!(a.1, b.1);
+        }
+    }
+
+    /// Physical pages are conserved: free + color-listed pages only shrink
+    /// by what is resident (faulted) plus pcp reservations.
+    #[test]
+    fn stack_conserves_frames(work in arb_workload(), noise in 0u64..32) {
+        let total = MachineConfig::tiny().mapping.frame_count();
+        let (_, faults, free) = run(&work, ColorScheme::MemLlc, noise);
+        prop_assert!(free + faults + noise <= total);
+        // Colored runs take no pcp reservations, so the accounting is exact.
+        prop_assert_eq!(free + faults + noise, total);
+    }
+
+    /// Every metric invariant holds: runtime ≥ max thread busy time, and
+    /// busy + idle is equal across threads.
+    #[test]
+    fn stack_metrics_are_consistent(work in arb_workload()) {
+        let (m, _, _) = run(&work, ColorScheme::LlcOnly, 0);
+        prop_assert!(m.runtime >= m.max_thread_runtime());
+        let sums: Vec<u64> = m
+            .thread_runtime
+            .iter()
+            .zip(&m.thread_idle)
+            .map(|(r, i)| r + i)
+            .collect();
+        prop_assert!(sums.windows(2).all(|w| w[0] == w[1]), "busy+idle equal at barrier");
+    }
+}
