@@ -1,16 +1,16 @@
-//! Criterion bench for the §III.C overhead: populating the colored free
+//! Wall-clock bench for the §III.C overhead: populating the colored free
 //! lists (Algorithm 2) vs serving from already-populated lists. Prints the
 //! cold/warm ablation table, then benchmarks the kernel allocation paths.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tint_bench::figures::{ablate_colorlist, FigOpts};
+use tint_bench::microbench::Harness;
 use tint_hw::addrmap::AddressMapping;
 use tint_hw::topology::Topology;
 use tint_hw::types::CoreId;
 use tint_kernel::kernel::{COLOR_ALLOC, SET_LLC_COLOR, SET_MEM_COLOR};
 use tint_kernel::{Kernel, KernelCosts};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     println!(
         "\n=== §III.C colored free-list population ===\n{}",
         ablate_colorlist(&FigOpts::default()).render()
@@ -52,7 +52,9 @@ fn bench(c: &mut Criterion) {
             page = page % 511 + 1;
             // Re-fault fresh pages by cycling through the region; once the
             // region is fully mapped this measures the translate fast path.
-            k.translate(t, region.offset(page * 4096)).unwrap().fault_cycles
+            k.translate(t, region.offset(page * 4096))
+                .unwrap()
+                .fault_cycles
         })
     });
 
@@ -76,5 +78,6 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::new());
+}

@@ -1,22 +1,26 @@
-//! Criterion bench for **Figure 10**: the synthetic alternating-stride
+//! Wall-clock bench for **Figure 10**: the synthetic alternating-stride
 //! benchmark under each coloring policy. Prints the figure table once, then
-//! benchmarks each policy's full simulated run (the criterion numbers track
+//! benchmarks each policy's full simulated run (the harness numbers track
 //! simulator throughput; the figure numbers are the simulated cycles).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tint_bench::figures::{fig10, FigOpts};
+use tint_bench::microbench::Harness;
 use tint_bench::runner::run_once;
 use tint_workloads::traits::Scale;
 use tint_workloads::{PinConfig, Synthetic};
 use tintmalloc::prelude::*;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let opts = FigOpts {
         reps: 1,
         scale: 0.25,
         csv: false,
     };
-    println!("\n=== Figure 10 (scale {}) ===\n{}", opts.scale, fig10(&opts).render());
+    println!(
+        "\n=== Figure 10 (scale {}) ===\n{}",
+        opts.scale,
+        fig10(&opts).render()
+    );
 
     let mut g = c.benchmark_group("fig10_synthetic");
     g.sample_size(10);
@@ -34,5 +38,6 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::new());
+}

@@ -1,22 +1,25 @@
-//! Criterion bench for **Figure 11**: normalized benchmark runtimes.
+//! Wall-clock bench for **Figure 11**: normalized benchmark runtimes.
 //! Prints a reduced figure (16_threads_4_nodes) and benchmarks the
 //! buddy-vs-MEM+LLC cell for every benchmark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tint_bench::figures::{run_matrix, FigOpts};
+use tint_bench::microbench::Harness;
 use tint_bench::runner::run_once;
 use tint_workloads::traits::Scale;
 use tint_workloads::{all_benchmarks, PinConfig};
 use tintmalloc::prelude::*;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let opts = FigOpts {
         reps: 1,
         scale: 0.25,
         csv: false,
     };
     let m = run_matrix(&opts, &[PinConfig::T16N4]);
-    println!("\n=== Figure 11 (scale {}, 16_threads_4_nodes) ===", opts.scale);
+    println!(
+        "\n=== Figure 11 (scale {}, 16_threads_4_nodes) ===",
+        opts.scale
+    );
     for t in m.fig11() {
         println!("{}", t.render());
     }
@@ -26,12 +29,17 @@ fn bench(c: &mut Criterion) {
     for w in all_benchmarks(Scale(0.1)) {
         for scheme in [ColorScheme::Buddy, ColorScheme::MemLlc] {
             g.bench_function(format!("{}/{}", w.name(), scheme.label()), |b| {
-                b.iter(|| run_once(w.as_ref(), scheme, PinConfig::T16N4, 1).metrics.runtime)
+                b.iter(|| {
+                    run_once(w.as_ref(), scheme, PinConfig::T16N4, 1)
+                        .metrics
+                        .runtime
+                })
             });
         }
     }
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::new());
+}

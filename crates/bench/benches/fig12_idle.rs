@@ -1,23 +1,26 @@
-//! Criterion bench for **Figure 12**: normalized total idle time at
+//! Wall-clock bench for **Figure 12**: normalized total idle time at
 //! barriers. Prints the reduced figure and benchmarks the idle-accounting
 //! path (a full run returning the Algorithm-3 totals).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tint_bench::figures::{run_matrix, FigOpts};
+use tint_bench::microbench::Harness;
 use tint_bench::runner::run_once;
 use tint_workloads::lbm::Lbm;
 use tint_workloads::traits::Scale;
 use tint_workloads::PinConfig;
 use tintmalloc::prelude::*;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let opts = FigOpts {
         reps: 1,
         scale: 0.25,
         csv: false,
     };
     let m = run_matrix(&opts, &[PinConfig::T16N4]);
-    println!("\n=== Figure 12 (scale {}, 16_threads_4_nodes) ===", opts.scale);
+    println!(
+        "\n=== Figure 12 (scale {}, 16_threads_4_nodes) ===",
+        opts.scale
+    );
     for t in m.fig12() {
         println!("{}", t.render());
     }
@@ -37,5 +40,6 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::new());
+}

@@ -1,23 +1,27 @@
-//! Criterion bench for **Figure 13**: per-thread runtimes at
+//! Wall-clock bench for **Figure 13**: per-thread runtimes at
 //! 16_threads_4_nodes. Prints the per-benchmark spread summary and
 //! benchmarks the per-thread-metric extraction for lbm.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tint_bench::figures::{fig13_14, FigOpts};
+use tint_bench::microbench::Harness;
 use tint_bench::runner::run_once;
 use tint_workloads::lbm::Lbm;
 use tint_workloads::traits::Scale;
 use tint_workloads::PinConfig;
 use tintmalloc::prelude::*;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let opts = FigOpts {
         reps: 1,
         scale: 0.25,
         csv: false,
     };
     let (summary, _) = fig13_14(&opts);
-    println!("\n=== Figure 13 (scale {}) ===\n{}", opts.scale, summary.render());
+    println!(
+        "\n=== Figure 13 (scale {}) ===\n{}",
+        opts.scale,
+        summary.render()
+    );
 
     let mut g = c.benchmark_group("fig13_thread_runtime");
     g.sample_size(10);
@@ -26,12 +30,17 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("lbm/{}", scheme.label()), |b| {
             b.iter(|| {
                 let m = run_once(&w, scheme, PinConfig::T16N4, 1).metrics;
-                (m.max_thread_runtime(), m.min_thread_runtime(), m.runtime_spread())
+                (
+                    m.max_thread_runtime(),
+                    m.min_thread_runtime(),
+                    m.runtime_spread(),
+                )
             })
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::new());
+}

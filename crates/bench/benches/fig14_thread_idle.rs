@@ -1,16 +1,16 @@
-//! Criterion bench for **Figure 14**: per-thread idle times at
+//! Wall-clock bench for **Figure 14**: per-thread idle times at
 //! 16_threads_4_nodes. Prints the lbm per-thread detail and benchmarks the
 //! idle extraction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tint_bench::figures::{fig13_14, FigOpts};
+use tint_bench::microbench::Harness;
 use tint_bench::runner::run_once;
 use tint_workloads::lbm::Lbm;
 use tint_workloads::traits::Scale;
 use tint_workloads::PinConfig;
 use tintmalloc::prelude::*;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let opts = FigOpts {
         reps: 1,
         scale: 0.25,
@@ -28,11 +28,16 @@ fn bench(c: &mut Criterion) {
     let w = Lbm::new(Scale(0.1));
     for scheme in [ColorScheme::Buddy, ColorScheme::MemLlc] {
         g.bench_function(format!("lbm/{}", scheme.label()), |b| {
-            b.iter(|| run_once(&w, scheme, PinConfig::T16N4, 1).metrics.max_thread_idle())
+            b.iter(|| {
+                run_once(&w, scheme, PinConfig::T16N4, 1)
+                    .metrics
+                    .max_thread_idle()
+            })
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::new());
+}

@@ -1,15 +1,18 @@
-//! Criterion bench for the §V latency claims: prints the latency table and
+//! Wall-clock bench for the §V latency claims: prints the latency table and
 //! benchmarks single simulated accesses (local vs remote, hit vs miss) —
 //! the hot path of the whole simulator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tint_bench::figures::{latency, FigOpts};
+use tint_bench::microbench::Harness;
 use tint_hw::types::{BankColor, CoreId, LlcColor, Rw};
 use tint_mem::MemorySystem;
 use tintmalloc::prelude::MachineConfig;
 
-fn bench(c: &mut Criterion) {
-    println!("\n=== §V latency claims ===\n{}", latency(&FigOpts::default()).render());
+fn bench(c: &mut Harness) {
+    println!(
+        "\n=== §V latency claims ===\n{}",
+        latency(&FigOpts::default()).render()
+    );
 
     let machine = MachineConfig::opteron_6128();
     let mut g = c.benchmark_group("latency_matrix");
@@ -21,9 +24,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 row = (row + 1) % 1024;
                 clock += 1000;
-                let f = machine
-                    .mapping
-                    .compose_frame(BankColor(bc), LlcColor((row % 32) as u16), row);
+                let f =
+                    machine
+                        .mapping
+                        .compose_frame(BankColor(bc), LlcColor((row % 32) as u16), row);
                 sys.access(CoreId(0), f.base(), Rw::Read, clock).latency
             })
         });
@@ -38,5 +42,6 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::new());
+}

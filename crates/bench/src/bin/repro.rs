@@ -1,7 +1,7 @@
 //! `repro` — regenerate every results figure of the TintMalloc paper.
 //!
 //! ```text
-//! repro [--reps N] [--scale F] [--csv] [--configs 16t4n,8t4n,...] <command>
+//! repro [--reps N] [--scale F] [--csv] [--configs 16t4n,8t4n,...] <command>...
 //!
 //! commands:
 //!   fig10              synthetic benchmark by coloring policy
@@ -17,12 +17,17 @@
 //!   probe:<bench>      per-scheme diagnostics for one benchmark cell
 //!   all                everything above (except probe)
 //! ```
+//!
+//! Multiple commands run in sequence within one process (the `BenchMatrix`
+//! behind fig11/fig12 is computed once and shared). After the run, a
+//! machine-readable `BENCH_repro.json` is written to the working directory
+//! with per-command wall-clock milliseconds and simulated cycles.
 
 use tint_bench::figures::{
     ablate_colorlist, ablate_dynamic, ablate_firsttouch, ablate_migrate, ablate_pagepolicy,
-    ablate_part, bandwidth, fig10, fig13_14, latency,
-    probe, run_matrix, FigOpts,
+    ablate_part, bandwidth, fig10, fig13_14, latency, probe, run_matrix, BenchMatrix, FigOpts,
 };
+use tint_bench::runner::simulated_cycles;
 use tint_workloads::PinConfig;
 
 fn parse_config(s: &str) -> Option<PinConfig> {
@@ -36,53 +41,55 @@ fn parse_config(s: &str) -> Option<PinConfig> {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut opts = FigOpts::default();
-    let mut configs: Vec<PinConfig> = PinConfig::ALL.to_vec();
-    let mut cmd = String::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--reps" => {
-                opts.reps = it.next().expect("--reps N").parse().expect("reps number")
-            }
-            "--scale" => {
-                opts.scale = it.next().expect("--scale F").parse().expect("scale number")
-            }
-            "--csv" => opts.csv = true,
-            "--configs" => {
-                configs = it
-                    .next()
-                    .expect("--configs list")
-                    .split(',')
-                    .map(|s| parse_config(s).unwrap_or_else(|| panic!("unknown config {s}")))
-                    .collect();
-            }
-            c if !c.starts_with('-') => cmd = c.to_string(),
-            other => panic!("unknown flag {other}"),
+/// One executed command's measurements for `BENCH_repro.json`.
+struct CmdRecord {
+    name: String,
+    wall_ms: f64,
+    sim_cycles: u64,
+}
+
+/// Per-invocation state shared across commands: the fig11/fig12 matrix is
+/// expensive (6 benchmarks × configs × schemes × reps), so one invocation
+/// computes it at most once. Each repetition boots a fresh machine, so the
+/// cached result is identical to what a standalone `repro fig12` prints.
+struct Ctx {
+    opts: FigOpts,
+    configs: Vec<PinConfig>,
+    matrix: Option<BenchMatrix>,
+}
+
+impl Ctx {
+    fn matrix(&mut self) -> &BenchMatrix {
+        if self.matrix.is_none() {
+            self.matrix = Some(run_matrix(&self.opts, &self.configs));
         }
+        self.matrix.as_ref().unwrap()
     }
-    if cmd.is_empty() {
-        cmd = "all".to_string();
-    }
-    assert!(opts.reps >= 1, "--reps must be at least 1");
-    assert!(opts.scale >= 0.0, "--scale must be non-negative");
+}
 
+fn header(s: &str) {
+    println!("\n=== {s} ===");
+}
+
+/// Run one command by name, printing exactly what a single-command
+/// invocation prints.
+fn run_cmd(ctx: &mut Ctx, cmd: &str) {
     let all = cmd == "all";
-    let header = |s: &str| println!("\n=== {s} ===");
-
     if let Some(bench) = cmd.strip_prefix("probe:") {
-        header(&format!("Probe: {bench} at {}", configs[0]));
-        print!("{}", opts.render(&probe(&opts, bench, configs[0])));
+        header(&format!("Probe: {bench} at {}", ctx.configs[0]));
+        print!(
+            "{}",
+            ctx.opts.render(&probe(&ctx.opts, bench, ctx.configs[0]))
+        );
         return;
     }
     if all || cmd == "fig10" {
         header("Figure 10: synthetic benchmark by coloring policy (16 threads, 4 nodes)");
-        print!("{}", opts.render(&fig10(&opts)));
+        print!("{}", ctx.opts.render(&fig10(&ctx.opts)));
     }
     if all || cmd == "fig11" || cmd == "fig12" {
-        let m = run_matrix(&opts, &configs);
+        let opts = ctx.opts;
+        let m = ctx.matrix();
         if all || cmd == "fig11" {
             header("Figure 11: normalized benchmark runtime (lower is better)");
             for (t, pin) in m.fig11().iter().zip(&m.configs) {
@@ -100,41 +107,142 @@ fn main() {
     }
     if all || cmd == "fig13" || cmd == "fig14" {
         header("Figures 13/14: per-thread runtime and idle, 16_threads_4_nodes");
-        let (summary, lbm) = fig13_14(&opts);
-        print!("{}", opts.render(&summary));
+        let (summary, lbm) = fig13_14(&ctx.opts);
+        print!("{}", ctx.opts.render(&summary));
         println!("-- lbm per-thread detail --");
-        print!("{}", opts.render(&lbm));
+        print!("{}", ctx.opts.render(&lbm));
     }
     if all || cmd == "latency" {
         header("§V latency claims: controller locality, bank sharing, LLC interference");
-        print!("{}", opts.render(&latency(&opts)));
+        print!("{}", ctx.opts.render(&latency(&ctx.opts)));
     }
     if all || cmd == "bandwidth" {
         header("§II.B: bank/controller parallelism (achieved bandwidth)");
-        print!("{}", opts.render(&bandwidth(&opts)));
+        print!("{}", ctx.opts.render(&bandwidth(&ctx.opts)));
     }
     if all || cmd == "ablate-part" {
         header("Ablation: full vs partial coloring (normalized runtime vs buddy)");
-        print!("{}", opts.render(&ablate_part(&opts)));
+        print!("{}", ctx.opts.render(&ablate_part(&ctx.opts)));
     }
     if all || cmd == "ablate-firsttouch" {
         header("Ablation: legacy global buddy vs NUMA buddy vs MEM coloring (synthetic)");
-        print!("{}", opts.render(&ablate_firsttouch(&opts)));
+        print!("{}", ctx.opts.render(&ablate_firsttouch(&ctx.opts)));
     }
     if all || cmd == "ablate-migrate" {
         header("Ablation (extension): dynamic recoloring via page migration");
-        print!("{}", opts.render(&ablate_migrate(&opts)));
+        print!("{}", ctx.opts.render(&ablate_migrate(&ctx.opts)));
     }
     if all || cmd == "ablate-dynamic" {
         header("Ablation (extension): static vs dynamic scheduling, buddy vs MEM+LLC");
-        print!("{}", opts.render(&ablate_dynamic(&opts)));
+        print!("{}", ctx.opts.render(&ablate_dynamic(&ctx.opts)));
     }
     if all || cmd == "ablate-pagepolicy" {
         header("Ablation (extension): DRAM page policy (open vs closed) x coloring");
-        print!("{}", opts.render(&ablate_pagepolicy(&opts)));
+        print!("{}", ctx.opts.render(&ablate_pagepolicy(&ctx.opts)));
     }
     if all || cmd == "ablate-colorlist" {
         header("Ablation: colored free-list population overhead (§III.C)");
-        print!("{}", opts.render(&ablate_colorlist(&opts)));
+        print!("{}", ctx.opts.render(&ablate_colorlist(&ctx.opts)));
     }
+}
+
+/// Minimal JSON string escaping (command names are ASCII, but be correct).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize the measurement records as `BENCH_repro.json`.
+fn write_bench_json(records: &[CmdRecord], opts: &FigOpts, configs: &[PinConfig]) {
+    let total_ms: f64 = records.iter().map(|r| r.wall_ms).sum();
+    let total_cycles: u64 = records.iter().map(|r| r.sim_cycles).sum();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"repro\",\n");
+    s.push_str(&format!("  \"reps\": {},\n", opts.reps));
+    s.push_str(&format!("  \"scale\": {},\n", opts.scale));
+    s.push_str(&format!(
+        "  \"configs\": [{}],\n",
+        configs
+            .iter()
+            .map(|c| format!("\"{}\"", json_escape(&c.to_string())))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str("  \"commands\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"sim_cycles\": {}}}{}\n",
+            json_escape(&r.name),
+            r.wall_ms,
+            r.sim_cycles,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"total\": {{\"wall_ms\": {total_ms:.3}, \"sim_cycles\": {total_cycles}}}\n"
+    ));
+    s.push_str("}\n");
+    let path = "BENCH_repro.json";
+    match std::fs::write(path, &s) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = FigOpts::default();
+    let mut configs: Vec<PinConfig> = PinConfig::ALL.to_vec();
+    let mut cmds: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => opts.reps = it.next().expect("--reps N").parse().expect("reps number"),
+            "--scale" => opts.scale = it.next().expect("--scale F").parse().expect("scale number"),
+            "--csv" => opts.csv = true,
+            "--configs" => {
+                configs = it
+                    .next()
+                    .expect("--configs list")
+                    .split(',')
+                    .map(|s| parse_config(s).unwrap_or_else(|| panic!("unknown config {s}")))
+                    .collect();
+            }
+            c if !c.starts_with('-') => cmds.push(c.to_string()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if cmds.is_empty() {
+        cmds.push("all".to_string());
+    }
+    assert!(opts.reps >= 1, "--reps must be at least 1");
+    assert!(opts.scale >= 0.0, "--scale must be non-negative");
+
+    let mut ctx = Ctx {
+        opts,
+        configs,
+        matrix: None,
+    };
+    let mut records = Vec::with_capacity(cmds.len());
+    for cmd in &cmds {
+        let cycles_before = simulated_cycles();
+        let start = std::time::Instant::now();
+        run_cmd(&mut ctx, cmd);
+        records.push(CmdRecord {
+            name: cmd.clone(),
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            sim_cycles: simulated_cycles() - cycles_before,
+        });
+    }
+    write_bench_json(&records, &ctx.opts, &ctx.configs);
 }

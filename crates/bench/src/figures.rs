@@ -126,7 +126,12 @@ pub fn run_matrix(opts: &FigOpts, configs: &[PinConfig]) -> BenchMatrix {
                 let rs = run_reps(w.as_ref(), scheme, pin, opts.reps);
                 cells.insert((w.name(), pin, scheme), rs);
                 done += 1;
-                eprint!("\r[matrix] {done}/{total} ({} {} {})          ", w.name(), pin, scheme);
+                eprint!(
+                    "\r[matrix] {done}/{total} ({} {} {})          ",
+                    w.name(),
+                    pin,
+                    scheme
+                );
             }
         }
     }
@@ -270,7 +275,11 @@ pub fn latency(_opts: &FigOpts) -> Table {
     // 1. Unloaded DRAM latency by hop count (fresh rows → row misses).
     {
         let mut sys = MemorySystem::new(machine.clone());
-        let cases = [("local (0 hops)", 0u16), ("same socket (1 hop)", 32), ("cross socket (2 hops)", 96)];
+        let cases = [
+            ("local (0 hops)", 0u16),
+            ("same socket (1 hop)", 32),
+            ("cross socket (2 hops)", 96),
+        ];
         for (i, (label, bc)) in cases.iter().enumerate() {
             let a = frame(&machine, *bc, 0, i as u64 + 1).base();
             let r = sys.access(CoreId(0), PhysAddr(a.0), Rw::Read, (i as u64) * 100_000);
@@ -408,15 +417,14 @@ pub fn probe(opts: &FigOpts, bench_name: &str, pin: PinConfig) -> Table {
 pub fn ablate_part(opts: &FigOpts) -> Table {
     let pin = PinConfig::T16N4;
     let benches = all_benchmarks(opts.scale_());
-    let mut t = Table::new(vec!["benchmark", "MEM+LLC", "MEM+LLC(part)", "LLC+MEM(part)"]);
+    let mut t = Table::new(vec![
+        "benchmark",
+        "MEM+LLC",
+        "MEM+LLC(part)",
+        "LLC+MEM(part)",
+    ]);
     for w in &benches {
-        let base = Summary::runtime(&run_reps(
-            w.as_ref(),
-            ColorScheme::Buddy,
-            pin,
-            opts.reps,
-        ))
-        .mean;
+        let base = Summary::runtime(&run_reps(w.as_ref(), ColorScheme::Buddy, pin, opts.reps)).mean;
         let mut cells = Vec::new();
         for scheme in [
             ColorScheme::MemLlc,
@@ -578,7 +586,9 @@ pub fn bandwidth(_opts: &FigOpts) -> Table {
     let machine = MachineConfig::opteron_6128();
     let mut t = Table::new(vec!["streams", "banks", "lines_per_kcycle", "note"]);
     let frame = |bc: u16, llc: u16, row: u64| -> FrameNumber {
-        machine.mapping.compose_frame(BankColor(bc), LlcColor(llc), row)
+        machine
+            .mapping
+            .compose_frame(BankColor(bc), LlcColor(llc), row)
     };
 
     for (label, bank_of) in [
@@ -628,7 +638,12 @@ pub fn ablate_pagepolicy(opts: &FigOpts) -> Table {
     use tint_hw::machine::PagePolicy;
     use tint_spmd::SimThread;
 
-    let mut t = Table::new(vec!["page_policy", "scheme", "runtime", "MEM_gain_vs_buddy"]);
+    let mut t = Table::new(vec![
+        "page_policy",
+        "scheme",
+        "runtime",
+        "MEM_gain_vs_buddy",
+    ]);
     for policy in [PagePolicy::Open, PagePolicy::Closed] {
         let mut runtimes = Vec::new();
         for scheme in [ColorScheme::Buddy, ColorScheme::MemOnly] {
@@ -649,7 +664,10 @@ pub fn ablate_pagepolicy(opts: &FigOpts) -> Table {
                 scheme.label().to_string(),
                 format!("{}", m.runtime),
                 if scheme == ColorScheme::MemOnly {
-                    format!("{:.1}%", 100.0 * (1.0 - runtimes[1] as f64 / runtimes[0] as f64))
+                    format!(
+                        "{:.1}%",
+                        100.0 * (1.0 - runtimes[1] as f64 / runtimes[0] as f64)
+                    )
                 } else {
                     "-".to_string()
                 },
@@ -685,7 +703,11 @@ pub fn ablate_dynamic(opts: &FigOpts) -> Table {
             let line = sys.machine().mapping.line_size();
             let chunks: Vec<(VirtAddr, u64)> = (0..256u64)
                 .map(|i| {
-                    let len = if (i / 16) % 4 == 0 { 2 * chunk_base } else { chunk_base };
+                    let len = if (i / 16) % 4 == 0 {
+                        2 * chunk_base
+                    } else {
+                        chunk_base
+                    };
                     let owner = threads[(i as usize) % threads.len()].tid;
                     (sys.malloc(owner, len).unwrap(), len)
                 })

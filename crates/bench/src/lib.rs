@@ -2,13 +2,15 @@
 //!
 //! Regenerates every results figure of the TintMalloc paper (Figures 10–14
 //! plus the latency claims of §V and the ablations listed in DESIGN.md).
-//! The `repro` binary prints each figure's rows; the Criterion benches under
-//! `benches/` wrap the same experiments for timing regressions.
+//! The `repro` binary prints each figure's rows; the wall-clock benches
+//! under `benches/` (driven by [`microbench`]) wrap the same experiments
+//! for timing regressions.
 //!
 //! EXPERIMENTS.md records the paper-vs-measured comparison produced by
 //! `cargo run --release -p tint-bench --bin repro -- all`.
 
 pub mod figures;
+pub mod microbench;
 pub mod runner;
 pub mod table;
 

@@ -1,0 +1,107 @@
+//! Tiny wall-clock micro-benchmark harness (std-only).
+//!
+//! A minimal stand-in for an external benchmarking framework: each
+//! benchmark closure is warmed up once, an iteration count is chosen so a
+//! sample takes a measurable amount of wall-clock time, and several samples
+//! are timed with [`std::time::Instant`]. Results are printed as
+//! `group/name ... ns/iter` lines. Invoked by the `[[bench]]` targets
+//! (`cargo bench`), which pass harness flags we simply ignore.
+//!
+//! Set `TINT_BENCH_QUICK=1` to cut warmup and sample counts (useful in CI).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness; hands out named benchmark groups.
+pub struct Harness {
+    quick: bool,
+}
+
+impl Harness {
+    /// New harness. Reads `TINT_BENCH_QUICK` and ignores CLI arguments
+    /// (cargo passes `--bench`).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self {
+            quick: std::env::var_os("TINT_BENCH_QUICK").is_some(),
+        }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group {
+        Group {
+            name: name.into(),
+            quick: self.quick,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a report prefix.
+pub struct Group {
+    name: String,
+    quick: bool,
+}
+
+impl Group {
+    /// Accepted for API familiarity; sampling is controlled internally.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Measure `f`, which must drive the provided [`Bencher`] via
+    /// [`Bencher::iter`].
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        // Warmup + cost estimate with a single iteration.
+        let mut probe = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut probe);
+        let per_iter_ns = probe.elapsed.as_nanos().max(1);
+        let target_ns = if self.quick { 2_000_000 } else { 20_000_000 };
+        let iters = (target_ns / per_iter_ns).clamp(1, 10_000_000) as u64;
+        let samples = if self.quick { 3 } else { 7 };
+
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..samples {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+            best = best.min(ns);
+            total += ns;
+        }
+        println!(
+            "bench {}/{:<32} {:>12.1} ns/iter (min {:.1}, {} iters x {} samples)",
+            self.name,
+            id.to_string(),
+            total / samples as f64,
+            best,
+            iters,
+            samples
+        );
+    }
+
+    /// End the group (reports are printed eagerly; kept for API symmetry).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the harness-chosen iteration count. The return value
+    /// is passed through [`std::hint::black_box`] so the work is not
+    /// optimized away.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}

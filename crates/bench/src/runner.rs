@@ -1,8 +1,20 @@
 //! Run one (workload, scheme, pinning, seed) experiment on a fresh machine.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use tint_spmd::{RunMetrics, SimThread};
 use tint_workloads::{PinConfig, Workload};
 use tintmalloc::prelude::*;
+
+/// Simulated cycles completed by every [`run_once`] in this process —
+/// the benchmark-side progress counter `repro` snapshots around each
+/// figure to report simulated work next to wall-clock time.
+static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Total simulated cycles (sum of per-run `metrics.runtime`) executed so
+/// far in this process.
+pub fn simulated_cycles() -> u64 {
+    SIM_CYCLES.load(Ordering::Relaxed)
+}
 
 /// Everything one run produces.
 #[derive(Debug, Clone)]
@@ -62,10 +74,10 @@ pub fn run_once(
         .iter()
         .fold((0u64, 0u64), |(h, m), c| (h + c.l3_hits, m + c.l3_misses));
     let mem = sys.mem().stats();
-    let (acc, lat) = mem
-        .cores
-        .iter()
-        .fold((0u64, 0u64), |(a, l), c| (a + c.accesses, l + c.total_latency));
+    let (acc, lat) = mem.cores.iter().fold((0u64, 0u64), |(a, l), c| {
+        (a + c.accesses, l + c.total_latency)
+    });
+    SIM_CYCLES.fetch_add(metrics.runtime, Ordering::Relaxed);
     ExpResult {
         metrics,
         remote_fraction: mem.remote_fraction(),
@@ -79,7 +91,11 @@ pub fn run_once(
         } else {
             l3_misses as f64 / (l3_hits + l3_misses) as f64
         },
-        mean_latency: if acc == 0 { 0.0 } else { lat as f64 / acc as f64 },
+        mean_latency: if acc == 0 {
+            0.0
+        } else {
+            lat as f64 / acc as f64
+        },
         color_list_moves: kstats.create_color_list_calls,
     }
 }
@@ -117,23 +133,22 @@ pub fn run_reps_parallel(
             .map(|seed| run_once(workload, scheme, pin, seed + 1))
             .collect();
     }
-    let results: parking_lot::Mutex<Vec<(u64, ExpResult)>> =
-        parking_lot::Mutex::new(Vec::with_capacity(reps as usize));
+    let results: std::sync::Mutex<Vec<(u64, ExpResult)>> =
+        std::sync::Mutex::new(Vec::with_capacity(reps as usize));
     let next = std::sync::atomic::AtomicU64::new(1);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..jobs {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let seed = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if seed > reps as u64 {
                     break;
                 }
                 let r = run_once(workload, scheme, pin, seed);
-                results.lock().push((seed, r));
+                results.lock().unwrap().push((seed, r));
             });
         }
-    })
-    .expect("worker panicked");
-    let mut v = results.into_inner();
+    });
+    let mut v = results.into_inner().unwrap();
     v.sort_by_key(|(seed, _)| *seed);
     v.into_iter().map(|(_, r)| r).collect()
 }

@@ -59,11 +59,19 @@ pub enum IndexMode {
 
 /// A set-associative cache with LRU replacement.
 ///
-/// Each set is a small vector kept in LRU order (most recent last); with the
-/// associativities in play (2–16) a vector beats fancier structures.
+/// Storage is one flat `lines` array of `sets × assoc` slots (set `i` owns
+/// `lines[i*assoc .. (i+1)*assoc]`) plus a per-set occupancy count — no
+/// per-set allocations, so lookups touch exactly one contiguous stride.
+/// Each occupied stride is kept in LRU order (most recent last); with the
+/// associativities in play (2–16) a rotate within the stride beats fancier
+/// structures.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    sets: Vec<Vec<Line>>,
+    /// Flat line storage, `set_count * assoc` slots.
+    lines: Vec<Line>,
+    /// Occupied slots per set (0..=assoc; assoc ≤ 255 asserted).
+    lens: Vec<u8>,
+    set_count: usize,
     assoc: usize,
     line_shift: u32,
     set_mask: u64,
@@ -87,11 +95,17 @@ impl SetAssocCache {
         index_mode: IndexMode,
     ) -> Self {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(assoc > 0);
+        assert!(assoc > 0 && assoc <= u8::MAX as usize);
         match index_mode {
-            IndexMode::ColorHash { color_low, color_bits } => {
+            IndexMode::ColorHash {
+                color_low,
+                color_bits,
+            } => {
                 let idx_bits = sets.trailing_zeros();
-                assert!(color_bits < idx_bits, "color field must leave hash bits in the index");
+                assert!(
+                    color_bits < idx_bits,
+                    "color field must leave hash bits in the index"
+                );
                 assert!(color_low >= line_shift, "color field below the line offset");
             }
             IndexMode::Hash => {
@@ -103,7 +117,15 @@ impl SetAssocCache {
             IndexMode::Modulo => {}
         }
         Self {
-            sets: vec![Vec::with_capacity(assoc); sets],
+            lines: vec![
+                Line {
+                    line_addr: 0,
+                    owner: CoreId(0)
+                };
+                sets * assoc
+            ],
+            lens: vec![0; sets],
+            set_count: sets,
             assoc,
             line_shift,
             set_mask: (sets - 1) as u64,
@@ -115,7 +137,7 @@ impl SetAssocCache {
 
     /// Number of sets.
     pub fn set_count(&self) -> usize {
-        self.sets.len()
+        self.set_count
     }
 
     /// Associativity.
@@ -125,7 +147,7 @@ impl SetAssocCache {
 
     /// Capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
-        (self.sets.len() * self.assoc) as u64 * (1u64 << self.line_shift)
+        self.lines.len() as u64 * (1u64 << self.line_shift)
     }
 
     /// Hits recorded so far.
@@ -148,7 +170,10 @@ impl SetAssocCache {
                 let v = addr.0 >> self.line_shift;
                 (fibonacci_spread(v) >> (64 - idx_bits)) as usize
             }
-            IndexMode::ColorHash { color_low, color_bits } => {
+            IndexMode::ColorHash {
+                color_low,
+                color_bits,
+            } => {
                 let idx_bits = self.set_mask.count_ones();
                 let non_color = idx_bits - color_bits;
                 let color = (addr.0 >> color_low) & ((1u64 << color_bits) - 1);
@@ -177,33 +202,46 @@ impl SetAssocCache {
     pub fn access(&mut self, core: CoreId, addr: PhysAddr) -> (bool, Option<Eviction>) {
         let la = self.line_addr(addr);
         let idx = self.set_index(addr);
-        let set = &mut self.sets[idx];
+        let base = idx * self.assoc;
+        let len = self.lens[idx] as usize;
+        let set = &mut self.lines[base..base + len];
         if let Some(pos) = set.iter().position(|l| l.line_addr == la) {
             // Hit: move to MRU (end), refresh owner.
-            let mut line = set.remove(pos);
-            line.owner = core;
-            set.push(line);
+            set[pos..].rotate_left(1);
+            set[len - 1].owner = core;
             self.hits += 1;
             return (true, None);
         }
         self.misses += 1;
-        let evicted = if set.len() == self.assoc {
-            let victim = set.remove(0); // LRU at the front
-            Some(Eviction {
-                line_addr: victim.line_addr,
-                owner: victim.owner,
-            })
-        } else {
-            None
+        let new = Line {
+            line_addr: la,
+            owner: core,
         };
-        set.push(Line { line_addr: la, owner: core });
-        (false, evicted)
+        if len == self.assoc {
+            // Evict LRU (front), shift the rest down, fill the MRU slot.
+            let victim = set[0];
+            set.rotate_left(1);
+            set[len - 1] = new;
+            (
+                false,
+                Some(Eviction {
+                    line_addr: victim.line_addr,
+                    owner: victim.owner,
+                }),
+            )
+        } else {
+            self.lines[base + len] = new;
+            self.lens[idx] = (len + 1) as u8;
+            (false, None)
+        }
     }
 
     /// Non-mutating lookup: does the cache currently hold `addr`?
     pub fn probe(&self, addr: PhysAddr) -> bool {
         let la = self.line_addr(addr);
-        self.sets[self.set_index(addr)]
+        let idx = self.set_index(addr);
+        let base = idx * self.assoc;
+        self.lines[base..base + self.lens[idx] as usize]
             .iter()
             .any(|l| l.line_addr == la)
     }
@@ -212,9 +250,12 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, addr: PhysAddr) -> bool {
         let la = self.line_addr(addr);
         let idx = self.set_index(addr);
-        let set = &mut self.sets[idx];
+        let base = idx * self.assoc;
+        let len = self.lens[idx] as usize;
+        let set = &mut self.lines[base..base + len];
         if let Some(pos) = set.iter().position(|l| l.line_addr == la) {
-            set.remove(pos);
+            set[pos..].rotate_left(1);
+            self.lens[idx] = (len - 1) as u8;
             true
         } else {
             false
@@ -223,14 +264,15 @@ impl SetAssocCache {
 
     /// Number of resident lines (for occupancy assertions).
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// Number of resident lines owned by `core`.
     pub fn resident_lines_of(&self, core: CoreId) -> usize {
-        self.sets
+        self.lens
             .iter()
-            .flat_map(|s| s.iter())
+            .enumerate()
+            .flat_map(|(i, &len)| self.lines[i * self.assoc..i * self.assoc + len as usize].iter())
             .filter(|l| l.owner == core)
             .count()
     }
@@ -243,9 +285,7 @@ impl SetAssocCache {
 
     /// Empty the cache and reset stats.
     pub fn flush(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.lens.fill(0);
         self.reset_stats();
     }
 }

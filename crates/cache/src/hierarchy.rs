@@ -8,12 +8,11 @@
 
 use crate::cache::SetAssocCache;
 use crate::stats::HierarchyStats;
-use serde::{Deserialize, Serialize};
 use tint_hw::machine::MachineConfig;
 use tint_hw::types::{CoreId, PhysAddr};
 
 /// Where an access was resolved.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HitLevel {
     /// Private L1 hit.
     L1,
@@ -214,8 +213,18 @@ mod tests {
         // Same bank color too: the bank bit is part of the L3 index in this
         // layout, so only same-(bank, llc) pages contend for the same sets.
         let llc = LlcColor(1);
-        let frames_a: Vec<_> = (0..8).map(|r| m.mapping.compose_frame(tint_hw::types::BankColor(0), llc, r)).collect();
-        let frames_b: Vec<_> = (8..16).map(|r| m.mapping.compose_frame(tint_hw::types::BankColor(0), llc, r)).collect();
+        let frames_a: Vec<_> = (0..8)
+            .map(|r| {
+                m.mapping
+                    .compose_frame(tint_hw::types::BankColor(0), llc, r)
+            })
+            .collect();
+        let frames_b: Vec<_> = (8..16)
+            .map(|r| {
+                m.mapping
+                    .compose_frame(tint_hw::types::BankColor(0), llc, r)
+            })
+            .collect();
         // Fill way beyond the color's L3 slice from both cores, interleaved.
         for round in 0..4 {
             let _ = round;
@@ -241,8 +250,12 @@ mod tests {
         let (m, mut h) = hierarchy();
         // Core 0 uses color 0, core 1 uses color 1; each working set fits in
         // its color's slice (64 sets × 2 ways × 64 B = 8 KiB per color).
-        let fa = m.mapping.compose_frame(tint_hw::types::BankColor(0), LlcColor(0), 0);
-        let fb = m.mapping.compose_frame(tint_hw::types::BankColor(1), LlcColor(1), 0);
+        let fa = m
+            .mapping
+            .compose_frame(tint_hw::types::BankColor(0), LlcColor(0), 0);
+        let fb = m
+            .mapping
+            .compose_frame(tint_hw::types::BankColor(1), LlcColor(1), 0);
         // Half a page (32 lines) fits the tiny 2 KiB L1 exactly.
         for _ in 0..4 {
             for off in (0..2048).step_by(64) {
@@ -265,7 +278,9 @@ mod tests {
         let (m, mut h) = hierarchy();
         // Touching one color's pages touches only that color's L3 sets:
         // stream one full page of color 2 and check the set indices used.
-        let f = m.mapping.compose_frame(tint_hw::types::BankColor(0), LlcColor(2), 0);
+        let f = m
+            .mapping
+            .compose_frame(tint_hw::types::BankColor(0), LlcColor(2), 0);
         let l3_sets = h.l3().set_count();
         let sets_per_color = l3_sets / m.mapping.llc_color_count();
         let mut used = std::collections::HashSet::new();
@@ -300,6 +315,10 @@ mod tests {
         let (_, mut h) = hierarchy();
         let a = PhysAddr(0x4000);
         h.access(CoreId(0), a);
-        assert_eq!(h.probe(CoreId(1), a), Some(HitLevel::L3), "only shared L3 visible to core 1");
+        assert_eq!(
+            h.probe(CoreId(1), a),
+            Some(HitLevel::L3),
+            "only shared L3 visible to core 1"
+        );
     }
 }

@@ -1,10 +1,9 @@
 //! Per-core, per-level cache counters.
 
-use serde::{Deserialize, Serialize};
 use tint_hw::types::CoreId;
 
 /// Counters for one core's view of the hierarchy.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreCacheStats {
     /// L1 hits.
     pub l1_hits: u64,
@@ -41,7 +40,7 @@ impl CoreCacheStats {
 }
 
 /// Whole-hierarchy counters.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct HierarchyStats {
     /// One entry per core.
     pub cores: Vec<CoreCacheStats>,

@@ -1,48 +1,63 @@
 //! Property tests for the cache simulator: LRU laws, occupancy bounds, and
 //! the color-partition guarantee of the hashed LLC index.
+//!
+//! Seeded-loop randomized tests over the workspace's deterministic PRNG —
+//! no external property-testing framework required.
 
-use proptest::prelude::*;
 use tint_cache::{CacheHierarchy, HitLevel, IndexMode, SetAssocCache};
 use tint_hw::machine::MachineConfig;
+use tint_hw::rng::SplitMix64;
 use tint_hw::types::{BankColor, CoreId, LlcColor, PhysAddr};
 
-fn arb_addrs() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0u64..(1 << 20), 1..300)
+const CASES: u64 = 40;
+
+fn arb_addrs(rng: &mut SplitMix64) -> Vec<u64> {
+    let n = rng.gen_range_in(1, 300);
+    (0..n).map(|_| rng.gen_range(1 << 20)).collect()
 }
 
-proptest! {
-    /// Occupancy never exceeds sets × assoc, and an immediate re-access of
-    /// the last line always hits (LRU keeps the MRU line).
-    #[test]
-    fn occupancy_bounded_and_mru_sticks(addrs in arb_addrs()) {
+/// Occupancy never exceeds sets × assoc, and an immediate re-access of
+/// the last line always hits (LRU keeps the MRU line).
+#[test]
+fn occupancy_bounded_and_mru_sticks() {
+    let mut rng = SplitMix64::new(0x0cc);
+    for _ in 0..CASES {
+        let addrs = arb_addrs(&mut rng);
         let mut c = SetAssocCache::new(16, 2, 6);
         for &a in &addrs {
             c.access(CoreId(0), PhysAddr(a));
-            prop_assert!(c.resident_lines() <= 32);
+            assert!(c.resident_lines() <= 32);
             let (hit, ev) = c.access(CoreId(0), PhysAddr(a));
-            prop_assert!(hit, "immediate re-access must hit");
-            prop_assert!(ev.is_none());
+            assert!(hit, "immediate re-access must hit");
+            assert!(ev.is_none());
         }
     }
+}
 
-    /// probe() agrees with what access() would report, and never mutates.
-    #[test]
-    fn probe_agrees_with_access(addrs in arb_addrs(), probe in 0u64..(1 << 20)) {
+/// probe() agrees with what access() would report, and never mutates.
+#[test]
+fn probe_agrees_with_access() {
+    let mut rng = SplitMix64::new(0x9808e);
+    for _ in 0..CASES {
+        let addrs = arb_addrs(&mut rng);
+        let probe = rng.gen_range(1 << 20);
         let mut c = SetAssocCache::new(16, 4, 6);
         for &a in &addrs {
             c.access(CoreId(0), PhysAddr(a));
         }
         let before_hits = c.hits();
         let p = c.probe(PhysAddr(probe));
-        prop_assert_eq!(c.hits(), before_hits);
+        assert_eq!(c.hits(), before_hits);
         let (hit, _) = c.access(CoreId(0), PhysAddr(probe));
-        prop_assert_eq!(hit, p, "probe must predict the access outcome");
+        assert_eq!(hit, p, "probe must predict the access outcome");
     }
+}
 
-    /// Hashed and modulo indexing agree on hit/miss for a working set that
-    /// fits entirely (both are just placement functions).
-    #[test]
-    fn small_working_set_always_hits_after_warm(lines in 1u64..16) {
+/// Hashed and modulo indexing agree on hit/miss for a working set that
+/// fits entirely (both are just placement functions).
+#[test]
+fn small_working_set_always_hits_after_warm() {
+    for lines in 1u64..16 {
         for mode in [IndexMode::Modulo, IndexMode::Hash] {
             let mut c = SetAssocCache::with_index_mode(16, 2, 6, mode);
             let addrs: Vec<_> = (0..lines).map(|i| PhysAddr(i * 64)).collect();
@@ -50,67 +65,100 @@ proptest! {
                 c.access(CoreId(0), a);
             }
             for &a in &addrs {
-                prop_assert!(c.probe(a), "{mode:?}: line {a} evicted from a fitting set");
+                assert!(c.probe(a), "{mode:?}: line {a} evicted from a fitting set");
             }
         }
     }
+}
 
-    /// ColorHash partition law: addresses of different colors never map to
-    /// the same set, and each color's sets form a contiguous slice.
-    #[test]
-    fn color_hash_partitions_sets(addr in 0u64..(1 << 30)) {
-        let c = SetAssocCache::with_index_mode(
-            1 << 14,
-            6,
-            7,
-            IndexMode::ColorHash { color_low: 16, color_bits: 5 },
-        );
+/// ColorHash partition law: addresses of different colors never map to
+/// the same set, and each color's sets form a contiguous slice.
+#[test]
+fn color_hash_partitions_sets() {
+    let mut rng = SplitMix64::new(0xc01);
+    let c = SetAssocCache::with_index_mode(
+        1 << 14,
+        6,
+        7,
+        IndexMode::ColorHash {
+            color_low: 16,
+            color_bits: 5,
+        },
+    );
+    for _ in 0..2000 {
+        let addr = rng.gen_range(1 << 30);
         let idx = c.set_index(PhysAddr(addr));
         let color = ((addr >> 16) & 31) as usize;
         let sets_per_color = (1 << 14) / 32;
-        prop_assert_eq!(idx / sets_per_color, color, "set outside color slice: {}", idx);
+        assert_eq!(
+            idx / sets_per_color,
+            color,
+            "set outside color slice: {idx}"
+        );
     }
+}
 
-    /// Hierarchy inclusion-ish law: after an access, the line is findable at
-    /// some level for the accessing core, and a different core sees at most
-    /// the shared L3.
-    #[test]
-    fn hierarchy_visibility(addrs in prop::collection::vec(0u64..(1 << 22), 1..100)) {
+/// Hierarchy inclusion-ish law: after an access, the line is findable at
+/// some level for the accessing core, and a different core sees at most
+/// the shared L3.
+#[test]
+fn hierarchy_visibility() {
+    let mut rng = SplitMix64::new(0x415);
+    for _ in 0..CASES {
+        let n = rng.gen_range_in(1, 100);
         let m = MachineConfig::tiny();
         let mut h = CacheHierarchy::new(&m);
-        for &a in &addrs {
-            let a = PhysAddr(a % m.mapping.total_bytes());
+        for _ in 0..n {
+            let a = PhysAddr(rng.gen_range(1 << 22) % m.mapping.total_bytes());
             h.access(CoreId(0), a);
-            prop_assert!(h.probe(CoreId(0), a).is_some(), "just-accessed line visible");
+            assert!(
+                h.probe(CoreId(0), a).is_some(),
+                "just-accessed line visible"
+            );
             let other = h.probe(CoreId(1), a);
-            prop_assert!(
+            assert!(
                 other.is_none() || other == Some(HitLevel::L3),
                 "private levels must stay private"
             );
         }
     }
+}
 
-    /// Per-core stats add up: hits + misses == accesses at L1.
-    #[test]
-    fn stats_conserve_accesses(addrs in arb_addrs()) {
+/// Per-core stats add up: hits + misses == accesses at L1.
+#[test]
+fn stats_conserve_accesses() {
+    let mut rng = SplitMix64::new(0x57a7);
+    for _ in 0..CASES {
+        let addrs = arb_addrs(&mut rng);
         let m = MachineConfig::tiny();
         let mut h = CacheHierarchy::new(&m);
         for &a in &addrs {
             h.access(CoreId(0), PhysAddr(a % m.mapping.total_bytes()));
         }
         let s = h.stats().core(CoreId(0));
-        prop_assert_eq!(s.l1_hits + s.l1_misses, addrs.len() as u64);
-        prop_assert!(s.l2_hits + s.l2_misses <= s.l1_misses + s.l2_hits + s.l2_misses);
-        prop_assert_eq!(s.l2_hits + s.l2_misses, s.l1_misses, "L2 lookups = L1 misses");
-        prop_assert_eq!(s.l3_hits + s.l3_misses, s.l2_misses, "L3 lookups = L2 misses");
+        assert_eq!(s.l1_hits + s.l1_misses, addrs.len() as u64);
+        assert_eq!(
+            s.l2_hits + s.l2_misses,
+            s.l1_misses,
+            "L2 lookups = L1 misses"
+        );
+        assert_eq!(
+            s.l3_hits + s.l3_misses,
+            s.l2_misses,
+            "L3 lookups = L2 misses"
+        );
     }
+}
 
-    /// Disjoint LLC colors cannot interfere, whatever the access pattern.
-    #[test]
-    fn disjoint_colors_never_interfere(
-        rows_a in prop::collection::vec(0u64..64, 1..40),
-        rows_b in prop::collection::vec(0u64..64, 1..40),
-    ) {
+/// Disjoint LLC colors cannot interfere, whatever the access pattern.
+#[test]
+fn disjoint_colors_never_interfere() {
+    let mut rng = SplitMix64::new(0xd15);
+    for _ in 0..CASES {
+        let na = rng.gen_range_in(1, 40);
+        let nb = rng.gen_range_in(1, 40);
+        let rows_a: Vec<u64> = (0..na).map(|_| rng.gen_range(64)).collect();
+        let rows_b: Vec<u64> = (0..nb).map(|_| rng.gen_range(64)).collect();
         let m = MachineConfig::tiny();
         let mut h = CacheHierarchy::new(&m);
         for (ra, rb) in rows_a.iter().zip(rows_b.iter().cycle()) {
@@ -121,6 +169,6 @@ proptest! {
                 h.access(CoreId(1), fb.at(off));
             }
         }
-        prop_assert_eq!(h.stats().total_llc_interference(), 0);
+        assert_eq!(h.stats().total_llc_interference(), 0);
     }
 }

@@ -20,14 +20,13 @@
 //!   controller* — threads end up with mostly-remote banks, which is
 //!   exactly why the paper finds BPM slower than buddy.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use tint_hw::machine::MachineConfig;
 use tint_hw::types::{BankColor, CoreId, LlcColor, NodeId};
 use tint_kernel::HeapPolicy;
 
 /// A thread's planned colors and base policy.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadColors {
     /// Memory (bank) colors to register via `SET_MEM_COLOR`.
     pub mem: Vec<BankColor>,
@@ -49,7 +48,7 @@ impl ThreadColors {
 }
 
 /// The allocation policies compared in the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ColorScheme {
     /// Stock Linux buddy (NUMA-aware local preference) — the baseline.
     Buddy,
@@ -138,8 +137,9 @@ impl ColorScheme {
             }
         }
 
-        let llc_private =
-            |i: usize| -> Vec<LlcColor> { chunk(llc_total, t, i).map(|c| LlcColor(c as u16)).collect() };
+        let llc_private = |i: usize| -> Vec<LlcColor> {
+            chunk(llc_total, t, i).map(|c| LlcColor(c as u16)).collect()
+        };
         let mem_private = |i: usize| -> Vec<BankColor> {
             let n = nodes[i];
             let local: Vec<BankColor> = map.bank_colors_of_node(n).collect();
@@ -341,8 +341,11 @@ mod tests {
         for (i, p) in plan.iter().enumerate() {
             assert_eq!(p.mem.len(), 8);
             // The stride spreads every thread's banks over all 4 nodes.
-            let nodes: std::collections::HashSet<_> =
-                p.mem.iter().map(|&bc| m.mapping.node_of_bank_color(bc)).collect();
+            let nodes: std::collections::HashSet<_> = p
+                .mem
+                .iter()
+                .map(|&bc| m.mapping.node_of_bank_color(bc))
+                .collect();
             assert_eq!(nodes.len(), 4, "thread {i} must touch every node");
         }
     }
@@ -401,7 +404,10 @@ mod tests {
             assert_eq!(p.mem.len(), 32, "alone on its node: all 32 colors");
             assert_eq!(p.llc.len(), 8);
             let node = m.topology.node_of_core(cores[i]);
-            assert!(p.mem.iter().all(|&bc| m.mapping.node_of_bank_color(bc) == node));
+            assert!(p
+                .mem
+                .iter()
+                .all(|&bc| m.mapping.node_of_bank_color(bc) == node));
         }
     }
 
@@ -413,8 +419,11 @@ mod tests {
         for p in &plan {
             assert!(p.llc.is_empty(), "PALLOC does not color the LLC");
             assert_eq!(p.mem.len(), 8);
-            let nodes: std::collections::HashSet<_> =
-                p.mem.iter().map(|&bc| m.mapping.node_of_bank_color(bc)).collect();
+            let nodes: std::collections::HashSet<_> = p
+                .mem
+                .iter()
+                .map(|&bc| m.mapping.node_of_bank_color(bc))
+                .collect();
             assert_eq!(nodes.len(), 4, "banks spread over all nodes");
         }
     }

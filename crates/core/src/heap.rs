@@ -143,7 +143,10 @@ impl Heap {
         src: &mut S,
         addr: VirtAddr,
     ) -> Result<(), tint_kernel::Errno> {
-        let meta = self.allocs.remove(&addr.0).ok_or(tint_kernel::Errno::Einval)?;
+        let meta = self
+            .allocs
+            .remove(&addr.0)
+            .ok_or(tint_kernel::Errno::Einval)?;
         match meta {
             AllocMeta::Class(class) => {
                 self.free_lists[class].push(addr);
@@ -316,6 +319,10 @@ mod tests {
             let a = h.malloc(&mut s, 512).unwrap();
             h.free(&mut s, a).unwrap();
         }
-        assert_eq!(h.pages_mapped(), SLAB_PAGES, "one slab serves the steady state");
+        assert_eq!(
+            h.pages_mapped(),
+            SLAB_PAGES,
+            "one slab serves the steady state"
+        );
     }
 }

@@ -17,7 +17,7 @@ use crate::heap::{Heap, PageSource};
 use std::collections::HashMap;
 use tint_hw::machine::MachineConfig;
 use tint_hw::pci::PciConfigSpace;
-use tint_hw::types::{BankColor, CoreId, LlcColor, Rw, VirtAddr};
+use tint_hw::types::{BankColor, CoreId, FrameNumber, LlcColor, Rw, VirtAddr};
 use tint_kernel::kernel::{COLOR_ALLOC, SET_LLC_COLOR, SET_MEM_COLOR};
 use tint_kernel::{Errno, HeapPolicy, Kernel, KernelCosts, Tid};
 use tint_mem::{AccessResult, MemorySystem};
@@ -40,6 +40,72 @@ pub struct System {
     kernel: Kernel,
     mem: MemorySystem,
     heaps: HashMap<Tid, Heap>,
+    tlb: Tlb,
+}
+
+/// Slots in the software TLB (direct-mapped).
+const TLB_SLOTS: usize = 1 << 13;
+
+/// One direct-mapped TLB slot. A slot is live only when its `epoch` equals
+/// the kernel's current translation epoch, so invalidating every cached
+/// translation is a counter bump, not a sweep.
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    /// Address-space index the translation belongs to.
+    vm: u32,
+    /// Kernel translation epoch when this slot was filled.
+    epoch: u64,
+    /// Virtual page number.
+    page: u64,
+    /// Frame backing the page.
+    frame: FrameNumber,
+}
+
+/// Software TLB over [`Kernel::translate`], the [`System::access`] fast
+/// path. A direct-mapped table of (address space, page) → frame
+/// translations plus the task-struct fields `access` needs every call
+/// (address space, pinned core). Coherence is epoch-based: the kernel
+/// bumps its [`translation_epoch`](Kernel::translation_epoch) whenever an
+/// existing translation dies (`munmap`, recolor migration), which strands
+/// every slot filled under the old epoch — exactly the
+/// shoot-down-everything model of a hardware TLB without ASID tracking,
+/// and cheap because remap events are rare next to accesses.
+#[derive(Debug, Clone)]
+struct Tlb {
+    /// Direct-mapped slots; conflicting pages simply evict each other.
+    entries: Vec<TlbEntry>,
+    /// `tid.0` → (vm index, pinned core); tids are small and sequential.
+    /// Tasks never migrate or die in this model, so entries stay valid.
+    tasks: Vec<Option<(usize, CoreId)>>,
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Self {
+            // `epoch: u64::MAX` can never equal the kernel's epoch history
+            // (it would take 2^64 invalidations), so all slots start dead.
+            entries: vec![
+                TlbEntry {
+                    vm: u32::MAX,
+                    epoch: u64::MAX,
+                    page: u64::MAX,
+                    frame: FrameNumber(0),
+                };
+                TLB_SLOTS
+            ],
+            tasks: Vec::new(),
+        }
+    }
+}
+
+impl Tlb {
+    /// Slot index for a translation: per-VM pages stream through distinct
+    /// slots; the multiplied VM index keeps different address spaces from
+    /// colliding on the same low page numbers.
+    #[inline]
+    fn slot(vm: usize, page: u64) -> usize {
+        (page ^ (vm as u64).wrapping_mul(0x9E37_79B9)) as usize & (TLB_SLOTS - 1)
+    }
 }
 
 /// Bridges the user-level heap's page requests to the kernel's `mmap`.
@@ -79,6 +145,7 @@ impl System {
             kernel,
             mem,
             heaps: HashMap::new(),
+            tlb: Tlb::default(),
         }
     }
 
@@ -210,14 +277,54 @@ impl System {
 
     /// Issue one memory access from `tid` at cycle `now`: translates
     /// (faulting on first touch, which allocates a frame under the task's
-    /// coloring) and drives the timing model.
-    pub fn access(&mut self, tid: Tid, addr: VirtAddr, rw: Rw, now: u64) -> Result<MemAccess, Errno> {
-        let tr = self.kernel.translate(tid, addr)?;
-        let core = self.kernel.task(tid)?.core;
-        let detail = self.mem.access(core, tr.phys, rw, now + tr.fault_cycles);
+    /// coloring) and drives the timing model. Warm translations come from
+    /// the software [`Tlb`]; only TLB misses and first touches reach
+    /// [`Kernel::translate`].
+    pub fn access(
+        &mut self,
+        tid: Tid,
+        addr: VirtAddr,
+        rw: Rw,
+        now: u64,
+    ) -> Result<MemAccess, Errno> {
+        let ti = tid.0 as usize;
+        let (vm, core) = match self.tlb.tasks.get(ti).copied().flatten() {
+            Some(entry) => entry,
+            None => {
+                let t = self.kernel.task(tid)?;
+                let entry = (t.vm.0, t.core);
+                if ti >= self.tlb.tasks.len() {
+                    self.tlb.tasks.resize(ti + 1, None);
+                }
+                self.tlb.tasks[ti] = Some(entry);
+                entry
+            }
+        };
+
+        // Any destroyed/changed translation bumps the kernel epoch, which
+        // strands every slot filled earlier.
+        let epoch = self.kernel.translation_epoch();
+        let page = addr.page();
+        let slot = Tlb::slot(vm, page.0);
+        let e = self.tlb.entries[slot];
+        let (phys, fault_cycles) = if e.page == page.0 && e.vm == vm as u32 && e.epoch == epoch {
+            (e.frame.at(addr.page_offset()), 0)
+        } else {
+            let tr = self.kernel.translate(tid, addr)?;
+            // `translate` can only install translations (a fault), never
+            // destroy one, so the entry we cache is current.
+            self.tlb.entries[slot] = TlbEntry {
+                vm: vm as u32,
+                epoch,
+                page: page.0,
+                frame: tr.phys.frame(),
+            };
+            (tr.phys, tr.fault_cycles)
+        };
+        let detail = self.mem.access(core, phys, rw, now + fault_cycles);
         Ok(MemAccess {
-            latency: tr.fault_cycles + detail.latency,
-            faulted: tr.fault_cycles > 0,
+            latency: fault_cycles + detail.latency,
+            faulted: fault_cycles > 0,
             detail,
         })
     }

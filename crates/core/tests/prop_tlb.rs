@@ -1,0 +1,234 @@
+//! Property tests for the software TLB in [`System::access`].
+//!
+//! The TLB caches page→frame translations; the kernel bumps its
+//! translation epoch whenever an existing translation dies (`munmap`,
+//! recolor migration). These tests exist so a stale-translation bug —
+//! serving an access from a cached frame after the mapping changed —
+//! fails the suite instead of silently corrupting timing results.
+
+use tint_hw::machine::MachineConfig;
+use tint_hw::rng::SplitMix64;
+use tint_hw::types::{CoreId, Rw, VirtAddr, PAGE_SIZE};
+use tintmalloc::prelude::*;
+
+/// Warm the TLB for every page of `[base, base + len)` and return the
+/// home node the memory system reported for each page.
+fn touch_all(sys: &mut System, tid: Tid, base: VirtAddr, len: u64) -> Vec<tint_hw::types::NodeId> {
+    let mut nodes = Vec::new();
+    let mut off = 0;
+    while off < len {
+        let acc = sys
+            .access(tid, base.offset(off), Rw::Read, 0)
+            .expect("mapped page");
+        nodes.push(acc.detail.home_node);
+        off += PAGE_SIZE;
+    }
+    nodes
+}
+
+/// `free()` of a page-granular allocation munmaps it; a subsequent access
+/// must fault with `Efault`, not hit a stale cached translation.
+#[test]
+fn munmap_invalidates_cached_translations() {
+    let mut sys = System::boot(MachineConfig::opteron_6128());
+    let tid = sys.spawn(CoreId(0));
+    // > 2048 bytes → page-granular allocation, so free() really munmaps.
+    let len = 4 * PAGE_SIZE;
+    let buf = sys.malloc(tid, len).unwrap();
+
+    // First pass faults the pages in; second pass is served from the TLB.
+    touch_all(&mut sys, tid, buf, len);
+    for off in (0..len).step_by(PAGE_SIZE as usize) {
+        let acc = sys.access(tid, buf.offset(off), Rw::Read, 0).unwrap();
+        assert!(!acc.faulted, "second touch must be fault-free");
+    }
+
+    sys.free(tid, buf).unwrap();
+    for off in (0..len).step_by(PAGE_SIZE as usize) {
+        assert_eq!(
+            sys.access(tid, buf.offset(off), Rw::Read, 0),
+            Err(Errno::Efault),
+            "access after munmap must fault, not reuse a cached translation (offset {off})"
+        );
+    }
+}
+
+/// After the freed region's pages are handed to a *different* task, the
+/// first task's re-allocation must observe its own new frames — the TLB
+/// must not leak the dead translation across the malloc/free boundary.
+#[test]
+fn remalloc_after_free_sees_fresh_frames() {
+    let mut sys = System::boot(MachineConfig::opteron_6128());
+    let tid = sys.spawn(CoreId(0));
+    let len = 8 * PAGE_SIZE;
+    let buf = sys.malloc(tid, len).unwrap();
+    touch_all(&mut sys, tid, buf, len);
+    sys.free(tid, buf).unwrap();
+
+    let buf2 = sys.malloc(tid, len).unwrap();
+    touch_all(&mut sys, tid, buf2, len);
+    for off in (0..len).step_by(PAGE_SIZE as usize) {
+        let truth = sys.resolve(tid, buf2.offset(off)).unwrap();
+        let acc = sys.access(tid, buf2.offset(off), Rw::Read, 0).unwrap();
+        let want = sys.machine().mapping.decode_frame(truth.frame()).node;
+        assert_eq!(
+            acc.detail.home_node, want,
+            "access must observe the page table's current frame (offset {off})"
+        );
+    }
+}
+
+/// Recoloring migrates pages to new frames; accesses immediately after
+/// must see the migrated placement. A TLB that survives `recolor` keeps
+/// routing accesses to the old node and fails the home-node assertions.
+#[test]
+fn recolor_invalidates_cached_translations() {
+    let machine = MachineConfig::opteron_6128();
+    let mut sys = System::boot(machine);
+    // Core 12 lives on node 3; color the task with a node-0 bank color.
+    let core = CoreId(12);
+    let local = sys.machine().topology.node_of_core(core);
+    let target = sys.machine().mapping.node_of_bank_color(BankColor(0));
+    assert_ne!(local, target, "test needs a remote color target");
+
+    let tid = sys.spawn(core);
+    // NUMA-aware base policy so uncolored pages land node-local (the
+    // default `Legacy` policy hands out the globally lowest frames, which
+    // sit on node 0 and can coincidentally match bank color 0).
+    sys.set_policy(tid, HeapPolicy::FirstTouch).unwrap();
+    sys.set_mem_color(tid, BankColor(0)).unwrap();
+
+    // Page-cache pages ignore the task's colors: first-touch, node-local,
+    // and therefore in violation of the task's color set.
+    let len = 16 * PAGE_SIZE;
+    let buf = sys.malloc_pagecache(tid, len).unwrap();
+    let before = touch_all(&mut sys, tid, buf, len);
+    assert!(
+        before.iter().all(|&n| n == local),
+        "page-cache pages should start node-local: {before:?}"
+    );
+
+    let (migrated, _cycles) = sys.recolor(tid).unwrap();
+    assert_eq!(
+        migrated,
+        len / PAGE_SIZE,
+        "every violating page must migrate"
+    );
+
+    // Every access must now observe the migrated, node-0 frames. The TLB
+    // is still warm with pre-migration entries; only epoch invalidation
+    // makes this pass.
+    let after = touch_all(&mut sys, tid, buf, len);
+    assert!(
+        after.iter().all(|&n| n == target),
+        "post-recolor accesses must land on the color's node: {after:?}"
+    );
+    for off in (0..len).step_by(PAGE_SIZE as usize) {
+        let truth = sys.resolve(tid, buf.offset(off)).unwrap();
+        let want = sys.machine().mapping.decode_frame(truth.frame()).node;
+        let acc = sys.access(tid, buf.offset(off), Rw::Read, 0).unwrap();
+        assert_eq!(
+            acc.detail.home_node, want,
+            "stale translation at offset {off}"
+        );
+    }
+}
+
+/// Range recoloring invalidates only what it must, but accesses must stay
+/// coherent for the whole buffer: migrated pages move, others don't.
+#[test]
+fn recolor_range_keeps_accesses_coherent() {
+    let mut sys = System::boot(MachineConfig::opteron_6128());
+    let core = CoreId(12);
+    let local = sys.machine().topology.node_of_core(core);
+    let target = sys.machine().mapping.node_of_bank_color(BankColor(0));
+    let tid = sys.spawn(core);
+    sys.set_policy(tid, HeapPolicy::FirstTouch).unwrap();
+    sys.set_mem_color(tid, BankColor(0)).unwrap();
+
+    let len = 16 * PAGE_SIZE;
+    let buf = sys.malloc_pagecache(tid, len).unwrap();
+    touch_all(&mut sys, tid, buf, len);
+
+    // Migrate only the first half.
+    let half = len / 2;
+    let (migrated, _) = sys.recolor_range(tid, buf, half).unwrap();
+    assert_eq!(migrated, half / PAGE_SIZE);
+
+    let nodes = touch_all(&mut sys, tid, buf, len);
+    for (i, &n) in nodes.iter().enumerate() {
+        let want = if (i as u64) < half / PAGE_SIZE {
+            target
+        } else {
+            local
+        };
+        assert_eq!(n, want, "page {i} on wrong node after range recolor");
+    }
+}
+
+/// Seeded property loop: under a random mix of malloc / touch / free /
+/// recolor, every access's observed home node matches a fresh page-table
+/// walk, and every freed address faults. This is the invariant the TLB
+/// must preserve no matter how translations churn.
+#[test]
+fn random_op_stream_never_observes_stale_translations() {
+    let mut rng = SplitMix64::new(0x7e5_7db);
+    for case in 0..8u64 {
+        let mut sys = System::boot(MachineConfig::opteron_6128());
+        let core = CoreId((case % 16) as usize);
+        let tid = sys.spawn(core);
+        sys.set_mem_color(tid, BankColor(0)).unwrap();
+
+        let mut live: Vec<(VirtAddr, u64)> = Vec::new();
+        let mut dead: Vec<VirtAddr> = Vec::new();
+        for _ in 0..40 {
+            match rng.next_u64() % 5 {
+                // malloc a few pages (page-granular, uncolored via the
+                // page cache half the time to create migration targets).
+                0 => {
+                    let pages = 1 + rng.next_u64() % 4;
+                    let len = pages * PAGE_SIZE;
+                    let buf = if rng.next_u64().is_multiple_of(2) {
+                        sys.malloc_pagecache(tid, len).unwrap()
+                    } else {
+                        sys.malloc(tid, len).unwrap()
+                    };
+                    live.push((buf, len));
+                }
+                // free a live buffer.
+                1 if !live.is_empty() => {
+                    let i = (rng.next_u64() % live.len() as u64) as usize;
+                    let (buf, _) = live.swap_remove(i);
+                    sys.free(tid, buf).unwrap();
+                    dead.push(buf);
+                }
+                // recolor everything resident.
+                2 => {
+                    sys.recolor(tid).unwrap();
+                }
+                // touch a random live page and check against ground truth.
+                _ if !live.is_empty() => {
+                    let i = (rng.next_u64() % live.len() as u64) as usize;
+                    let (buf, len) = live[i];
+                    let off = (rng.next_u64() % (len / PAGE_SIZE)) * PAGE_SIZE;
+                    let va = buf.offset(off);
+                    let truth = sys.resolve(tid, va).unwrap();
+                    let want = sys.machine().mapping.decode_frame(truth.frame()).node;
+                    let acc = sys.access(tid, va, Rw::Read, 0).unwrap();
+                    assert_eq!(
+                        acc.detail.home_node, want,
+                        "case {case}: stale node for {va}"
+                    );
+                }
+                _ => {}
+            }
+        }
+        for buf in dead {
+            assert_eq!(
+                sys.access(tid, buf, Rw::Read, 0),
+                Err(Errno::Efault),
+                "case {case}: freed address {buf} must fault"
+            );
+        }
+    }
+}

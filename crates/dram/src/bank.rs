@@ -7,11 +7,10 @@
 //! column). Refresh closes the open row and makes the bank unavailable for
 //! `tRFC` every `tREFI`.
 
-use serde::{Deserialize, Serialize};
 use tint_hw::machine::{DramConfig, PagePolicy};
 
 /// Outcome of the row-buffer check for one access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RowOutcome {
     /// The requested row was already open: column access only (`tCAS`).
     Hit,
@@ -34,7 +33,7 @@ impl RowOutcome {
 }
 
 /// Timing state of a single bank.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BankState {
     /// Currently open row, if any.
     open_row: Option<u64>,

@@ -1,11 +1,10 @@
 //! Counters collected by the DRAM simulator.
 
 use crate::bank::RowOutcome;
-use serde::{Deserialize, Serialize};
 use tint_hw::types::{BankColor, NodeId};
 
 /// Per-bank counters.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BankStats {
     /// Row-buffer hits.
     pub row_hits: u64,
@@ -44,7 +43,7 @@ impl BankStats {
 }
 
 /// Machine-wide DRAM counters, indexable per bank and per node.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DramStats {
     /// One entry per bank color (global flattened bank coordinate).
     pub banks: Vec<BankStats>,

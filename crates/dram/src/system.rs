@@ -8,13 +8,13 @@
 
 use crate::bank::{BankState, RowOutcome};
 use crate::stats::DramStats;
-use serde::{Deserialize, Serialize};
 use tint_hw::addrmap::AddressMapping;
+use tint_hw::decoder::FrameDecoder;
 use tint_hw::machine::DramConfig;
 use tint_hw::types::{BankColor, NodeId, PhysAddr, Rw};
 
 /// Result of one DRAM access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramAccess {
     /// Cycle at which the data transfer completes.
     pub complete_at: u64,
@@ -39,6 +39,9 @@ pub struct DramAccess {
 pub struct DramSystem {
     timing: DramConfig,
     mapping: AddressMapping,
+    /// Precomputed frame→(node, bank, channel, row) decode for the access
+    /// inner loop; pure derived state, rebuilt from `mapping` on construction.
+    decoder: FrameDecoder,
     /// One bank per bank color (the flattened global bank coordinate).
     banks: Vec<BankState>,
     /// Controller front-end availability, per node.
@@ -58,6 +61,7 @@ impl DramSystem {
         let channels = nodes * mapping.channels_per_node();
         Self {
             timing,
+            decoder: FrameDecoder::new(&mapping),
             mapping,
             banks,
             ctrl_free_at: vec![0; nodes],
@@ -86,10 +90,16 @@ impl DramSystem {
     /// paper's synthetic benchmark measures write latency; the row-buffer
     /// dynamics are identical in this model).
     pub fn access(&mut self, addr: PhysAddr, _rw: Rw, now: u64) -> DramAccess {
-        let d = self.mapping.decode(addr);
-        let node = d.node;
-        let bc = d.bank_color;
-        let chan = self.mapping.global_channel(node, d.channel);
+        let frame = addr.frame();
+        assert!(
+            frame.0 < self.decoder.frame_count(),
+            "physical address {addr} beyond installed memory"
+        );
+        let d = self.decoder.info(frame);
+        let node = NodeId(d.node as usize);
+        let bc = BankColor(d.bank_color);
+        let chan = d.global_channel as usize;
+        let row = self.decoder.dram_row(frame);
 
         // 1. Controller front-end: demultiplexes requests serially (§II.B).
         let ctrl_start = now.max(self.ctrl_free_at[node.index()]);
@@ -98,7 +108,8 @@ impl DramSystem {
         self.ctrl_free_at[node.index()] = issued;
 
         // 2. Bank: row-buffer state machine.
-        let (outcome, bank_start, bank_done) = self.banks[bc.index()].access(d.row, issued, &self.timing);
+        let (outcome, bank_start, bank_done) =
+            self.banks[bc.index()].access(row, issued, &self.timing);
         let bank_wait = bank_start - issued;
 
         // 3. Channel data bus: one line transfer.

@@ -47,11 +47,10 @@
 use crate::types::{
     BankColor, BankId, ChannelId, FrameNumber, LlcColor, NodeId, PhysAddr, RankId, PAGE_SHIFT,
 };
-use serde::{Deserialize, Serialize};
 
 /// Widths (in bits) of every field of the physical address, low to high
 /// above the page offset. See the module docs for the layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressMapping {
     /// log2 of the cache-line size (Opteron: 7, i.e. 128-byte lines).
     pub line_shift: u32,
@@ -71,7 +70,7 @@ pub struct AddressMapping {
 }
 
 /// A fully decoded physical address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecodedAddr {
     /// Memory node / controller.
     pub node: NodeId,
@@ -93,7 +92,7 @@ pub struct DecodedAddr {
 }
 
 /// The page-granular part of a decoded address: everything a frame fixes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecodedFrame {
     /// Memory node / controller the frame lives on.
     pub node: NodeId,
@@ -277,7 +276,10 @@ impl AddressMapping {
 
     /// Invert equation (1): the DRAM coordinate of a bank color.
     pub fn coords_of_bank_color(&self, bc: BankColor) -> (NodeId, ChannelId, RankId, BankId) {
-        assert!(bc.index() < self.bank_color_count(), "bank color {bc} out of range");
+        assert!(
+            bc.index() < self.bank_color_count(),
+            "bank color {bc} out of range"
+        );
         let mut v = bc.index();
         let bank = v % self.banks_per_rank();
         v /= self.banks_per_rank();
@@ -292,7 +294,10 @@ impl AddressMapping {
     /// `n` owns colors `[n*cpn, (n+1)*cpn)` with `cpn = bank_colors_per_node`.
     #[inline]
     pub fn node_of_bank_color(&self, bc: BankColor) -> NodeId {
-        assert!(bc.index() < self.bank_color_count(), "bank color {bc} out of range");
+        assert!(
+            bc.index() < self.bank_color_count(),
+            "bank color {bc} out of range"
+        );
         NodeId(bc.index() / self.bank_colors_per_node())
     }
 
@@ -372,7 +377,10 @@ impl AddressMapping {
     /// the inverse of [`AddressMapping::decode_frame`] and the primitive the
     /// simulated "BIOS" uses to enumerate frames of a color.
     pub fn compose_frame(&self, bc: BankColor, llc: LlcColor, row: u64) -> FrameNumber {
-        assert!(llc.index() < self.llc_color_count(), "LLC color {llc} out of range");
+        assert!(
+            llc.index() < self.llc_color_count(),
+            "LLC color {llc} out of range"
+        );
         assert!(row < self.frames_per_color_pair(), "row {row} out of range");
         let (node, channel, rank, bank) = self.coords_of_bank_color(bc);
         let addr = ((llc.raw() as u64) << self.llc_off())
@@ -482,8 +490,14 @@ mod tests {
         let base = m.decode(f.base());
         for off in (0..4096).step_by(128) {
             let d = m.decode(f.at(off));
-            assert_eq!(d.bank_color, base.bank_color, "bank color must be page-granular");
-            assert_eq!(d.llc_color, base.llc_color, "LLC color must be page-granular");
+            assert_eq!(
+                d.bank_color, base.bank_color,
+                "bank color must be page-granular"
+            );
+            assert_eq!(
+                d.llc_color, base.llc_color,
+                "LLC color must be page-granular"
+            );
             assert_eq!(d.row, base.row, "a page never splits rows in this model");
         }
     }
@@ -513,8 +527,9 @@ mod tests {
         assert_ne!(d0.bank_color, d1.bank_color, "channel rotates first");
         assert_eq!(d0.llc_color, d1.llc_color);
         // 16 consecutive frames cover 16 distinct bank colors.
-        let colors: std::collections::HashSet<_> =
-            (0..16).map(|f| m.decode_frame(FrameNumber(f)).bank_color).collect();
+        let colors: std::collections::HashSet<_> = (0..16)
+            .map(|f| m.decode_frame(FrameNumber(f)).bank_color)
+            .collect();
         assert_eq!(colors.len(), 16);
         // After the 16 channel×bank combos, the LLC color advances.
         let d16 = m.decode_frame(FrameNumber(16));
@@ -531,7 +546,10 @@ mod tests {
         assert_eq!(m.total_bytes(), 1 << 26);
         let f = m.compose_frame(BankColor(3), LlcColor(2), 7);
         let d = m.decode_frame(f);
-        assert_eq!((d.bank_color, d.llc_color, d.row), (BankColor(3), LlcColor(2), 7));
+        assert_eq!(
+            (d.bank_color, d.llc_color, d.row),
+            (BankColor(3), LlcColor(2), 7)
+        );
     }
 
     #[test]

@@ -34,8 +34,10 @@
 //! ```
 
 pub mod addrmap;
+pub mod decoder;
 pub mod machine;
 pub mod pci;
+pub mod rng;
 pub mod topology;
 pub mod types;
 

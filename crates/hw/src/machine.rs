@@ -8,10 +8,9 @@
 
 use crate::addrmap::AddressMapping;
 use crate::topology::Topology;
-use serde::{Deserialize, Serialize};
 
 /// Geometry and hit latency of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheLevelConfig {
     /// Capacity in bytes.
     pub bytes: u64,
@@ -25,13 +24,16 @@ impl CacheLevelConfig {
     /// Number of sets for a given line size.
     pub fn sets(&self, line_size: u64) -> usize {
         let sets = self.bytes / (line_size * self.assoc as u64);
-        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         sets as usize
     }
 }
 
 /// The cache hierarchy: private L1 and L2 per core, shared L3 (LLC).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Private per-core L1 data cache.
     pub l1: CacheLevelConfig,
@@ -42,7 +44,7 @@ pub struct CacheConfig {
 }
 
 /// Row-buffer management policy of the memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PagePolicy {
     /// Open-page: leave the row open after an access (rewards locality,
     /// punishes sharing — the regime the paper's analysis assumes).
@@ -54,7 +56,7 @@ pub enum PagePolicy {
 }
 
 /// DRAM device and controller timing, in core cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
     /// Column access strobe: row-buffer hit cost.
     pub t_cas: u64,
@@ -75,7 +77,7 @@ pub struct DramConfig {
 }
 
 /// Interconnect (HyperTransport-style) latencies, in core cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InterconnectConfig {
     /// Extra latency for a same-socket remote node (1 extra hop).
     pub same_socket_extra: u64,
@@ -99,7 +101,7 @@ impl InterconnectConfig {
 }
 
 /// Full machine description consumed by every simulator crate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Human-readable preset name.
     pub name: String,

@@ -18,13 +18,12 @@
 //! register contents are rejected the way real boot code must.
 
 use crate::addrmap::AddressMapping;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// DRAM base/limit register pair for one node, in the AMD style: with node
 /// interleaving enabled, `intlv_en` is a mask of how many low node-select
 /// bits participate and `intlv_sel` is the node's value of those bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramBaseLimit {
     /// First physical address owned by the node (with interleaving the range
     /// is shared and selection happens through the interleave bits).
@@ -39,7 +38,7 @@ pub struct DramBaseLimit {
 }
 
 /// DRAM controller select register: position/width of the channel bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DctSelect {
     /// Lowest physical-address bit that selects the channel.
     pub channel_bit: u32,
@@ -48,7 +47,7 @@ pub struct DctSelect {
 }
 
 /// Chip-select base register: positions of the rank and bank select bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CsBase {
     /// Lowest physical-address bit selecting the rank.
     pub rank_bit: u32,
@@ -62,7 +61,7 @@ pub struct CsBase {
 
 /// Bank-address-mapping register: where the row field starts and how wide it
 /// is (the row/column split).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BankAddrMap {
     /// Lowest physical-address bit of the DRAM row.
     pub row_bit: u32,
@@ -76,7 +75,7 @@ pub struct BankAddrMap {
 }
 
 /// The subset of PCI configuration space TintMalloc's boot code reads.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PciConfigSpace {
     /// One DRAM base/limit pair per node, indexed by node id.
     pub dram_base_limit: Vec<DramBaseLimit>,
@@ -101,7 +100,11 @@ pub enum PciError {
     DuplicateInterleaveSelect(u8),
     /// The decoded fields are not contiguous above the page offset — frames
     /// would not have page-granular colors.
-    FieldsNotContiguous { expected_bit: u32, got: u32, field: &'static str },
+    FieldsNotContiguous {
+        expected_bit: u32,
+        got: u32,
+        field: &'static str,
+    },
 }
 
 impl fmt::Display for PciError {
@@ -284,7 +287,10 @@ mod tests {
     fn non_power_of_two_nodes_rejected() {
         let mut pci = PciConfigSpace::programmed_by_bios(&AddressMapping::opteron_6128());
         pci.dram_base_limit.truncate(3);
-        assert_eq!(derive_mapping(&pci), Err(PciError::NodeCountNotPowerOfTwo(3)));
+        assert_eq!(
+            derive_mapping(&pci),
+            Err(PciError::NodeCountNotPowerOfTwo(3))
+        );
     }
 
     #[test]
@@ -331,7 +337,11 @@ mod tests {
     fn errors_display() {
         let e = PciError::NoNodes;
         assert!(!e.to_string().is_empty());
-        let e = PciError::FieldsNotContiguous { expected_bit: 17, got: 18, field: "channel" };
+        let e = PciError::FieldsNotContiguous {
+            expected_bit: 17,
+            got: 18,
+            field: "channel",
+        };
         assert!(e.to_string().contains("channel"));
     }
 }

@@ -1,0 +1,110 @@
+//! Minimal deterministic pseudo-random number generator.
+//!
+//! The simulator must be bit-reproducible from a seed and must build without
+//! any external crates, so this is a self-contained SplitMix64 generator
+//! (Steele, Lea & Flood — "Fast splittable pseudorandom number generators",
+//! OOPSLA 2014). It is used by the workload emulators and by the seeded-loop
+//! property tests; it is *not* cryptographic.
+
+/// SplitMix64: a tiny, fast, full-period (2^64) generator.
+///
+/// Identical seeds always produce identical streams, on every platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Generator seeded with `seed`.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` via the multiply-shift reduction
+    /// (Lemire, 2016). `bound` must be non-zero.
+    #[inline]
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    #[inline]
+    pub fn gen_range_in(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.gen_range(hi - lo)
+    }
+
+    /// Coin flip with probability `num/denom` of `true`.
+    #[inline]
+    pub fn gen_ratio(&mut self, num: u64, denom: u64) -> bool {
+        self.gen_range(denom) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn known_reference_values() {
+        // Standard SplitMix64 golden values for seed 0; pins the algorithm
+        // so a refactor cannot silently change every workload's stream.
+        let mut r2 = SplitMix64::new(0);
+        assert_eq!(r2.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r2.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r2.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SplitMix64::new(99);
+        for bound in [1u64, 2, 3, 7, 64, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(r.gen_range(bound) < bound);
+            }
+        }
+        for _ in 0..200 {
+            let v = r.gen_range_in(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut r = SplitMix64::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[r.gen_range(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

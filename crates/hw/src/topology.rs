@@ -7,10 +7,9 @@
 //! 3 hops away. We store hops as *extra* hops beyond local (0 = local).
 
 use crate::types::{CoreId, NodeId, SocketId};
-use serde::{Deserialize, Serialize};
 
 /// The machine's processor/memory-node layout.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     /// Number of processor packages.
     pub sockets: usize,

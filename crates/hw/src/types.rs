@@ -4,7 +4,6 @@
 //! addresses, frame numbers, colors). Mixing them up is the classic source of
 //! silent simulation bugs, so each one is a newtype.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Base-2 logarithm of the page size (4 KiB pages, as in the paper).
@@ -16,7 +15,7 @@ macro_rules! id_newtype {
     ($(#[$doc:meta])* $name:ident, $inner:ty) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub $inner);
 
@@ -96,19 +95,19 @@ id_newtype!(
 );
 
 /// A physical (machine) address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PhysAddr(pub u64);
 
 /// A virtual address within one simulated task's address space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VirtAddr(pub u64);
 
 /// A physical page-frame number (`PhysAddr >> PAGE_SHIFT`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FrameNumber(pub u64);
 
 /// A virtual page number (`VirtAddr >> PAGE_SHIFT`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PageNumber(pub u64);
 
 impl PhysAddr {
@@ -187,7 +186,7 @@ impl fmt::Display for FrameNumber {
 }
 
 /// Direction of a memory access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rw {
     /// A load.
     Read,

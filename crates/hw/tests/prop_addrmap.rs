@@ -1,43 +1,55 @@
 //! Property tests for the address-mapping color algebra.
+//!
+//! Implemented as seeded-loop randomized tests over a deterministic local
+//! PRNG ([`SplitMix64`]): the same properties as a property-testing
+//! framework would exercise, but with zero external dependencies and a
+//! reproducible case list.
 
-use proptest::prelude::*;
 use tint_hw::addrmap::AddressMapping;
 use tint_hw::pci::{derive_mapping, PciConfigSpace};
+use tint_hw::rng::SplitMix64;
 use tint_hw::types::{BankColor, FrameNumber, LlcColor, PhysAddr};
 
-/// Strategy producing structurally valid mappings of varied widths.
-fn arb_mapping() -> impl Strategy<Value = AddressMapping> {
-    (0u32..=5, 0u32..=2, 0u32..=2, 0u32..=4, 0u32..=3, 1u32..=12, 5u32..=8).prop_map(
-        |(llc, ch, rank, bank, node, row, line)| AddressMapping {
-            line_shift: line,
-            llc_bits: llc,
-            channel_bits: ch,
-            rank_bits: rank,
-            bank_bits: bank,
-            node_bits: node,
-            row_bits: row,
-        },
-    )
+const CASES: u64 = 300;
+
+/// Structurally valid mapping of varied widths, drawn from `rng`.
+fn arb_mapping(rng: &mut SplitMix64) -> AddressMapping {
+    AddressMapping {
+        line_shift: rng.gen_range_in(5, 9) as u32,
+        llc_bits: rng.gen_range(6) as u32,
+        channel_bits: rng.gen_range(3) as u32,
+        rank_bits: rng.gen_range(3) as u32,
+        bank_bits: rng.gen_range(5) as u32,
+        node_bits: rng.gen_range(4) as u32,
+        row_bits: rng.gen_range_in(1, 13) as u32,
+    }
 }
 
-proptest! {
-    /// Every frame decodes, and re-composing from its colors + row gives the
-    /// same frame back: decode_frame and compose_frame are mutual inverses.
-    #[test]
-    fn frame_decode_compose_roundtrip(map in arb_mapping(), seed in any::<u64>()) {
-        let frame = FrameNumber(seed % map.frame_count());
+/// Every frame decodes, and re-composing from its colors + row gives the
+/// same frame back: decode_frame and compose_frame are mutual inverses.
+#[test]
+fn frame_decode_compose_roundtrip() {
+    let mut rng = SplitMix64::new(0xadd7_e550);
+    for _ in 0..CASES {
+        let map = arb_mapping(&mut rng);
+        let frame = FrameNumber(rng.next_u64() % map.frame_count());
         let d = map.decode_frame(frame);
         let back = map.compose_frame(d.bank_color, d.llc_color, d.row);
-        prop_assert_eq!(back, frame);
+        assert_eq!(back, frame, "map {map:?}");
     }
+}
 
-    /// Equation (1) is a bijection: compose_frame hits distinct frames for
-    /// distinct (bank color, LLC color, row) triples.
-    #[test]
-    fn compose_is_injective(map in arb_mapping(), a in any::<u64>(), b in any::<u64>()) {
-        let n = map.bank_color_count() as u64 * map.llc_color_count() as u64
+/// Equation (1) is a bijection: compose_frame hits distinct frames for
+/// distinct (bank color, LLC color, row) triples.
+#[test]
+fn compose_is_injective() {
+    let mut rng = SplitMix64::new(0x171e);
+    for _ in 0..CASES {
+        let map = arb_mapping(&mut rng);
+        let n = map.bank_color_count() as u64
+            * map.llc_color_count() as u64
             * map.frames_per_color_pair();
-        let (a, b) = (a % n, b % n);
+        let (a, b) = (rng.next_u64() % n, rng.next_u64() % n);
         let split = |v: u64| {
             let row = v % map.frames_per_color_pair();
             let v = v / map.frames_per_color_pair();
@@ -49,42 +61,62 @@ proptest! {
         let (bcb, llcb, rowb) = split(b);
         let fa = map.compose_frame(bca, llca, rowa);
         let fb = map.compose_frame(bcb, llcb, rowb);
-        prop_assert_eq!(fa == fb, a == b);
+        assert_eq!(fa == fb, a == b, "map {map:?}");
     }
+}
 
-    /// All bytes of a page share the page's colors (page-granular coloring,
-    /// required by color_list[MEM_ID][cache_ID]).
-    #[test]
-    fn colors_are_page_granular(map in arb_mapping(), seed in any::<u64>(), off in 0u64..4096) {
-        let frame = FrameNumber(seed % map.frame_count());
+/// All bytes of a page share the page's colors (page-granular coloring,
+/// required by color_list[MEM_ID][cache_ID]).
+#[test]
+fn colors_are_page_granular() {
+    let mut rng = SplitMix64::new(0x9a9e);
+    for _ in 0..CASES {
+        let map = arb_mapping(&mut rng);
+        let frame = FrameNumber(rng.next_u64() % map.frame_count());
+        let off = rng.gen_range(4096);
         let base = map.decode(frame.base());
         let d = map.decode(frame.at(off));
-        prop_assert_eq!(d.bank_color, base.bank_color);
-        prop_assert_eq!(d.llc_color, base.llc_color);
-        prop_assert_eq!(d.row, base.row);
-        prop_assert_eq!(d.node, base.node);
+        assert_eq!(d.bank_color, base.bank_color);
+        assert_eq!(d.llc_color, base.llc_color);
+        assert_eq!(d.row, base.row);
+        assert_eq!(d.node, base.node);
     }
+}
 
-    /// The node derived from a bank color agrees with decoding any address
-    /// of that color.
-    #[test]
-    fn node_of_bank_color_consistent(map in arb_mapping(), seed in any::<u64>()) {
-        let frame = FrameNumber(seed % map.frame_count());
+/// The node derived from a bank color agrees with decoding any address
+/// of that color.
+#[test]
+fn node_of_bank_color_consistent() {
+    let mut rng = SplitMix64::new(0x0de);
+    for _ in 0..CASES {
+        let map = arb_mapping(&mut rng);
+        let frame = FrameNumber(rng.next_u64() % map.frame_count());
         let d = map.decode_frame(frame);
-        prop_assert_eq!(map.node_of_bank_color(d.bank_color), d.node);
+        assert_eq!(map.node_of_bank_color(d.bank_color), d.node);
     }
+}
 
-    /// BIOS programming followed by boot derivation reproduces the mapping.
-    #[test]
-    fn pci_roundtrip(map in arb_mapping()) {
+/// BIOS programming followed by boot derivation reproduces the mapping.
+#[test]
+fn pci_roundtrip() {
+    let mut rng = SplitMix64::new(0x9c1);
+    for _ in 0..CASES {
+        let map = arb_mapping(&mut rng);
         let pci = PciConfigSpace::programmed_by_bios(&map);
-        prop_assert_eq!(derive_mapping(&pci).unwrap(), map);
+        assert_eq!(derive_mapping(&pci).unwrap(), map);
     }
+}
 
-    /// LLC color of an address equals the LLC color of its frame.
-    #[test]
-    fn llc_color_matches_frame(map in arb_mapping(), seed in any::<u64>()) {
-        let addr = PhysAddr(seed % map.total_bytes());
-        prop_assert_eq!(map.llc_color(addr), map.decode_frame(addr.frame()).llc_color);
+/// LLC color of an address equals the LLC color of its frame.
+#[test]
+fn llc_color_matches_frame() {
+    let mut rng = SplitMix64::new(0x11c);
+    for _ in 0..CASES {
+        let map = arb_mapping(&mut rng);
+        let addr = PhysAddr(rng.next_u64() % map.total_bytes());
+        assert_eq!(
+            map.llc_color(addr),
+            map.decode_frame(addr.frame()).llc_color
+        );
     }
 }

@@ -93,7 +93,9 @@ impl BuddyAllocator {
 
     /// Iterate the free blocks at `order`, lowest address first.
     pub fn blocks(&self, order: u32) -> impl Iterator<Item = FrameNumber> + '_ {
-        self.free_lists[order as usize].iter().map(|&s| FrameNumber(s))
+        self.free_lists[order as usize]
+            .iter()
+            .map(|&s| FrameNumber(s))
     }
 
     /// Insert a block without attempting to coalesce (used when splitting a
@@ -164,8 +166,14 @@ impl BuddyAllocator {
     pub fn free(&mut self, frame: FrameNumber, order: u32) {
         assert!(order <= MAX_ORDER);
         let mut start = frame.0;
-        assert!(start.is_multiple_of(1 << order), "misaligned free of {frame} at order {order}");
-        assert!(start + (1 << order) <= self.frame_count, "free beyond memory");
+        assert!(
+            start.is_multiple_of(1 << order),
+            "misaligned free of {frame} at order {order}"
+        );
+        assert!(
+            start + (1 << order) <= self.frame_count,
+            "free beyond memory"
+        );
         let mut order = order;
         self.free_pages += 1 << order;
         while order < MAX_ORDER {
@@ -253,7 +261,10 @@ mod tests {
         let f1 = b.alloc(0).unwrap();
         let f2 = b.alloc(0).unwrap();
         let f3 = b.alloc(0).unwrap();
-        assert!(f1.0 < f2.0 && f2.0 < f3.0, "the uncolored baseline walks upward");
+        assert!(
+            f1.0 < f2.0 && f2.0 < f3.0,
+            "the uncolored baseline walks upward"
+        );
     }
 
     #[test]
@@ -367,7 +378,10 @@ mod tests {
             b.free(*f, 0);
         }
         assert_eq!(b.free_pages(), 64);
-        assert_eq!(b.free_blocks(6.min(MAX_ORDER)), if MAX_ORDER >= 6 { 1 } else { 0 });
+        assert_eq!(
+            b.free_blocks(6.min(MAX_ORDER)),
+            if MAX_ORDER >= 6 { 1 } else { 0 }
+        );
         b.check_invariants();
     }
 }

@@ -13,11 +13,50 @@ use std::collections::VecDeque;
 use tint_hw::addrmap::AddressMapping;
 use tint_hw::types::{BankColor, FrameNumber, LlcColor};
 
+/// First set bit of `words` at an index ≥ `start`, wrapping around — the
+/// same list a cursor-based linear scan over all bits would find. Padding
+/// bits above the logical bit count are never set.
+#[inline]
+fn first_set_from(words: &[u64], start: usize) -> Option<usize> {
+    let sw = start / 64;
+    let above = words[sw] >> (start % 64);
+    if above != 0 {
+        return Some(start + above.trailing_zeros() as usize);
+    }
+    // Remaining words in wrap order; revisiting word `sw` last also covers
+    // its bits *below* `start` (its bits at/above were just ruled out).
+    for i in 1..=words.len() {
+        let idx = (sw + i) % words.len();
+        let w = words[idx];
+        if w != 0 {
+            return Some(idx * 64 + w.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
 /// The matrix of per-(bank color, LLC color) page free lists.
+///
+/// Alongside the lists the matrix keeps two bitset indexes of the non-empty
+/// lists — the LLC colors non-empty per bank color and the bank colors
+/// non-empty per LLC color — so the any-color pops
+/// ([`pop_bank`](Self::pop_bank), [`pop_llc`](Self::pop_llc)) find their
+/// victim with a shift and a trailing-zeros count instead of scanning up to
+/// `bank_color_count` lists.
 #[derive(Debug, Clone)]
 pub struct ColorMatrix {
     /// `lists[bank_color][llc_color]` — FIFO page lists.
     lists: Vec<Vec<VecDeque<FrameNumber>>>,
+    /// Per bank color, `llc_words` words: bit `l` set ⇔ `lists[b][l]`
+    /// is non-empty.
+    nonempty_llc: Vec<u64>,
+    /// Per LLC color, `bank_words` words: bit `b` set ⇔ `lists[b][l]`
+    /// is non-empty.
+    nonempty_bank: Vec<u64>,
+    /// Words per bank color in `nonempty_llc`.
+    llc_words: usize,
+    /// Words per LLC color in `nonempty_bank`.
+    bank_words: usize,
     mapping: AddressMapping,
     /// Pages currently held across all lists.
     pages: u64,
@@ -28,11 +67,31 @@ impl ColorMatrix {
     pub fn new(mapping: AddressMapping) -> Self {
         let banks = mapping.bank_color_count();
         let llcs = mapping.llc_color_count();
+        let llc_words = llcs.div_ceil(64);
+        let bank_words = banks.div_ceil(64);
         Self {
             lists: vec![vec![VecDeque::new(); llcs]; banks],
+            nonempty_llc: vec![0; banks * llc_words],
+            nonempty_bank: vec![0; llcs * bank_words],
+            llc_words,
+            bank_words,
             mapping,
             pages: 0,
         }
+    }
+
+    /// Record that `lists[b][l]` just became non-empty.
+    #[inline]
+    fn mark_nonempty(&mut self, b: usize, l: usize) {
+        self.nonempty_llc[b * self.llc_words + l / 64] |= 1u64 << (l % 64);
+        self.nonempty_bank[l * self.bank_words + b / 64] |= 1u64 << (b % 64);
+    }
+
+    /// Record that `lists[b][l]` just became empty.
+    #[inline]
+    fn mark_empty(&mut self, b: usize, l: usize) {
+        self.nonempty_llc[b * self.llc_words + l / 64] &= !(1u64 << (l % 64));
+        self.nonempty_bank[l * self.bank_words + b / 64] &= !(1u64 << (b % 64));
     }
 
     /// Total pages held in color lists.
@@ -59,7 +118,9 @@ impl ColorMatrix {
         for i in 0..n {
             let f = FrameNumber(head.0 + i);
             let d = self.mapping.decode_frame(f);
-            self.lists[d.bank_color.index()][d.llc_color.index()].push_back(f);
+            let (b, l) = (d.bank_color.index(), d.llc_color.index());
+            self.lists[b][l].push_back(f);
+            self.mark_nonempty(b, l);
         }
         self.pages += n;
         n
@@ -70,13 +131,19 @@ impl ColorMatrix {
     /// corresponding colored free lists".
     pub fn push(&mut self, frame: FrameNumber) {
         let d = self.mapping.decode_frame(frame);
-        self.lists[d.bank_color.index()][d.llc_color.index()].push_back(frame);
+        let (b, l) = (d.bank_color.index(), d.llc_color.index());
+        self.lists[b][l].push_back(frame);
+        self.mark_nonempty(b, l);
         self.pages += 1;
     }
 
     /// Pop a page of exactly this (bank color, LLC color).
     pub fn pop(&mut self, bc: BankColor, llc: LlcColor) -> Option<FrameNumber> {
-        let f = self.lists[bc.index()][llc.index()].pop_front()?;
+        let (b, l) = (bc.index(), llc.index());
+        let f = self.lists[b][l].pop_front()?;
+        if self.lists[b][l].is_empty() {
+            self.mark_empty(b, l);
+        }
         self.pages -= 1;
         Some(f)
     }
@@ -85,29 +152,29 @@ impl ColorMatrix {
     /// coloring), round-robining across LLC colors starting at `cursor` to
     /// spread usage. Returns the page and the LLC color it came from.
     pub fn pop_bank(&mut self, bc: BankColor, cursor: usize) -> Option<(FrameNumber, LlcColor)> {
-        let llcs = self.mapping.llc_color_count();
-        for i in 0..llcs {
-            let l = (cursor + i) % llcs;
-            if let Some(f) = self.lists[bc.index()][l].pop_front() {
-                self.pages -= 1;
-                return Some((f, LlcColor(l as u16)));
-            }
-        }
-        None
+        let b = bc.index();
+        let words = &self.nonempty_llc[b * self.llc_words..(b + 1) * self.llc_words];
+        // First non-empty LLC color at/after the cursor, wrapping — the same
+        // list the linear scan would have found.
+        let c = cursor % self.mapping.llc_color_count();
+        let l = first_set_from(words, c)?;
+        let f = self
+            .pop(bc, LlcColor(l as u16))
+            .expect("indexed list non-empty");
+        Some((f, LlcColor(l as u16)))
     }
 
     /// Pop a page whose LLC color is `llc` with *any* bank color (LLC-only
     /// coloring), round-robining across bank colors starting at `cursor`.
     pub fn pop_llc(&mut self, llc: LlcColor, cursor: usize) -> Option<(FrameNumber, BankColor)> {
-        let banks = self.mapping.bank_color_count();
-        for i in 0..banks {
-            let b = (cursor + i) % banks;
-            if let Some(f) = self.lists[b][llc.index()].pop_front() {
-                self.pages -= 1;
-                return Some((f, BankColor(b as u16)));
-            }
-        }
-        None
+        let l = llc.index();
+        let words = &self.nonempty_bank[l * self.bank_words..(l + 1) * self.bank_words];
+        let c = cursor % self.mapping.bank_color_count();
+        let b = first_set_from(words, c)?;
+        let f = self
+            .pop(BankColor(b as u16), llc)
+            .expect("indexed list non-empty");
+        Some((f, BankColor(b as u16)))
     }
 
     /// The mapping used to decode frames.
@@ -127,6 +194,17 @@ impl ColorMatrix {
                     assert_eq!(d.llc_color.index(), l, "page {f} in wrong LLC list");
                 }
                 total += list.len() as u64;
+                let nonempty = !list.is_empty();
+                assert_eq!(
+                    self.nonempty_llc[b * self.llc_words + l / 64] >> (l % 64) & 1 == 1,
+                    nonempty,
+                    "LLC non-empty index out of sync at ({b},{l})"
+                );
+                assert_eq!(
+                    self.nonempty_bank[l * self.bank_words + b / 64] >> (b % 64) & 1 == 1,
+                    nonempty,
+                    "bank non-empty index out of sync at ({b},{l})"
+                );
             }
         }
         assert_eq!(total, self.pages, "page count drifted");
@@ -172,7 +250,11 @@ mod tests {
         let d = m.mapping().decode_frame(f);
         assert_eq!(d.bank_color, BankColor(2));
         assert_eq!(d.llc_color, LlcColor(3));
-        assert_eq!(m.pop(BankColor(2), LlcColor(3)), None, "only one page of that combo");
+        assert_eq!(
+            m.pop(BankColor(2), LlcColor(3)),
+            None,
+            "only one page of that combo"
+        );
         m.check_invariants();
     }
 
@@ -224,6 +306,31 @@ mod tests {
         let f = m.pop(BankColor(1), LlcColor(1)).unwrap();
         m.push(f);
         assert_eq!(m.len(BankColor(1), LlcColor(1)), 1);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn eight_node_mapping_exceeds_one_index_word() {
+        // The portability preset has 256 bank colors — more than one u64
+        // word of non-empty index per LLC color. Exercise the multi-word
+        // wrap-scan: populate two far-apart bank colors of one LLC color
+        // and pop with cursors on both sides of each.
+        let mapping = tint_hw::machine::MachineConfig::eight_node().mapping;
+        assert!(mapping.bank_color_count() > 128);
+        let mut m = ColorMatrix::new(mapping);
+        let llc = LlcColor(0);
+        let (lo, hi) = (BankColor(3), BankColor(200));
+        let f_lo = m.mapping().compose_frame(lo, llc, 0);
+        let f_hi = m.mapping().compose_frame(hi, llc, 0);
+        m.push(f_lo);
+        m.push(f_hi);
+        m.check_invariants();
+        // Cursor past the low color wraps to the high one and back.
+        let (_, b) = m.pop_llc(llc, 100).unwrap();
+        assert_eq!(b, hi);
+        let (_, b) = m.pop_llc(llc, 210).unwrap();
+        assert_eq!(b, lo);
+        assert!(m.pop_llc(llc, 0).is_none());
         m.check_invariants();
     }
 

@@ -1,11 +1,10 @@
 //! Kernel error codes, in the spirit of the paper's "mmap() will return an
 //! error code indicating that no more pages of this color are available".
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Error codes returned by the simulated system calls.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Errno {
     /// Out of memory — for colored allocations, *of that color* (§III.B).
     Enomem,

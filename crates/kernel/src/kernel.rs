@@ -32,7 +32,6 @@ use crate::errno::Errno;
 use crate::task::{ColorOp, HeapPolicy, TaskStruct, Tid, VmId};
 use crate::vm::AddressSpace;
 use crate::MAX_ORDER;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use tint_hw::addrmap::AddressMapping;
 use tint_hw::pci::{derive_mapping, PciConfigSpace};
@@ -61,7 +60,7 @@ const COLOR_MASK: u64 = (1 << MODE_SHIFT) - 1;
 /// thread runtimes: the paper notes the overhead of colored allocation "is
 /// higher for the first heap requests as the kernel traverses the general
 /// buddy free list" (§III.C) — `block_scan`/`per_page_move` is that cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelCosts {
     /// Base cost of any page fault (trap, zeroing, page-table update).
     pub page_fault: u64,
@@ -87,7 +86,7 @@ impl Default for KernelCosts {
 }
 
 /// Allocation-path counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Order-0 pages served by the legacy buddy path.
     pub legacy_allocs: u64,
@@ -143,6 +142,12 @@ pub struct Kernel {
     next_tid: u64,
     costs: KernelCosts,
     stats: KernelStats,
+    /// Bumped whenever an existing virtual→physical translation is destroyed
+    /// or changed (`munmap`, recolor migration). Software TLBs above the
+    /// kernel ([`tintmalloc::System`]) compare this against their snapshot
+    /// and flush on mismatch — installing a *new* translation never bumps it,
+    /// so fault-heavy phases keep their TLB warm.
+    translation_epoch: u64,
 }
 
 impl Kernel {
@@ -163,6 +168,7 @@ impl Kernel {
             topology,
             costs,
             stats: KernelStats::default(),
+            translation_epoch: 0,
         }
     }
 
@@ -204,6 +210,12 @@ impl Kernel {
     /// An address space (inspection).
     pub fn vm(&self, id: VmId) -> &AddressSpace {
         &self.vms[id.0]
+    }
+
+    /// Current translation epoch. Any cached virtual→physical translation
+    /// obtained at an older epoch may be stale and must be dropped.
+    pub fn translation_epoch(&self) -> u64 {
+        self.translation_epoch
     }
 
     /// Simulate pre-existing system activity: permanently consume `pages`
@@ -295,6 +307,9 @@ impl Kernel {
         let colored = task.coloring_active();
         let vm = task.vm;
         let frames = self.vms[vm.0].unmap_region(base, pages)?;
+        if !frames.is_empty() {
+            self.translation_epoch += 1;
+        }
         for f in frames {
             if colored {
                 self.colors.push(f);
@@ -431,11 +446,7 @@ impl Kernel {
         self.recolor(tid, Some((base.page(), len.div_ceil(PAGE_SIZE))))
     }
 
-    fn recolor(
-        &mut self,
-        tid: Tid,
-        range: Option<(PageNumber, u64)>,
-    ) -> Result<(u64, u64), Errno> {
+    fn recolor(&mut self, tid: Tid, range: Option<(PageNumber, u64)>) -> Result<(u64, u64), Errno> {
         let task = self.tasks.get(&tid).ok_or(Errno::Esrch)?;
         if !task.coloring_active() {
             return Ok((0, 0));
@@ -472,6 +483,7 @@ impl Kernel {
                 }
             };
             self.vms[vm.0].remap(page, out.frame);
+            self.translation_epoch += 1;
             self.colors.push(old);
             cycles += out.cycles + self.costs.page_copy;
             migrated += 1;
@@ -689,8 +701,7 @@ impl Kernel {
         if llc_only {
             let node = topology.node_of_core(task.core);
             loop {
-                if let Some(frame) = Self::try_pop_llc_only(mapping, topology, colors, task, true)
-                {
+                if let Some(frame) = Self::try_pop_llc_only(mapping, topology, colors, task, true) {
                     stats.colored_allocs += 1;
                     return Ok(AllocOutcome {
                         frame,
@@ -798,8 +809,10 @@ mod tests {
 
     fn colored_task(k: &mut Kernel, core: usize, bank: u16, llc: u16) -> Tid {
         let tid = k.create_task(CoreId(core));
-        k.sys_mmap(tid, SET_MEM_COLOR | bank as u64, 0, COLOR_ALLOC).unwrap();
-        k.sys_mmap(tid, SET_LLC_COLOR | llc as u64, 0, COLOR_ALLOC).unwrap();
+        k.sys_mmap(tid, SET_MEM_COLOR | bank as u64, 0, COLOR_ALLOC)
+            .unwrap();
+        k.sys_mmap(tid, SET_LLC_COLOR | llc as u64, 0, COLOR_ALLOC)
+            .unwrap();
         tid
     }
 
@@ -937,7 +950,13 @@ mod tests {
         k.set_policy(tid, HeapPolicy::FirstTouch).unwrap();
         let base = k.sys_mmap(tid, 0, 4096 * 4, 0).unwrap();
         let frames: Vec<_> = (0..4u64)
-            .map(|p| k.translate(tid, base.offset(p * 4096)).unwrap().phys.frame().0)
+            .map(|p| {
+                k.translate(tid, base.offset(p * 4096))
+                    .unwrap()
+                    .phys
+                    .frame()
+                    .0
+            })
             .collect();
         for w in frames.windows(2) {
             assert_eq!(w[1], w[0] + 1, "burst faults receive contiguous frames");
@@ -1059,12 +1078,18 @@ mod tests {
         let leader = k.create_task(CoreId(0));
         let worker = k.create_thread(CoreId(2), leader).unwrap();
         // Worker owns color (3, 1); leader is uncolored.
-        k.sys_mmap(worker, SET_MEM_COLOR | 3, 0, COLOR_ALLOC).unwrap();
-        k.sys_mmap(worker, SET_LLC_COLOR | 1, 0, COLOR_ALLOC).unwrap();
+        k.sys_mmap(worker, SET_MEM_COLOR | 3, 0, COLOR_ALLOC)
+            .unwrap();
+        k.sys_mmap(worker, SET_LLC_COLOR | 1, 0, COLOR_ALLOC)
+            .unwrap();
         let base = k.sys_mmap(leader, 0, 4096, 0).unwrap();
         let t = k.translate(worker, base).unwrap();
         let d = k.mapping().decode_frame(t.phys.frame());
-        assert_eq!(d.bank_color, BankColor(3), "worker's colors placed the page");
+        assert_eq!(
+            d.bank_color,
+            BankColor(3),
+            "worker's colors placed the page"
+        );
         assert_eq!(d.llc_color, LlcColor(1));
     }
 
@@ -1087,7 +1112,10 @@ mod tests {
         k.sys_mmap(tid, SET_MEM_COLOR | 1, 0, COLOR_ALLOC).unwrap();
         k.sys_mmap(tid, SET_LLC_COLOR | 2, 0, COLOR_ALLOC).unwrap();
         let (migrated, cycles) = k.recolor_task(tid).unwrap();
-        assert!(migrated >= 5, "most scattered pages violated (got {migrated})");
+        assert!(
+            migrated >= 5,
+            "most scattered pages violated (got {migrated})"
+        );
         assert!(cycles >= migrated * 800, "page_copy charged per page");
         // Every page now conforms, and translation is intact.
         for p in 0..6u64 {
@@ -1131,7 +1159,9 @@ mod tests {
         // migration stopped).
         for p in 0..per_pair + 16 {
             assert_eq!(
-                k.translate(tid, base.offset(p * 4096)).unwrap().fault_cycles,
+                k.translate(tid, base.offset(p * 4096))
+                    .unwrap()
+                    .fault_cycles,
                 0
             );
         }
@@ -1147,9 +1177,16 @@ mod tests {
         // The block's pages span multiple colors: it did NOT come from the
         // color lists.
         let colors: std::collections::HashSet<_> = (0..8)
-            .map(|i| k.mapping().decode_frame(FrameNumber(out.frame.0 + i)).bank_color)
+            .map(|i| {
+                k.mapping()
+                    .decode_frame(FrameNumber(out.frame.0 + i))
+                    .bank_color
+            })
             .collect();
-        assert!(colors.len() > 1, "multi-color block ⇒ normal_buddy_alloc path");
+        assert!(
+            colors.len() > 1,
+            "multi-color block ⇒ normal_buddy_alloc path"
+        );
         assert_eq!(k.stats().colored_allocs, 0);
         k.free_pages_raw(out.frame, 3);
         k.buddy().check_invariants();

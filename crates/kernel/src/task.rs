@@ -6,18 +6,17 @@
 //! later allocation looks the colors up here — which is what makes the
 //! "just one line of code" usage model work: `malloc()` itself is unchanged.
 
-use serde::{Deserialize, Serialize};
 use tint_hw::types::{BankColor, CoreId, LlcColor};
 
 /// Identifier of a shared address space (CLONE_VM semantics: threads of one
 /// OpenMP process share a `VmId`, each with its own TCB and colors — so the
 /// first-touching thread's colors decide a page's placement, exactly like
 /// Linux first-touch).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VmId(pub usize);
 
 /// Task identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tid(pub u64);
 
 impl std::fmt::Display for Tid {
@@ -27,7 +26,7 @@ impl std::fmt::Display for Tid {
 }
 
 /// Base heap policy used when a task has **no** colors set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum HeapPolicy {
     /// Legacy Linux buddy allocation: global free list, no node awareness —
     /// the paper's "standard buddy allocator" baseline.
@@ -40,7 +39,7 @@ pub enum HeapPolicy {
 }
 
 /// A decoded color-set operation (the `mmap()` protocol's payload).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ColorOp {
     /// Add a memory (controller/bank) color to the calling task.
     SetMemColor(BankColor),

@@ -187,7 +187,8 @@ mod tests {
         let mut a = AddressSpace::new();
         let base = a.map_region(3);
         a.install(base.page(), FrameNumber(10)).unwrap();
-        a.install(PageNumber(base.page().0 + 2), FrameNumber(12)).unwrap();
+        a.install(PageNumber(base.page().0 + 2), FrameNumber(12))
+            .unwrap();
         let frames = a.unmap_region(base, 3).unwrap();
         assert_eq!(frames.len(), 2);
         assert!(frames.contains(&FrameNumber(10)));

@@ -1,12 +1,17 @@
 //! Property tests for the simulated kernel: buddy structure, color-list
 //! consistency, and allocation correctness under random operation sequences.
+//!
+//! Seeded-loop randomized tests over the workspace's deterministic PRNG —
+//! no external property-testing framework required.
 
-use proptest::prelude::*;
 use tint_hw::addrmap::AddressMapping;
+use tint_hw::rng::SplitMix64;
 use tint_hw::topology::Topology;
-use tint_hw::types::{BankColor, CoreId, LlcColor, VirtAddr, PAGE_SIZE};
+use tint_hw::types::{BankColor, CoreId, FrameNumber, LlcColor, PAGE_SIZE};
 use tint_kernel::kernel::{COLOR_ALLOC, SET_LLC_COLOR, SET_MEM_COLOR};
 use tint_kernel::{BuddyAllocator, Errno, HeapPolicy, Kernel, KernelCosts, MAX_ORDER};
+
+const CASES: u64 = 60;
 
 /// Random alloc/free traffic keeps every buddy invariant.
 #[derive(Debug, Clone)]
@@ -16,22 +21,24 @@ enum BuddyOp {
     AllocSpecific(u64),
 }
 
-fn arb_buddy_ops() -> impl Strategy<Value = Vec<BuddyOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u32..=4).prop_map(BuddyOp::Alloc),
-            any::<usize>().prop_map(BuddyOp::FreeNth),
-            (0u64..512).prop_map(BuddyOp::AllocSpecific),
-        ],
-        1..120,
-    )
+fn arb_buddy_ops(rng: &mut SplitMix64) -> Vec<BuddyOp> {
+    let n = rng.gen_range_in(1, 120);
+    (0..n)
+        .map(|_| match rng.gen_range(3) {
+            0 => BuddyOp::Alloc(rng.gen_range(5) as u32),
+            1 => BuddyOp::FreeNth(rng.next_u64() as usize),
+            _ => BuddyOp::AllocSpecific(rng.gen_range(512)),
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn buddy_invariants_under_random_traffic(ops in arb_buddy_ops()) {
+#[test]
+fn buddy_invariants_under_random_traffic() {
+    let mut rng = SplitMix64::new(0xb0dd);
+    for _ in 0..CASES {
+        let ops = arb_buddy_ops(&mut rng);
         let mut b = BuddyAllocator::new(512);
-        let mut live: Vec<(tint_hw::types::FrameNumber, u32)> = Vec::new();
+        let mut live: Vec<(FrameNumber, u32)> = Vec::new();
         let mut live_pages = 0u64;
         for op in ops {
             match op {
@@ -49,7 +56,7 @@ proptest! {
                     }
                 }
                 BuddyOp::AllocSpecific(f) => {
-                    let f = tint_hw::types::FrameNumber(f);
+                    let f = FrameNumber(f);
                     if b.alloc_specific(f) {
                         live.push((f, 0));
                         live_pages += 1;
@@ -57,20 +64,24 @@ proptest! {
                 }
             }
             b.check_invariants();
-            prop_assert_eq!(b.free_pages() + live_pages, 512, "pages conserved");
+            assert_eq!(b.free_pages() + live_pages, 512, "pages conserved");
         }
         // Freeing everything coalesces back to the initial state.
         for (f, order) in live.drain(..) {
             b.free(f, order);
         }
         b.check_invariants();
-        prop_assert_eq!(b.free_pages(), 512);
-        prop_assert_eq!(b.free_blocks(9.min(MAX_ORDER)), 1, "fully coalesced");
+        assert_eq!(b.free_pages(), 512);
+        assert_eq!(b.free_blocks(9.min(MAX_ORDER)), 1, "fully coalesced");
     }
+}
 
-    /// No two live allocations overlap.
-    #[test]
-    fn buddy_allocations_never_overlap(ops in arb_buddy_ops()) {
+/// No two live allocations overlap.
+#[test]
+fn buddy_allocations_never_overlap() {
+    let mut rng = SplitMix64::new(0x0e1a);
+    for _ in 0..CASES {
+        let ops = arb_buddy_ops(&mut rng);
         let mut b = BuddyAllocator::new(512);
         let mut live: Vec<(u64, u64)> = Vec::new();
         for op in ops {
@@ -81,7 +92,7 @@ proptest! {
                     }
                 }
                 BuddyOp::AllocSpecific(f) => {
-                    if b.alloc_specific(tint_hw::types::FrameNumber(f)) {
+                    if b.alloc_specific(FrameNumber(f)) {
                         live.push((f, f + 1));
                     }
                 }
@@ -91,20 +102,27 @@ proptest! {
         let mut sorted = live.clone();
         sorted.sort();
         for w in sorted.windows(2) {
-            prop_assert!(w[0].1 <= w[1].0, "overlap between {:?} and {:?}", w[0], w[1]);
+            assert!(
+                w[0].1 <= w[1].0,
+                "overlap between {:?} and {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
+}
 
-    /// Every page a colored task faults matches one of its colors, no page
-    /// is handed out twice, and ENOMEM only happens when the color is
-    /// genuinely exhausted.
-    #[test]
-    fn colored_pages_always_match_task_colors(
-        bank in 0u16..4,
-        llc in 0u16..4,
-        pages in 1u64..80,
-        seed_noise in 0u64..64,
-    ) {
+/// Every page a colored task faults matches one of its colors, no page
+/// is handed out twice, and ENOMEM only happens when the color is
+/// genuinely exhausted.
+#[test]
+fn colored_pages_always_match_task_colors() {
+    let mut rng = SplitMix64::new(0xc0105);
+    for _ in 0..CASES {
+        let bank = rng.gen_range(4) as u16;
+        let llc = rng.gen_range(4) as u16;
+        let pages = rng.gen_range_in(1, 80);
+        let seed_noise = rng.gen_range(64);
         let mut k = Kernel::new(
             AddressMapping::tiny(),
             Topology::new(2, 1, 2),
@@ -112,24 +130,31 @@ proptest! {
         );
         k.consume_boot_noise(seed_noise);
         let t = k.create_task(CoreId(0));
-        k.sys_mmap(t, SET_MEM_COLOR | bank as u64, 0, COLOR_ALLOC).unwrap();
-        k.sys_mmap(t, SET_LLC_COLOR | llc as u64, 0, COLOR_ALLOC).unwrap();
+        k.sys_mmap(t, SET_MEM_COLOR | bank as u64, 0, COLOR_ALLOC)
+            .unwrap();
+        k.sys_mmap(t, SET_LLC_COLOR | llc as u64, 0, COLOR_ALLOC)
+            .unwrap();
         let base = k.sys_mmap(t, 0, pages * PAGE_SIZE, 0).unwrap();
         let mut seen = std::collections::HashSet::new();
         for p in 0..pages {
             let tr = k.translate(t, base.offset(p * PAGE_SIZE)).unwrap();
             let d = k.mapping().decode_frame(tr.phys.frame());
-            prop_assert_eq!(d.bank_color, BankColor(bank));
-            prop_assert_eq!(d.llc_color, LlcColor(llc));
-            prop_assert!(seen.insert(tr.phys.frame()), "frame handed out twice");
+            assert_eq!(d.bank_color, BankColor(bank));
+            assert_eq!(d.llc_color, LlcColor(llc));
+            assert!(seen.insert(tr.phys.frame()), "frame handed out twice");
         }
         k.color_lists().check_invariants();
         k.buddy().check_invariants();
     }
+}
 
-    /// Translation is stable: once faulted, a page keeps its frame.
-    #[test]
-    fn translation_is_stable(pages in 1u64..40, probes in 1usize..30) {
+/// Translation is stable: once faulted, a page keeps its frame.
+#[test]
+fn translation_is_stable() {
+    let mut rng = SplitMix64::new(0x57ab1e);
+    for _ in 0..CASES {
+        let pages = rng.gen_range_in(1, 40);
+        let probes = rng.gen_range_in(1, 30) as usize;
         let mut k = Kernel::new(
             AddressMapping::tiny(),
             Topology::new(2, 1, 2),
@@ -144,14 +169,19 @@ proptest! {
         for i in 0..probes {
             let p = (i as u64 * 7) % pages;
             let tr = k.translate(t, base.offset(p * PAGE_SIZE)).unwrap();
-            prop_assert_eq!(tr.phys, first[p as usize]);
-            prop_assert_eq!(tr.fault_cycles, 0, "no re-fault");
+            assert_eq!(tr.phys, first[p as usize]);
+            assert_eq!(tr.fault_cycles, 0, "no re-fault");
         }
     }
+}
 
-    /// munmap then re-malloc recycles memory without leaking pages.
-    #[test]
-    fn alloc_free_cycles_conserve_pages(rounds in 1usize..8, pages in 1u64..32) {
+/// munmap then re-malloc recycles memory without leaking pages.
+#[test]
+fn alloc_free_cycles_conserve_pages() {
+    let mut rng = SplitMix64::new(0xa110c);
+    for _ in 0..CASES {
+        let rounds = rng.gen_range_in(1, 8) as usize;
+        let pages = rng.gen_range_in(1, 32);
         let mut k = Kernel::new(
             AddressMapping::tiny(),
             Topology::new(2, 1, 2),
@@ -166,18 +196,23 @@ proptest! {
                 k.translate(t, base.offset(p * PAGE_SIZE)).unwrap();
             }
             k.sys_munmap(t, base, pages * PAGE_SIZE).unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 k.buddy().free_pages() + k.color_lists().pages(),
                 total,
                 "pages conserved across alloc/free cycles"
             );
         }
     }
+}
 
-    /// The mmap color protocol rejects malformed arguments without state
-    /// changes.
-    #[test]
-    fn malformed_color_ops_are_rejected(mode in 5u64..16, color in 0u64..1000) {
+/// The mmap color protocol rejects malformed arguments without state
+/// changes.
+#[test]
+fn malformed_color_ops_are_rejected() {
+    let mut rng = SplitMix64::new(0xba0);
+    for _ in 0..CASES {
+        let mode = rng.gen_range_in(5, 16);
+        let color = rng.gen_range(1000);
         let mut k = Kernel::new(
             AddressMapping::tiny(),
             Topology::new(2, 1, 2),
@@ -185,8 +220,7 @@ proptest! {
         );
         let t = k.create_task(CoreId(0));
         let r = k.sys_mmap(t, (mode << 60) | color, 0, COLOR_ALLOC);
-        prop_assert_eq!(r, Err(Errno::Einval));
-        prop_assert!(!k.task(t).unwrap().coloring_active());
-        let _ = VirtAddr(0);
+        assert_eq!(r, Err(Errno::Einval));
+        assert!(!k.task(t).unwrap().coloring_active());
     }
 }

@@ -1,10 +1,9 @@
 //! Per-core memory-system counters: locality, latency, breakdown.
 
-use serde::{Deserialize, Serialize};
 use tint_hw::types::CoreId;
 
 /// Counters for one core.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreMemStats {
     /// Total accesses issued.
     pub accesses: u64,
@@ -53,7 +52,7 @@ impl CoreMemStats {
 }
 
 /// Machine-wide memory-system counters.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MemStats {
     /// One entry per core.
     pub cores: Vec<CoreMemStats>,

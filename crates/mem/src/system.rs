@@ -1,14 +1,14 @@
 //! The composed memory system and the interconnect model.
 
 use crate::stats::MemStats;
-use serde::{Deserialize, Serialize};
 use tint_cache::{CacheHierarchy, HitLevel};
 use tint_dram::{DramAccess, DramSystem};
+use tint_hw::decoder::FrameDecoder;
 use tint_hw::machine::MachineConfig;
 use tint_hw::types::{CoreId, NodeId, PhysAddr, Rw};
 
 /// Outcome of one memory access with its latency breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessResult {
     /// End-to-end cycles from issue to data return.
     pub latency: u64,
@@ -26,6 +26,8 @@ pub struct AccessResult {
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
     config: MachineConfig,
+    /// Precomputed home-node decode for the access inner loop.
+    decoder: FrameDecoder,
     hierarchy: CacheHierarchy,
     dram: DramSystem,
     /// Per-node HT port availability: remote requests into a node serialize
@@ -43,6 +45,7 @@ impl MemorySystem {
         let nodes = config.topology.node_count();
         let cores = config.topology.core_count();
         Self {
+            decoder: FrameDecoder::new(&config.mapping),
             config,
             hierarchy,
             dram,
@@ -61,7 +64,7 @@ impl MemorySystem {
     /// (see DESIGN.md).
     pub fn access(&mut self, core: CoreId, addr: PhysAddr, rw: Rw, now: u64) -> AccessResult {
         let (level, hier_cycles) = self.hierarchy.access(core, addr);
-        let home_node = self.config.mapping.decode_frame(addr.frame()).node;
+        let home_node = self.decoder.node_of_frame(addr.frame());
 
         let result = if level == HitLevel::Memory {
             let hops = self.config.topology.hops(core, home_node);
@@ -180,7 +183,11 @@ mod tests {
         // A repeat access is resolved in the caches, far below all of them
         // (the three same-set fills above may have demoted it from L1 to L2).
         let r_hit = s.access(CoreId(0), local, Rw::Read, 300_000);
-        assert!(r_hit.dram.is_none(), "expected a cache hit, got {:?}", r_hit.level);
+        assert!(
+            r_hit.dram.is_none(),
+            "expected a cache hit, got {:?}",
+            r_hit.level
+        );
         assert!(r_hit.latency < r_local.latency / 5);
     }
 
@@ -208,7 +215,10 @@ mod tests {
         let r2 = s.access(CoreId(1), b, Rw::Read, 0);
         // Different banks, so without a link model both would be equal except
         // controller overhead; link_busy adds serialization on the HT port.
-        assert!(r2.latency >= r1.latency, "second remote access waits on the link/controller");
+        assert!(
+            r2.latency >= r1.latency,
+            "second remote access waits on the link/controller"
+        );
     }
 
     #[test]

@@ -30,9 +30,7 @@ impl SimThread {
         }];
         for &core in &cores[1..] {
             team.push(SimThread {
-                tid: sys
-                    .spawn_thread(core, leader)
-                    .expect("leader exists"),
+                tid: sys.spawn_thread(core, leader).expect("leader exists"),
                 core,
                 clock: 0,
             });
@@ -85,9 +83,8 @@ pub fn run_section(
     let n = threads.len();
     let mut end = vec![0u64; n];
     // Min-heap of (clock, thread index).
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n)
-        .map(|i| Reverse((threads[i].clock, i)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..n).map(|i| Reverse((threads[i].clock, i))).collect();
     let mut ops = 0u64;
     while let Some(Reverse((clock, i))) = heap.pop() {
         debug_assert_eq!(clock, threads[i].clock);
@@ -134,9 +131,8 @@ pub fn run_section_dynamic(
     let n = threads.len();
     let mut end = vec![0u64; n];
     let mut current: Vec<Option<Box<dyn SectionBody + '_>>> = (0..n).map(|_| None).collect();
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n)
-        .map(|i| Reverse((threads[i].clock, i)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..n).map(|i| Reverse((threads[i].clock, i))).collect();
     let mut ops = 0u64;
     while let Some(Reverse((_, i))) = heap.pop() {
         // Ensure the thread has a chunk; pull the next one if needed.
@@ -243,8 +239,14 @@ mod tests {
         let a = sys.malloc(t, 4096).unwrap();
         let mut bodies: Vec<Box<dyn SectionBody>> = vec![Box::new(
             [
-                Op::Access { addr: a, rw: Rw::Write },
-                Op::Access { addr: a, rw: Rw::Read },
+                Op::Access {
+                    addr: a,
+                    rw: Rw::Write,
+                },
+                Op::Access {
+                    addr: a,
+                    rw: Rw::Read,
+                },
             ]
             .into_iter(),
         )];
@@ -295,10 +297,8 @@ mod tests {
     #[test]
     fn empty_bodies_end_immediately() {
         let (mut sys, mut threads) = setup(2);
-        let mut bodies: Vec<Box<dyn SectionBody>> = vec![
-            Box::new(std::iter::empty()),
-            Box::new(std::iter::empty()),
-        ];
+        let mut bodies: Vec<Box<dyn SectionBody>> =
+            vec![Box::new(std::iter::empty()), Box::new(std::iter::empty())];
         let end = run_section(&mut sys, &mut threads, &mut bodies, 10).unwrap();
         assert_eq!(end, vec![0, 0]);
     }
@@ -309,9 +309,8 @@ mod tests {
         // (0..4 vs 4..8) would idle one thread heavily; dynamic pulls from
         // the queue and ends nearly balanced.
         let sizes = [800u64, 100, 100, 100, 100, 100, 100, 100];
-        let mk = |s: u64| -> Box<dyn SectionBody + 'static> {
-            Box::new((0..s).map(|_| Op::Compute(1)))
-        };
+        let mk =
+            |s: u64| -> Box<dyn SectionBody + 'static> { Box::new((0..s).map(|_| Op::Compute(1))) };
         let (mut sys, mut threads) = setup(2);
         let chunks: std::collections::VecDeque<_> = sizes.iter().map(|&s| mk(s)).collect();
         let end = run_section_dynamic(&mut sys, &mut threads, chunks, 100_000).unwrap();
@@ -332,7 +331,11 @@ mod tests {
                 .into_iter()
                 .collect();
         let end = run_section_dynamic(&mut sys, &mut threads, chunks, 1000).unwrap();
-        assert_eq!(end.iter().filter(|&&e| e > 0).count(), 2, "2 threads worked");
+        assert_eq!(
+            end.iter().filter(|&&e| e > 0).count(),
+            2,
+            "2 threads worked"
+        );
         assert!(threads.iter().all(|t| t.clock == 30), "barrier at max end");
     }
 
@@ -353,9 +356,8 @@ mod tests {
     fn dynamic_is_deterministic() {
         let run = || {
             let (mut sys, mut threads) = setup(3);
-            let chunks: std::collections::VecDeque<Box<dyn SectionBody>> = (0..9)
-                .map(|i| compute_body(i % 4 + 1, 50))
-                .collect();
+            let chunks: std::collections::VecDeque<Box<dyn SectionBody>> =
+                (0..9).map(|i| compute_body(i % 4 + 1, 50)).collect();
             run_section_dynamic(&mut sys, &mut threads, chunks, 10_000).unwrap()
         };
         assert_eq!(run(), run());

@@ -3,10 +3,8 @@
 //! *"We measured the benchmark's runtime, total idle time, runtime per
 //! thread, and idle time per thread."*
 
-use serde::{Deserialize, Serialize};
-
 /// Outcome of one parallel section.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SectionOutcome {
     /// Cycle at which the section started (all threads aligned).
     pub start: u64,
@@ -20,7 +18,11 @@ impl SectionOutcome {
     /// Build from a section's start time and per-thread end times.
     pub fn new(start: u64, end: Vec<u64>) -> Self {
         let barrier = end.iter().copied().max().unwrap_or(start);
-        Self { start, end, barrier }
+        Self {
+            start,
+            end,
+            barrier,
+        }
     }
 
     /// Per-thread idle time at this section's barrier (Algorithm 3).
@@ -35,7 +37,7 @@ impl SectionOutcome {
 }
 
 /// Aggregated metrics of one benchmark run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunMetrics {
     /// Number of worker threads.
     pub threads: usize,

@@ -166,7 +166,9 @@ mod tests {
 
     #[test]
     fn program_len_counts_sections() {
-        let p = Program::new().serial(compute(1, 1)).parallel(vec![compute(1, 1)]);
+        let p = Program::new()
+            .serial(compute(1, 1))
+            .parallel(vec![compute(1, 1)]);
         assert_eq!(p.len(), 2);
     }
 }

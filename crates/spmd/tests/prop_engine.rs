@@ -1,17 +1,24 @@
 //! Property tests for the SPMD engine: clock monotonicity, barrier algebra,
 //! and determinism under arbitrary compute workloads.
+//!
+//! Seeded-loop randomized tests over the workspace's deterministic PRNG —
+//! no external property-testing framework required.
 
-use proptest::prelude::*;
 use tint_hw::machine::MachineConfig;
+use tint_hw::rng::SplitMix64;
 use tint_hw::types::CoreId;
 use tint_spmd::{Op, Program, SectionBody, SimThread};
 use tintmalloc::System;
 
-fn arb_bodies(n_threads: usize) -> impl Strategy<Value = Vec<Vec<u64>>> {
-    prop::collection::vec(
-        prop::collection::vec(1u64..500, 0..30),
-        n_threads..=n_threads,
-    )
+const CASES: u64 = 50;
+
+fn arb_bodies(rng: &mut SplitMix64, n_threads: usize) -> Vec<Vec<u64>> {
+    (0..n_threads)
+        .map(|_| {
+            let n = rng.gen_range(30);
+            (0..n).map(|_| rng.gen_range_in(1, 500)).collect()
+        })
+        .collect()
 }
 
 fn run_program(work: &[Vec<u64>]) -> tint_spmd::RunMetrics {
@@ -20,9 +27,7 @@ fn run_program(work: &[Vec<u64>]) -> tint_spmd::RunMetrics {
     let mut threads = SimThread::spawn_all(&mut sys, &cores);
     let bodies: Vec<Box<dyn SectionBody>> = work
         .iter()
-        .map(|w| {
-            Box::new(w.clone().into_iter().map(Op::Compute)) as Box<dyn SectionBody>
-        })
+        .map(|w| Box::new(w.clone().into_iter().map(Op::Compute)) as Box<dyn SectionBody>)
         .collect();
     Program::new()
         .parallel(bodies)
@@ -30,68 +35,87 @@ fn run_program(work: &[Vec<u64>]) -> tint_spmd::RunMetrics {
         .unwrap()
 }
 
-proptest! {
-    /// For pure-compute sections the engine is exact: each thread's busy
-    /// time equals the sum of its compute ops, the barrier is the max, and
-    /// idle is barrier − busy (Algorithm 3).
-    #[test]
-    fn compute_sections_are_exact(work in arb_bodies(4)) {
+/// For pure-compute sections the engine is exact: each thread's busy
+/// time equals the sum of its compute ops, the barrier is the max, and
+/// idle is barrier − busy (Algorithm 3).
+#[test]
+fn compute_sections_are_exact() {
+    let mut rng = SplitMix64::new(0xe8ac7);
+    for _ in 0..CASES {
+        let work = arb_bodies(&mut rng, 4);
         let m = run_program(&work);
         let sums: Vec<u64> = work.iter().map(|w| w.iter().sum()).collect();
         let barrier = *sums.iter().max().unwrap();
-        prop_assert_eq!(&m.thread_runtime, &sums);
+        assert_eq!(&m.thread_runtime, &sums);
         for (idle, sum) in m.thread_idle.iter().zip(&sums) {
-            prop_assert_eq!(*idle, barrier - sum);
+            assert_eq!(*idle, barrier - sum);
         }
-        prop_assert_eq!(m.runtime, barrier);
-        prop_assert_eq!(m.total_idle(), sums.iter().map(|s| barrier - s).sum::<u64>());
+        assert_eq!(m.runtime, barrier);
+        assert_eq!(
+            m.total_idle(),
+            sums.iter().map(|s| barrier - s).sum::<u64>()
+        );
     }
+}
 
-    /// Determinism: identical inputs give identical metrics.
-    #[test]
-    fn engine_is_deterministic(work in arb_bodies(3)) {
-        prop_assert_eq!(run_program(&work), run_program(&work));
+/// Determinism: identical inputs give identical metrics.
+#[test]
+fn engine_is_deterministic() {
+    let mut rng = SplitMix64::new(0xde7e);
+    for _ in 0..CASES {
+        let work = arb_bodies(&mut rng, 3);
+        assert_eq!(run_program(&work), run_program(&work));
     }
+}
 
-    /// Permuting section order across two parallel sections never changes
-    /// the total busy time of a thread (sections are independent barriers).
-    #[test]
-    fn two_sections_accumulate(work_a in arb_bodies(2), work_b in arb_bodies(2)) {
+/// Two parallel sections accumulate per-thread busy time and the runtime
+/// is the sum of the two barriers (sections are independent barriers).
+#[test]
+fn two_sections_accumulate() {
+    let mut rng = SplitMix64::new(0x2ba8);
+    for _ in 0..CASES {
+        let work_a = arb_bodies(&mut rng, 2);
+        let work_b = arb_bodies(&mut rng, 2);
         let mut sys = System::boot(MachineConfig::tiny());
         let cores = vec![CoreId(0), CoreId(1)];
         let mut threads = SimThread::spawn_all(&mut sys, &cores);
-        let mk = |w: &Vec<u64>| {
-            Box::new(w.clone().into_iter().map(Op::Compute)) as Box<dyn SectionBody>
-        };
+        let mk =
+            |w: &Vec<u64>| Box::new(w.clone().into_iter().map(Op::Compute)) as Box<dyn SectionBody>;
         let m = Program::new()
             .parallel(work_a.iter().map(&mk).collect())
             .parallel(work_b.iter().map(&mk).collect())
             .run(&mut sys, &mut threads)
             .unwrap();
         for i in 0..2 {
-            let expect: u64 =
-                work_a[i].iter().sum::<u64>() + work_b[i].iter().sum::<u64>();
-            prop_assert_eq!(m.thread_runtime[i], expect);
+            let expect: u64 = work_a[i].iter().sum::<u64>() + work_b[i].iter().sum::<u64>();
+            assert_eq!(m.thread_runtime[i], expect);
         }
-        prop_assert_eq!(m.parallel_sections, 2);
+        assert_eq!(m.parallel_sections, 2);
         // Runtime = sum of the two barriers.
         let b1 = work_a.iter().map(|w| w.iter().sum::<u64>()).max().unwrap();
         let b2 = work_b.iter().map(|w| w.iter().sum::<u64>()).max().unwrap();
-        prop_assert_eq!(m.runtime, b1 + b2);
+        assert_eq!(m.runtime, b1 + b2);
     }
+}
 
-    /// Serial sections only advance the master but move everyone's clock.
-    #[test]
-    fn serial_section_cost(serial in prop::collection::vec(1u64..200, 0..20)) {
+/// Serial sections only advance the master but move everyone's clock.
+#[test]
+fn serial_section_cost() {
+    let mut rng = SplitMix64::new(0x5e1a);
+    for _ in 0..CASES {
+        let n = rng.gen_range(20);
+        let serial: Vec<u64> = (0..n).map(|_| rng.gen_range_in(1, 200)).collect();
         let mut sys = System::boot(MachineConfig::tiny());
         let cores = vec![CoreId(0), CoreId(1)];
         let mut threads = SimThread::spawn_all(&mut sys, &cores);
-        let body = Box::new(serial.clone().into_iter().map(Op::Compute))
-            as Box<dyn SectionBody>;
-        let m = Program::new().serial(body).run(&mut sys, &mut threads).unwrap();
+        let body = Box::new(serial.clone().into_iter().map(Op::Compute)) as Box<dyn SectionBody>;
+        let m = Program::new()
+            .serial(body)
+            .run(&mut sys, &mut threads)
+            .unwrap();
         let total: u64 = serial.iter().sum();
-        prop_assert_eq!(m.serial_cycles, total);
-        prop_assert_eq!(m.runtime, total);
-        prop_assert_eq!(m.total_idle(), 0, "serial time is not idle time");
+        assert_eq!(m.serial_cycles, total);
+        assert_eq!(m.runtime, total);
+        assert_eq!(m.total_idle(), 0, "serial time is not idle time");
     }
 }

@@ -61,7 +61,8 @@ impl Workload for Art {
                 .iter()
                 .enumerate()
                 .map(|(i, &w)| {
-                    let len = self.bytes_per_thread - (i as u64 % 4) * (self.bytes_per_thread / 128);
+                    let len =
+                        self.bytes_per_thread - (i as u64 % 4) * (self.bytes_per_thread / 128);
                     Box::new(Seq::new(
                         w,
                         len.max(line),

@@ -5,12 +5,11 @@
 //! 4_threads_1_nodes."* Core lists follow the paper's examples exactly
 //! (e.g. 8_threads_4_nodes pins to cores 0,1,4,5,8,9,12,13).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use tint_hw::types::CoreId;
 
 /// One of the paper's pinning configurations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PinConfig {
     /// 16 threads over all 4 nodes (cores 0–15).
     T16N4,
@@ -90,8 +89,14 @@ mod tests {
             [0, 1, 4, 5, 8, 9, 12, 13].map(CoreId).to_vec()
         );
         assert_eq!(PinConfig::T4N4.cores(), [0, 4, 8, 12].map(CoreId).to_vec());
-        assert_eq!(PinConfig::T4N1.cores(), (0..4).map(CoreId).collect::<Vec<_>>());
-        assert_eq!(PinConfig::T8N2.cores(), (0..8).map(CoreId).collect::<Vec<_>>());
+        assert_eq!(
+            PinConfig::T4N1.cores(),
+            (0..4).map(CoreId).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            PinConfig::T8N2.cores(),
+            (0..8).map(CoreId).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -79,8 +79,7 @@ impl Workload for Equake {
                         0, // gathers are reads
                         seed ^ (i as u64) << 8 ^ (it as u64) << 24,
                     );
-                    let len =
-                        self.private_bytes - (i as u64 % 4) * (self.private_bytes / 128);
+                    let len = self.private_bytes - (i as u64 % 4) * (self.private_bytes / 128);
                     let update =
                         Seq::new(p, len.max(line), line, 1, self.compute, 1 /* writes */);
                     Box::new(Interleave::new(taps, update)) as Box<dyn SectionBody>

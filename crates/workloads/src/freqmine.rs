@@ -120,9 +120,16 @@ mod tests {
             compute: 0,
         };
         let p = w.build(&mut sys, &threads, 0).unwrap();
-        assert_eq!(sys.kernel().stats().page_faults, 0, "no faults at build time");
+        assert_eq!(
+            sys.kernel().stats().page_faults,
+            0,
+            "no faults at build time"
+        );
         p.run(&mut sys, &mut threads).unwrap();
-        assert!(sys.kernel().stats().page_faults >= 16, "growth faulted in-section");
+        assert!(
+            sys.kernel().stats().page_faults >= 16,
+            "growth faulted in-section"
+        );
     }
 
     #[test]

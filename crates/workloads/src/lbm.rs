@@ -60,7 +60,8 @@ impl Workload for Lbm {
                 .iter()
                 .enumerate()
                 .map(|(i, &g)| {
-                    let len = self.bytes_per_thread - (i as u64 % 4) * (self.bytes_per_thread / 128);
+                    let len =
+                        self.bytes_per_thread - (i as u64 % 4) * (self.bytes_per_thread / 128);
                     Box::new(Seq::new(g, len.max(line), line, 1, self.compute, 2))
                         as Box<dyn SectionBody>
                 })

@@ -5,8 +5,7 @@
 //! with `Op::Access` so memory intensity is a parameter (compute cycles per
 //! access), and they never materialize traces.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tint_hw::rng::SplitMix64;
 use tint_hw::types::{Rw, VirtAddr};
 use tint_spmd::Op;
 
@@ -90,7 +89,7 @@ pub struct RandomTaps {
     remaining: u64,
     compute: u64,
     write_every: u32,
-    rng: SmallRng,
+    rng: SplitMix64,
     count: u64,
     emit_compute: bool,
 }
@@ -114,7 +113,7 @@ impl RandomTaps {
             remaining: count,
             compute,
             write_every,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             count: 0,
             emit_compute: false,
         }
@@ -132,7 +131,7 @@ impl Iterator for RandomTaps {
         if self.remaining == 0 {
             return None;
         }
-        let slot = self.rng.gen_range(0..self.slots);
+        let slot = self.rng.gen_range(self.slots);
         self.remaining -= 1;
         self.count += 1;
         self.emit_compute = self.compute > 0;

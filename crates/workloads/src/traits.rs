@@ -76,7 +76,14 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["bodytrack", "freqmine", "blackscholes", "lbm", "art", "equake"]
+            vec![
+                "bodytrack",
+                "freqmine",
+                "blackscholes",
+                "lbm",
+                "art",
+                "equake"
+            ]
         );
     }
 
@@ -90,8 +97,7 @@ mod tests {
         for w in all_benchmarks(Scale(0.001)) {
             let run = |seed: u64| {
                 let mut sys = System::boot(MachineConfig::tiny());
-                let mut threads =
-                    SimThread::spawn_all(&mut sys, &[CoreId(0), CoreId(2)]);
+                let mut threads = SimThread::spawn_all(&mut sys, &[CoreId(0), CoreId(2)]);
                 let p = w.build(&mut sys, &threads, seed).unwrap();
                 p.run(&mut sys, &mut threads).unwrap()
             };

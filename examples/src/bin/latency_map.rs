@@ -13,9 +13,7 @@ fn main() {
     let machine = MachineConfig::opteron_6128();
     let mut sys = MemorySystem::new(machine.clone());
 
-    println!(
-        "DRAM load latency (cycles @2 GHz, unloaded row miss), core × node:\n"
-    );
+    println!("DRAM load latency (cycles @2 GHz, unloaded row miss), core × node:\n");
     print!("{:<8}", "core");
     for n in 0..machine.topology.node_count() {
         print!("{:>8}", format!("node{n}"));
@@ -38,7 +36,9 @@ fn main() {
     }
 
     println!("\ncache hit ladder (core 0):");
-    let f = machine.mapping.compose_frame(BankColor(0), LlcColor(0), 900);
+    let f = machine
+        .mapping
+        .compose_frame(BankColor(0), LlcColor(0), 900);
     clock += 1_000_000;
     let miss = sys.access(CoreId(0), f.base(), Rw::Read, clock);
     let l1 = sys.access(CoreId(0), f.base(), Rw::Read, clock + miss.latency);

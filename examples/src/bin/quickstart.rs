@@ -82,11 +82,11 @@ fn main() {
     let acc = sys.access(t0, a, Rw::Write, 0).unwrap();
     println!(
         "t0 first write: {} cycles (page fault: {}, level: {:?}, hops: {})",
-        acc.latency,
-        acc.faulted,
-        acc.detail.level,
-        acc.detail.hops
+        acc.latency, acc.faulted, acc.detail.level, acc.detail.hops
     );
     let acc2 = sys.access(t0, a, Rw::Read, acc.latency).unwrap();
-    println!("t0 re-read:    {} cycles ({:?})", acc2.latency, acc2.detail.level);
+    println!(
+        "t0 re-read:    {} cycles ({:?})",
+        acc2.latency, acc2.detail.level
+    );
 }

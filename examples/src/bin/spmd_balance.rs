@@ -30,16 +30,13 @@ fn main() {
     let buddy = run(ColorScheme::Buddy);
     let tint = run(ColorScheme::MemLlc);
 
-    println!("{:<28}{:>14}{:>14}{:>9}", "metric", "buddy", "MEM+LLC", "ratio");
+    println!(
+        "{:<28}{:>14}{:>14}{:>9}",
+        "metric", "buddy", "MEM+LLC", "ratio"
+    );
     println!("{}", "-".repeat(65));
     let row = |name: &str, b: u64, t: u64| {
-        println!(
-            "{:<28}{:>14}{:>14}{:>9.2}",
-            name,
-            b,
-            t,
-            t as f64 / b as f64
-        );
+        println!("{:<28}{:>14}{:>14}{:>9.2}", name, b, t, t as f64 / b as f64);
     };
     row("benchmark runtime (cycles)", buddy.runtime, tint.runtime);
     row("total idle time", buddy.total_idle(), tint.total_idle());
@@ -53,8 +50,16 @@ fn main() {
         buddy.min_thread_runtime(),
         tint.min_thread_runtime(),
     );
-    row("runtime spread (max-min)", buddy.runtime_spread(), tint.runtime_spread());
-    row("max thread idle", buddy.max_thread_idle(), tint.max_thread_idle());
+    row(
+        "runtime spread (max-min)",
+        buddy.runtime_spread(),
+        tint.runtime_spread(),
+    );
+    row(
+        "max thread idle",
+        buddy.max_thread_idle(),
+        tint.max_thread_idle(),
+    );
 
     println!("\nper-thread parallel runtime (cycles):");
     println!("{:<8}{:>14}{:>14}", "thread", "buddy", "MEM+LLC");

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate for the workspace. Run from the repository root:
+#
+#   scripts/ci.sh
+#
+# Mirrors what a hosted pipeline would run; kept as a script because the
+# build environment is offline (no Actions runners, no network). Every
+# step must pass; the script stops at the first failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "CI OK"

@@ -127,8 +127,17 @@ fn idle_accounting_satisfies_algorithm_3() {
     let (m, _) = run_stack(&w, ColorScheme::Buddy, PinConfig::T8N2, 1);
     for i in 0..m.threads {
         let total = m.thread_runtime[i] + m.thread_idle[i];
-        let expect = m.thread_runtime.iter().zip(&m.thread_idle).map(|(r, i)| r + i).max();
-        assert_eq!(Some(total), expect, "thread {i}: busy+idle must equal the barrier sum");
+        let expect = m
+            .thread_runtime
+            .iter()
+            .zip(&m.thread_idle)
+            .map(|(r, i)| r + i)
+            .max();
+        assert_eq!(
+            Some(total),
+            expect,
+            "thread {i}: busy+idle must equal the barrier sum"
+        );
     }
 }
 

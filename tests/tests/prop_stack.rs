@@ -1,19 +1,34 @@
 //! End-to-end property tests: the whole stack under randomized small
 //! workloads on the tiny machine.
+//!
+//! Seeded-loop randomized tests over the workspace's deterministic PRNG —
+//! no external property-testing framework required.
 
-use proptest::prelude::*;
 use tint_hw::machine::MachineConfig;
+use tint_hw::rng::SplitMix64;
 use tint_hw::types::{CoreId, Rw};
 use tint_spmd::{Op, Program, SectionBody, SimThread};
 use tintmalloc::prelude::*;
 
+const CASES: u64 = 24;
+
 /// A randomized two-thread program: per thread, a list of (region pages,
 /// accesses, stride) triples, one parallel section each.
-fn arb_workload() -> impl Strategy<Value = Vec<Vec<(u64, u64, u64)>>> {
-    prop::collection::vec(
-        prop::collection::vec((1u64..8, 1u64..64, 1u64..3), 1..4),
-        2..=2,
-    )
+fn arb_workload(rng: &mut SplitMix64) -> Vec<Vec<(u64, u64, u64)>> {
+    (0..2)
+        .map(|_| {
+            let n = rng.gen_range_in(1, 4);
+            (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range_in(1, 8),
+                        rng.gen_range_in(1, 64),
+                        rng.gen_range_in(1, 3),
+                    )
+                })
+                .collect()
+        })
+        .collect()
 }
 
 fn run(
@@ -52,43 +67,56 @@ fn run(
     (m, faults, free)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Bit-determinism end to end, for a colored and an uncolored scheme.
-    #[test]
-    fn stack_is_deterministic(work in arb_workload(), noise in 0u64..64) {
+/// Bit-determinism end to end, for a colored and an uncolored scheme.
+#[test]
+fn stack_is_deterministic() {
+    let mut rng = SplitMix64::new(0xde7);
+    for _ in 0..CASES {
+        let work = arb_workload(&mut rng);
+        let noise = rng.gen_range(64);
         for scheme in [ColorScheme::Buddy, ColorScheme::MemLlc] {
             let a = run(&work, scheme, noise);
             let b = run(&work, scheme, noise);
-            prop_assert_eq!(a.0, b.0, "{} metrics differ", scheme);
-            prop_assert_eq!(a.1, b.1);
+            assert_eq!(a.0, b.0, "{scheme} metrics differ");
+            assert_eq!(a.1, b.1);
         }
     }
+}
 
-    /// Physical pages are conserved: free + color-listed pages only shrink
-    /// by what is resident (faulted) plus pcp reservations.
-    #[test]
-    fn stack_conserves_frames(work in arb_workload(), noise in 0u64..32) {
+/// Physical pages are conserved: free + color-listed pages only shrink
+/// by what is resident (faulted) plus pcp reservations.
+#[test]
+fn stack_conserves_frames() {
+    let mut rng = SplitMix64::new(0xf8a);
+    for _ in 0..CASES {
+        let work = arb_workload(&mut rng);
+        let noise = rng.gen_range(32);
         let total = MachineConfig::tiny().mapping.frame_count();
         let (_, faults, free) = run(&work, ColorScheme::MemLlc, noise);
-        prop_assert!(free + faults + noise <= total);
+        assert!(free + faults + noise <= total);
         // Colored runs take no pcp reservations, so the accounting is exact.
-        prop_assert_eq!(free + faults + noise, total);
+        assert_eq!(free + faults + noise, total);
     }
+}
 
-    /// Every metric invariant holds: runtime ≥ max thread busy time, and
-    /// busy + idle is equal across threads.
-    #[test]
-    fn stack_metrics_are_consistent(work in arb_workload()) {
+/// Every metric invariant holds: runtime ≥ max thread busy time, and
+/// busy + idle is equal across threads.
+#[test]
+fn stack_metrics_are_consistent() {
+    let mut rng = SplitMix64::new(0x3a7);
+    for _ in 0..CASES {
+        let work = arb_workload(&mut rng);
         let (m, _, _) = run(&work, ColorScheme::LlcOnly, 0);
-        prop_assert!(m.runtime >= m.max_thread_runtime());
+        assert!(m.runtime >= m.max_thread_runtime());
         let sums: Vec<u64> = m
             .thread_runtime
             .iter()
             .zip(&m.thread_idle)
             .map(|(r, i)| r + i)
             .collect();
-        prop_assert!(sums.windows(2).all(|w| w[0] == w[1]), "busy+idle equal at barrier");
+        assert!(
+            sums.windows(2).all(|w| w[0] == w[1]),
+            "busy+idle equal at barrier"
+        );
     }
 }
