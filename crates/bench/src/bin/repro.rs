@@ -14,6 +14,7 @@
 //!   ablate-firsttouch  legacy buddy vs NUMA buddy vs MEM coloring
 //!   ablate-migrate     dynamic recoloring via page migration (extension)\n//!   ablate-dynamic     static vs dynamic scheduling (extension)\n//!   ablate-pagepolicy  open- vs closed-page DRAM controllers (extension)
 //!   ablate-colorlist   colored-free-list population overhead
+//!   ablate-pressure    exhaustion-policy degradation under color pressure (extension)
 //!   probe:<bench>      per-scheme diagnostics for one benchmark cell
 //!   all                everything above (except probe)
 //! ```
@@ -25,9 +26,11 @@
 
 use tint_bench::figures::{
     ablate_colorlist, ablate_dynamic, ablate_firsttouch, ablate_migrate, ablate_pagepolicy,
-    ablate_part, bandwidth, fig10, fig13_14, latency, probe, run_matrix, BenchMatrix, FigOpts,
+    ablate_part, ablate_pressure, bandwidth, fig10, fig13_14, latency, probe, run_matrix,
+    BenchMatrix, FigOpts,
 };
 use tint_bench::runner::simulated_cycles;
+use tint_bench::table::Table;
 use tint_workloads::PinConfig;
 
 fn parse_config(s: &str) -> Option<PinConfig> {
@@ -56,6 +59,9 @@ struct Ctx {
     opts: FigOpts,
     configs: Vec<PinConfig>,
     matrix: Option<BenchMatrix>,
+    /// The pressure-ablation table, kept for `BENCH_repro.json` (the sweep
+    /// is the one result downstream tooling consumes cell-by-cell).
+    pressure: Option<Table>,
 }
 
 impl Ctx {
@@ -144,6 +150,12 @@ fn run_cmd(ctx: &mut Ctx, cmd: &str) {
         header("Ablation: colored free-list population overhead (§III.C)");
         print!("{}", ctx.opts.render(&ablate_colorlist(&ctx.opts)));
     }
+    if all || cmd == "ablate-pressure" {
+        header("Ablation (extension): exhaustion policies under color pressure");
+        let t = ablate_pressure(&ctx.opts);
+        print!("{}", ctx.opts.render(&t));
+        ctx.pressure = Some(t);
+    }
 }
 
 /// Minimal JSON string escaping (command names are ASCII, but be correct).
@@ -160,8 +172,33 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Serialize a table as a JSON array of objects keyed by column name.
+fn json_table(t: &Table, indent: &str) -> String {
+    let mut s = String::from("[\n");
+    for (i, row) in t.rows().iter().enumerate() {
+        let cells: Vec<String> = t
+            .columns()
+            .iter()
+            .zip(row)
+            .map(|(c, v)| format!("\"{}\": \"{}\"", json_escape(c), json_escape(v)))
+            .collect();
+        s.push_str(&format!(
+            "{indent}  {{{}}}{}\n",
+            cells.join(", "),
+            if i + 1 < t.rows().len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!("{indent}]"));
+    s
+}
+
 /// Serialize the measurement records as `BENCH_repro.json`.
-fn write_bench_json(records: &[CmdRecord], opts: &FigOpts, configs: &[PinConfig]) {
+fn write_bench_json(
+    records: &[CmdRecord],
+    opts: &FigOpts,
+    configs: &[PinConfig],
+    pressure: Option<&Table>,
+) {
     let total_ms: f64 = records.iter().map(|r| r.wall_ms).sum();
     let total_cycles: u64 = records.iter().map(|r| r.sim_cycles).sum();
     let mut s = String::new();
@@ -188,6 +225,9 @@ fn write_bench_json(records: &[CmdRecord], opts: &FigOpts, configs: &[PinConfig]
         ));
     }
     s.push_str("  ],\n");
+    if let Some(t) = pressure {
+        s.push_str(&format!("  \"pressure\": {},\n", json_table(t, "  ")));
+    }
     s.push_str(&format!(
         "  \"total\": {{\"wall_ms\": {total_ms:.3}, \"sim_cycles\": {total_cycles}}}\n"
     ));
@@ -232,6 +272,7 @@ fn main() {
         opts,
         configs,
         matrix: None,
+        pressure: None,
     };
     let mut records = Vec::with_capacity(cmds.len());
     for cmd in &cmds {
@@ -244,5 +285,5 @@ fn main() {
             sim_cycles: simulated_cycles() - cycles_before,
         });
     }
-    write_bench_json(&records, &ctx.opts, &ctx.configs);
+    write_bench_json(&records, &ctx.opts, &ctx.configs, ctx.pressure.as_ref());
 }

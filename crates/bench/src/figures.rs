@@ -754,6 +754,88 @@ impl tint_spmd::SectionBody for ChainBodies<'_> {
     }
 }
 
+/// Ablation (extension): graceful degradation under color-list pressure.
+///
+/// A hog thread pins down a growing fraction of the (bank 0, LLC 0)
+/// color-pair supply; a victim colored the same way then tries to place a
+/// fixed working set (a quarter of the pair) under each
+/// [`ExhaustionPolicy`]. `Strict` reproduces the paper's contract — error
+/// once the color runs dry; `NearestColor` borrows neighbouring colors;
+/// `LocalUncolored` degrades to node-local uncolored pages, the behaviour
+/// §III.C describes for tasks that outgrow their colors. The off-color
+/// fraction is the price of survival: pages that no longer enjoy the
+/// victim's bank/LLC isolation.
+pub fn ablate_pressure(_opts: &FigOpts) -> Table {
+    let mut t = Table::new(vec![
+        "occupancy",
+        "policy",
+        "outcome",
+        "pages_placed",
+        "off_color_frac",
+        "fault_cycles",
+    ]);
+    let occupancies = [0.0, 0.5, 0.8, 0.9, 0.95, 0.99];
+    let policies = [
+        (ExhaustionPolicy::Strict, "strict"),
+        (ExhaustionPolicy::NearestColor, "nearest-color"),
+        (ExhaustionPolicy::LocalUncolored, "local-uncolored"),
+    ];
+    for &occ in &occupancies {
+        for (policy, label) in policies {
+            let mut sys = System::boot(MachineConfig::tiny());
+            let pair = sys.machine().mapping.frames_per_color_pair();
+            let hog = sys.spawn(CoreId(0));
+            sys.set_mem_color(hog, BankColor(0)).unwrap();
+            sys.set_llc_color(hog, LlcColor(0)).unwrap();
+            let hog_pages = (pair as f64 * occ) as u64;
+            if hog_pages > 0 {
+                let a = sys.malloc(hog, hog_pages * 4096).unwrap();
+                sys.prefault(hog, a, hog_pages * 4096).unwrap();
+            }
+            let victim = sys.spawn(CoreId(1));
+            sys.set_mem_color(victim, BankColor(0)).unwrap();
+            sys.set_llc_color(victim, LlcColor(0)).unwrap();
+            sys.set_exhaustion_policy(victim, policy).unwrap();
+            let want = pair / 4;
+            let st0 = *sys.kernel().stats();
+            let mut placed = 0u64;
+            let mut outcome = "ok".to_string();
+            match sys.malloc(victim, want * 4096) {
+                Err(e) => outcome = e.name().to_string(),
+                Ok(base) => {
+                    for p in 0..want {
+                        match sys.access(victim, base.offset(p * 4096), Rw::Write, 0) {
+                            Ok(_) => placed += 1,
+                            Err(e) => {
+                                outcome = e.name().to_string();
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            let st = sys.kernel().stats();
+            let off = (st.off_color_allocs - st0.off_color_allocs)
+                + (st.exhaustion_fallbacks - st0.exhaustion_fallbacks);
+            let total = off + (st.colored_allocs - st0.colored_allocs);
+            t.row(vec![
+                format!("{occ:.2}"),
+                label.to_string(),
+                outcome,
+                format!("{placed}"),
+                norm(if total == 0 {
+                    0.0
+                } else {
+                    off as f64 / total as f64
+                }),
+                format!("{}", st.fault_cycles - st0.fault_cycles),
+            ]);
+            sys.check_invariants();
+        }
+    }
+    t
+}
+
 /// Ablation: the colored-free-list population overhead (§III.C): cost of the
 /// first colored allocations vs steady state.
 pub fn ablate_colorlist(_opts: &FigOpts) -> Table {
@@ -824,5 +906,28 @@ mod tests {
     fn colorlist_ablation_cold_vs_warm() {
         let t = ablate_colorlist(&quick());
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn pressure_ablation_covers_grid_and_degrades_gracefully() {
+        let t = ablate_pressure(&quick());
+        assert_eq!(t.len(), 6 * 3, "occupancies × policies");
+        let cell = |occ: &str, policy: &str, col: usize| {
+            t.rows()
+                .iter()
+                .find(|r| r[0] == occ && r[1] == policy)
+                .map(|r| r[col].clone())
+                .unwrap()
+        };
+        // Under heavy pressure the paper's strict contract fails...
+        assert_eq!(cell("0.99", "strict", 2), "ENOMEM");
+        // ...while both graceful policies keep serving pages, paying with
+        // an off-color fraction.
+        for policy in ["nearest-color", "local-uncolored"] {
+            assert_eq!(cell("0.99", policy, 2), "ok");
+            assert!(cell("0.99", policy, 4).parse::<f64>().unwrap() > 0.5);
+            // And with no pressure they are indistinguishable from strict.
+            assert_eq!(cell("0.00", policy, 4), "0.000");
+        }
     }
 }

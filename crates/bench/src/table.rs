@@ -30,6 +30,16 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows (for machine-readable serialization).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// True when the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

@@ -85,7 +85,11 @@ impl Heap {
                 if self.free_lists[class].is_empty() {
                     self.refill(src, class)?;
                 }
-                let addr = self.free_lists[class].pop().expect("refilled");
+                // A successful refill guarantees a free slot; if that ever
+                // regresses, surface ENOMEM instead of aborting the caller.
+                let addr = self.free_lists[class]
+                    .pop()
+                    .ok_or(tint_kernel::Errno::Enomem)?;
                 self.allocs.insert(addr.0, AllocMeta::Class(class));
                 self.bytes_in_use += SIZE_CLASSES[class];
                 Ok(addr)

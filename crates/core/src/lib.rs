@@ -49,5 +49,5 @@ pub mod prelude {
     pub use crate::system::{MemAccess, System};
     pub use tint_hw::machine::MachineConfig;
     pub use tint_hw::types::{BankColor, CoreId, LlcColor, NodeId, Rw, VirtAddr};
-    pub use tint_kernel::{Errno, HeapPolicy, Tid};
+    pub use tint_kernel::{Errno, ExhaustionPolicy, FaultPlan, FaultSite, HeapPolicy, Tid};
 }

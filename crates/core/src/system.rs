@@ -19,7 +19,7 @@ use tint_hw::machine::MachineConfig;
 use tint_hw::pci::PciConfigSpace;
 use tint_hw::types::{BankColor, CoreId, FrameNumber, LlcColor, Rw, VirtAddr};
 use tint_kernel::kernel::{COLOR_ALLOC, SET_LLC_COLOR, SET_MEM_COLOR};
-use tint_kernel::{Errno, HeapPolicy, Kernel, KernelCosts, Tid};
+use tint_kernel::{Errno, ExhaustionPolicy, FaultPlan, HeapPolicy, Kernel, KernelCosts, Tid};
 use tint_mem::{AccessResult, MemorySystem};
 
 /// One memory access as seen by the application.
@@ -205,6 +205,37 @@ impl System {
     /// Set the uncolored base policy (buddy vs first-touch baselines).
     pub fn set_policy(&mut self, tid: Tid, policy: HeapPolicy) -> Result<(), Errno> {
         self.kernel.set_policy(tid, policy)
+    }
+
+    /// Set what a thread's colored allocations do when the color supply is
+    /// exhausted (strict ENOMEM, nearest-color borrowing, or node-local
+    /// uncolored fallback).
+    pub fn set_exhaustion_policy(
+        &mut self,
+        tid: Tid,
+        policy: ExhaustionPolicy,
+    ) -> Result<(), Errno> {
+        self.kernel.set_exhaustion_policy(tid, policy)
+    }
+
+    /// Arm (or with `None` disarm) deterministic kernel fault injection.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.kernel.set_fault_plan(plan);
+    }
+
+    /// Run the kernel's whole-machine consistency check (panics on
+    /// violation). For tests and fuzzing — O(frames).
+    pub fn check_invariants(&self) {
+        self.kernel.check_invariants();
+    }
+
+    /// Mutable kernel access for kernel-level experiments (raw syscalls,
+    /// fuzzing). The software TLB keys its entries by translation epoch, so
+    /// direct kernel mutations stay coherent with later [`System::access`]
+    /// calls — but heap metadata is *not* aware of raw kernel changes, so
+    /// don't unmap regions the heap owns.
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
     }
 
     /// Apply a planned color set: the base policy plus one `mmap()` call per

@@ -166,6 +166,94 @@ fn recolor_range_keeps_accesses_coherent() {
     }
 }
 
+/// Assert that every page of `[base, base + len)` is resident and that a
+/// timed access agrees with a fresh page-table walk — i.e. no access is
+/// served from a stale cached translation.
+fn assert_tlb_coherent(sys: &mut System, tid: Tid, base: VirtAddr, len: u64) {
+    for off in (0..len).step_by(PAGE_SIZE as usize) {
+        let va = base.offset(off);
+        let truth = sys.resolve(tid, va).expect("page still mapped");
+        let want = sys.machine().mapping.decode_frame(truth.frame()).node;
+        let acc = sys.access(tid, va, Rw::Read, 0).unwrap();
+        assert!(!acc.faulted, "page at offset {off} must stay resident");
+        assert_eq!(acc.detail.home_node, want, "stale translation at {off}");
+    }
+}
+
+/// A recolor that dies of genuine color exhaustion part-way through must
+/// leave every translation coherent (no page lost, no stale TLB entry),
+/// and the same recolor must succeed once the hoarded color is freed.
+#[test]
+fn failed_partial_recolor_is_coherent_and_retry_succeeds() {
+    let mut sys = System::boot(MachineConfig::tiny());
+    let pair = sys.machine().mapping.frames_per_color_pair();
+
+    // The victim's pages are placed uncolored and node-local first (the
+    // hog's later replenish sweeps nearly all of the buddy's free blocks
+    // into the color matrix, where first-touch cannot reach them).
+    let victim = sys.spawn(CoreId(1));
+    sys.set_policy(victim, HeapPolicy::FirstTouch).unwrap();
+    let len = 16 * PAGE_SIZE;
+    let buf = sys.malloc_pagecache(victim, len).unwrap();
+    touch_all(&mut sys, victim, buf, len);
+
+    // A hog owns color pair (0,0) and drains its supply to a few pages.
+    let hog = sys.spawn(CoreId(0));
+    sys.set_mem_color(hog, BankColor(0)).unwrap();
+    sys.set_llc_color(hog, LlcColor(0)).unwrap();
+    let hog_len = (pair - 4) * PAGE_SIZE;
+    let hog_buf = sys.malloc(hog, hog_len).unwrap();
+    touch_all(&mut sys, hog, hog_buf, hog_len);
+
+    // Now the victim adopts the hoarded pair.
+    sys.set_mem_color(victim, BankColor(0)).unwrap();
+    sys.set_llc_color(victim, LlcColor(0)).unwrap();
+
+    // Migration runs out of (0,0) pages part-way through.
+    assert_eq!(sys.recolor(victim), Err(Errno::Enomem));
+    assert_tlb_coherent(&mut sys, victim, buf, len);
+    sys.check_invariants();
+
+    // Freeing the hog returns its pages to the (0,0) color list; the
+    // retried migration completes and every page conforms.
+    sys.free(hog, hog_buf).unwrap();
+    let (migrated, _) = sys.recolor(victim).unwrap();
+    assert!(migrated > 0, "retry migrates the remaining pages");
+    assert_tlb_coherent(&mut sys, victim, buf, len);
+    for off in (0..len).step_by(PAGE_SIZE as usize) {
+        let truth = sys.resolve(victim, buf.offset(off)).unwrap();
+        let d = sys.machine().mapping.decode_frame(truth.frame());
+        assert_eq!(d.bank_color, BankColor(0), "offset {off} conforms");
+        assert_eq!(d.llc_color, LlcColor(0), "offset {off} conforms");
+    }
+    sys.check_invariants();
+}
+
+/// Same contract when the mid-migration failure is an *injected* page-copy
+/// fault rather than true exhaustion: the transactional rollback keeps the
+/// TLB coherent, and the migration completes after the weather clears.
+#[test]
+fn injected_page_copy_fault_keeps_tlb_coherent() {
+    let mut sys = System::boot(MachineConfig::tiny());
+    let tid = sys.spawn(CoreId(1));
+    sys.set_policy(tid, HeapPolicy::FirstTouch).unwrap();
+    let len = 8 * PAGE_SIZE;
+    let buf = sys.malloc_pagecache(tid, len).unwrap();
+    touch_all(&mut sys, tid, buf, len);
+    sys.set_mem_color(tid, BankColor(0)).unwrap();
+
+    sys.set_fault_plan(Some(FaultPlan::new(5).with_rate(FaultSite::PageCopy, 1000)));
+    assert_eq!(sys.recolor(tid), Err(Errno::Enomem));
+    assert_tlb_coherent(&mut sys, tid, buf, len);
+    sys.check_invariants();
+
+    sys.set_fault_plan(None);
+    let (migrated, _) = sys.recolor(tid).unwrap();
+    assert!(migrated > 0, "migration completes once injection is off");
+    assert_tlb_coherent(&mut sys, tid, buf, len);
+    sys.check_invariants();
+}
+
 /// Seeded property loop: under a random mix of malloc / touch / free /
 /// recolor, every access's observed home node matches a fresh page-table
 /// walk, and every freed address faults. This is the invariant the TLB

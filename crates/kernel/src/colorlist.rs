@@ -158,9 +158,13 @@ impl ColorMatrix {
         // list the linear scan would have found.
         let c = cursor % self.mapping.llc_color_count();
         let l = first_set_from(words, c)?;
-        let f = self
-            .pop(bc, LlcColor(l as u16))
-            .expect("indexed list non-empty");
+        // A set index bit over an empty list means the bitset drifted from
+        // the lists. Heal the stale bit and report exhaustion instead of
+        // aborting; the debug invariant checker still flags the drift.
+        let Some(f) = self.pop(bc, LlcColor(l as u16)) else {
+            self.mark_empty(bc.index(), l);
+            return None;
+        };
         Some((f, LlcColor(l as u16)))
     }
 
@@ -171,15 +175,24 @@ impl ColorMatrix {
         let words = &self.nonempty_bank[l * self.bank_words..(l + 1) * self.bank_words];
         let c = cursor % self.mapping.bank_color_count();
         let b = first_set_from(words, c)?;
-        let f = self
-            .pop(BankColor(b as u16), llc)
-            .expect("indexed list non-empty");
+        let Some(f) = self.pop(BankColor(b as u16), llc) else {
+            self.mark_empty(b, llc.index());
+            return None;
+        };
         Some((f, BankColor(b as u16)))
     }
 
     /// The mapping used to decode frames.
     pub fn mapping(&self) -> &AddressMapping {
         &self.mapping
+    }
+
+    /// Iterate over every frame currently held in any color list (for
+    /// whole-kernel frame accounting).
+    pub fn iter_frames(&self) -> impl Iterator<Item = FrameNumber> + '_ {
+        self.lists
+            .iter()
+            .flat_map(|row| row.iter().flat_map(|list| list.iter().copied()))
     }
 
     /// Check structural invariants: every page sits in the list matching its
@@ -306,6 +319,34 @@ mod tests {
         let f = m.pop(BankColor(1), LlcColor(1)).unwrap();
         m.push(f);
         assert_eq!(m.len(BankColor(1), LlcColor(1)), 1);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn iter_frames_covers_every_list() {
+        let mut m = matrix();
+        m.create_color_list(4, FrameNumber(0));
+        let mut frames: Vec<u64> = m.iter_frames().map(|f| f.0).collect();
+        frames.sort();
+        assert_eq!(frames, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn desynced_index_pops_none_and_heals() {
+        // Force the failure the old code aborted on: an index bit set over
+        // an empty list. The pops must report exhaustion, not panic, and
+        // clear the stale bit so later pops stay O(1).
+        let mut m = matrix();
+        m.mark_nonempty(1, 2);
+        assert_eq!(m.pop_bank(BankColor(1), 0), None);
+        // Bank 1's index word (llc_words per bank), bit for LLC color 2.
+        assert_eq!(
+            m.nonempty_llc[m.llc_words] >> 2 & 1,
+            0,
+            "pop_bank healed the stale LLC-index bit"
+        );
+        m.mark_nonempty(1, 2);
+        assert_eq!(m.pop_llc(LlcColor(2), 0), None);
         m.check_invariants();
     }
 

@@ -15,6 +15,23 @@ pub enum Errno {
     Esrch,
     /// Access to an unmapped virtual address (simulated SIGSEGV).
     Efault,
+    /// Transient failure (e.g. an injected buddy-replenish fault): the
+    /// operation mutated nothing and may be retried.
+    Eagain,
+}
+
+impl Errno {
+    /// The conventional uppercase name (`"ENOMEM"`, ...), for table cells
+    /// and machine-readable output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Errno::Enomem => "ENOMEM",
+            Errno::Einval => "EINVAL",
+            Errno::Esrch => "ESRCH",
+            Errno::Efault => "EFAULT",
+            Errno::Eagain => "EAGAIN",
+        }
+    }
 }
 
 impl fmt::Display for Errno {
@@ -24,6 +41,7 @@ impl fmt::Display for Errno {
             Errno::Einval => "EINVAL: malformed argument",
             Errno::Esrch => "ESRCH: no such task",
             Errno::Efault => "EFAULT: access to unmapped address",
+            Errno::Eagain => "EAGAIN: transient failure, retry",
         };
         f.write_str(s)
     }
@@ -39,5 +57,19 @@ mod tests {
     fn display_is_informative() {
         assert!(Errno::Enomem.to_string().contains("color"));
         assert!(Errno::Efault.to_string().contains("unmapped"));
+        assert!(Errno::Eagain.to_string().contains("retry"));
+    }
+
+    #[test]
+    fn name_is_the_display_prefix() {
+        for e in [
+            Errno::Enomem,
+            Errno::Einval,
+            Errno::Esrch,
+            Errno::Efault,
+            Errno::Eagain,
+        ] {
+            assert!(e.to_string().starts_with(e.name()));
+        }
     }
 }

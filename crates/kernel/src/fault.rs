@@ -1,0 +1,229 @@
+//! Deterministic fault injection for the kernel's allocation paths.
+//!
+//! A real kernel's colored allocator must survive transient replenish
+//! failures, mid-migration allocation failures, and plain memory pressure.
+//! This module provides a seeded, reproducible way to exercise those paths:
+//! a [`FaultPlan`] names per-[`FaultSite`] failure rates, and the
+//! [`FaultInjector`] built from it answers "should this operation fail
+//! now?" from its own [`SplitMix64`] stream — so a failing fuzz seed
+//! replays exactly.
+//!
+//! Injection is **off by default and zero-cost when off**: the kernel holds
+//! an `Option<FaultInjector>` and every site guards on `None` with a single
+//! branch; no RNG state exists unless a plan is armed, so baseline figure
+//! output is bit-identical with injection disabled.
+
+use tint_hw::rng::SplitMix64;
+
+/// Number of distinct injection sites (array size for per-site state).
+pub const FAULT_SITE_COUNT: usize = 5;
+
+/// Where in the kernel a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Algorithm 1's buddy replenish: the scan of the general buddy free
+    /// lists for a block containing a page of a wanted color. An injected
+    /// failure surfaces as `EAGAIN` before any state is touched.
+    BuddyReplenish = 0,
+    /// Algorithm 2 (`create_color_list`): moving the found block into the
+    /// color matrix. Injected *before* the move, so it also surfaces as a
+    /// transient `EAGAIN` with nothing mutated.
+    CreateColorList = 1,
+    /// The page-fault handler, before any frame is allocated (`ENOMEM`).
+    PageFault = 2,
+    /// `sys_mmap` region creation, before the VMA exists (`ENOMEM`).
+    SysMmap = 3,
+    /// The per-page copy step of recolor migration, after the destination
+    /// frame is allocated — exercises the transactional rollback.
+    PageCopy = 4,
+}
+
+impl FaultSite {
+    /// Every site, indexable by `site as usize`.
+    pub const ALL: [FaultSite; FAULT_SITE_COUNT] = [
+        FaultSite::BuddyReplenish,
+        FaultSite::CreateColorList,
+        FaultSite::PageFault,
+        FaultSite::SysMmap,
+        FaultSite::PageCopy,
+    ];
+}
+
+/// A declarative, serial-number-free description of which faults to inject.
+///
+/// Rates are per-mille (0 = never, 1000 = always) evaluated independently
+/// at each site check against the plan's private RNG stream. `after` skips
+/// the first N checks overall, letting a scenario set up cleanly before the
+/// weather turns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the injector's private RNG stream.
+    pub seed: u64,
+    /// Per-site failure probability in per-mille, indexed by `site as usize`.
+    pub rates: [u16; FAULT_SITE_COUNT],
+    /// Number of initial checks (across all sites) that never fail.
+    pub after: u64,
+}
+
+impl FaultPlan {
+    /// A plan with every rate zero (inject nothing until configured).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rates: [0; FAULT_SITE_COUNT],
+            after: 0,
+        }
+    }
+
+    /// Set one site's failure rate in per-mille (clamped to 1000).
+    pub fn with_rate(mut self, site: FaultSite, per_mille: u16) -> Self {
+        self.rates[site as usize] = per_mille.min(1000);
+        self
+    }
+
+    /// Set every site's failure rate to the same per-mille value.
+    pub fn with_all_rates(mut self, per_mille: u16) -> Self {
+        self.rates = [per_mille.min(1000); FAULT_SITE_COUNT];
+        self
+    }
+
+    /// Let the first `checks` site checks pass unconditionally.
+    pub fn after(mut self, checks: u64) -> Self {
+        self.after = checks;
+        self
+    }
+}
+
+/// The armed form of a [`FaultPlan`]: plan + RNG stream + counters.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    /// Site checks performed so far (for `plan.after`).
+    checks: u64,
+    /// Faults injected, per site.
+    injected: [u64; FAULT_SITE_COUNT],
+}
+
+impl FaultInjector {
+    /// Arm a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            rng: SplitMix64::new(plan.seed),
+            checks: 0,
+            injected: [0; FAULT_SITE_COUNT],
+        }
+    }
+
+    /// Should the operation at `site` fail now? Advances the RNG stream
+    /// only for sites with a non-zero rate, so arming one site does not
+    /// perturb another site's outcomes.
+    pub fn should_fail(&mut self, site: FaultSite) -> bool {
+        let rate = self.plan.rates[site as usize];
+        if rate == 0 {
+            return false;
+        }
+        self.checks += 1;
+        if self.checks <= self.plan.after {
+            return false;
+        }
+        let fail = self.rng.gen_range(1000) < rate as u64;
+        if fail {
+            self.injected[site as usize] += 1;
+        }
+        fail
+    }
+
+    /// Faults injected at one site so far.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.injected[site as usize]
+    }
+
+    /// Faults injected across all sites.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// The plan this injector was armed with.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fails_and_keeps_rng_cold() {
+        let mut inj = FaultInjector::new(FaultPlan::new(42));
+        for _ in 0..1000 {
+            for site in FaultSite::ALL {
+                assert!(!inj.should_fail(site));
+            }
+        }
+        assert_eq!(inj.injected_total(), 0);
+        assert_eq!(inj.checks, 0, "zero-rate checks must not consume RNG");
+    }
+
+    #[test]
+    fn full_rate_always_fails() {
+        let mut inj = FaultInjector::new(FaultPlan::new(7).with_rate(FaultSite::PageFault, 1000));
+        for _ in 0..50 {
+            assert!(inj.should_fail(FaultSite::PageFault));
+        }
+        assert_eq!(inj.injected(FaultSite::PageFault), 50);
+        assert!(
+            !inj.should_fail(FaultSite::SysMmap),
+            "other sites stay cold"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_outcomes() {
+        let plan = FaultPlan::new(123).with_all_rates(250);
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        for i in 0..5000 {
+            let site = FaultSite::ALL[i % FAULT_SITE_COUNT];
+            assert_eq!(a.should_fail(site), b.should_fail(site), "check {i}");
+        }
+        assert!(
+            a.injected_total() > 0,
+            "a 25% rate must fire over 5k checks"
+        );
+        assert_eq!(a.injected_total(), b.injected_total());
+    }
+
+    #[test]
+    fn after_suppresses_warmup_checks() {
+        let plan = FaultPlan::new(9)
+            .with_rate(FaultSite::SysMmap, 1000)
+            .after(10);
+        let mut inj = FaultInjector::new(plan);
+        for i in 0..10 {
+            assert!(!inj.should_fail(FaultSite::SysMmap), "warmup check {i}");
+        }
+        assert!(inj.should_fail(FaultSite::SysMmap), "post-warmup fails");
+    }
+
+    #[test]
+    fn rates_are_clamped() {
+        let plan = FaultPlan::new(0).with_rate(FaultSite::PageCopy, 9999);
+        assert_eq!(plan.rates[FaultSite::PageCopy as usize], 1000);
+        assert_eq!(FaultPlan::new(0).with_all_rates(2000).rates, [1000; 5]);
+    }
+
+    #[test]
+    fn intermediate_rate_is_roughly_proportional() {
+        let mut inj = FaultInjector::new(FaultPlan::new(31).with_rate(FaultSite::PageCopy, 100));
+        let n = 10_000;
+        let fails = (0..n)
+            .filter(|_| inj.should_fail(FaultSite::PageCopy))
+            .count();
+        // 10% nominal; allow wide slack, this is a sanity check not a
+        // statistical test.
+        assert!((500..2000).contains(&fails), "got {fails} of {n}");
+    }
+}

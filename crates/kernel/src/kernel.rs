@@ -29,7 +29,8 @@
 use crate::buddy::BuddyAllocator;
 use crate::colorlist::ColorMatrix;
 use crate::errno::Errno;
-use crate::task::{ColorOp, HeapPolicy, TaskStruct, Tid, VmId};
+use crate::fault::{FaultInjector, FaultPlan, FaultSite};
+use crate::task::{ColorOp, ExhaustionPolicy, HeapPolicy, TaskStruct, Tid, VmId};
 use crate::vm::AddressSpace;
 use crate::MAX_ORDER;
 use std::collections::HashMap;
@@ -108,6 +109,14 @@ pub struct KernelStats {
     pub pages_migrated: u64,
     /// Total fault cycles charged to tasks.
     pub fault_cycles: u64,
+    /// Colored allocations served from a *borrowed* bank/LLC color under
+    /// [`ExhaustionPolicy::NearestColor`].
+    pub off_color_allocs: u64,
+    /// Colored allocations served uncolored under
+    /// [`ExhaustionPolicy::LocalUncolored`].
+    pub exhaustion_fallbacks: u64,
+    /// Faults injected by the armed [`FaultPlan`] (0 when injection is off).
+    pub injected_faults: u64,
 }
 
 /// What a page fault returned: the frame plus the cycles the kernel charged.
@@ -148,6 +157,15 @@ pub struct Kernel {
     /// and flush on mismatch — installing a *new* translation never bumps it,
     /// so fault-heavy phases keep their TLB warm.
     translation_epoch: u64,
+    /// Armed fault-injection state; `None` (the default) costs one branch
+    /// per injection site and keeps behaviour bit-identical to a kernel
+    /// without the feature.
+    fault: Option<FaultInjector>,
+    /// Frames allocated but deliberately not tracked by any structure the
+    /// invariant checker walks: boot-noise pages (permanently consumed) and
+    /// outstanding [`Kernel::alloc_pages_raw`] blocks. Balances the
+    /// whole-memory accounting in [`Kernel::check_invariants`].
+    untracked_pages: u64,
 }
 
 impl Kernel {
@@ -169,6 +187,8 @@ impl Kernel {
             costs,
             stats: KernelStats::default(),
             translation_epoch: 0,
+            fault: None,
+            untracked_pages: 0,
         }
     }
 
@@ -223,8 +243,86 @@ impl Kernel {
     /// of the paper's experiments distinct physical layouts per seed.
     pub fn consume_boot_noise(&mut self, pages: u64) {
         for _ in 0..pages {
-            let _ = self.buddy.alloc(0);
+            if self.buddy.alloc(0).is_some() {
+                self.untracked_pages += 1;
+            }
         }
+    }
+
+    /// Arm (or with `None` disarm) deterministic fault injection. With no
+    /// plan armed every injection site is a single never-taken branch.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan.map(FaultInjector::new);
+    }
+
+    /// The armed fault injector, if any (per-site injection counters).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Should the operation at `site` fail now? One branch when no plan is
+    /// armed.
+    #[inline]
+    fn inject(fault: &mut Option<FaultInjector>, stats: &mut KernelStats, site: FaultSite) -> bool {
+        let Some(inj) = fault else { return false };
+        if inj.should_fail(site) {
+            stats.injected_faults += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whole-kernel consistency check (for tests and the fuzzer; O(frames),
+    /// never called on hot paths). Panics with a description on violation.
+    ///
+    /// Verified invariants:
+    /// * the buddy allocator's and color matrix's own structural invariants;
+    /// * every physical frame is owned by **exactly one** of: a buddy free
+    ///   list, a color list, a page table, or a task's pcp batch;
+    /// * every resident page lies inside a VMA of its address space;
+    /// * the frames owned by none of those structures are exactly the
+    ///   untracked pool (boot noise + outstanding raw blocks).
+    pub fn check_invariants(&self) {
+        self.buddy.check_invariants();
+        self.colors.check_invariants();
+        let mut owner = vec![0u8; self.mapping.frame_count() as usize];
+        let mut claim = |f: FrameNumber, code: u8, what: &str| {
+            let slot = &mut owner[f.0 as usize];
+            assert_eq!(*slot, 0, "frame {f} claimed twice (now {what})");
+            *slot = code;
+        };
+        for order in 0..=MAX_ORDER {
+            for start in self.buddy.blocks(order) {
+                for i in 0..1u64 << order {
+                    claim(FrameNumber(start.0 + i), 1, "buddy free list");
+                }
+            }
+        }
+        for f in self.colors.iter_frames() {
+            claim(f, 2, "color list");
+        }
+        for vm in &self.vms {
+            for (p, f) in vm.resident() {
+                assert!(
+                    vm.vma_of(p).is_some(),
+                    "resident page {p:?} outside any VMA"
+                );
+                claim(f, 3, "page table");
+            }
+        }
+        for t in self.tasks.values() {
+            for &f in &t.pcp {
+                claim(f, 4, "pcp batch");
+            }
+        }
+        let claimed = owner.iter().filter(|&&c| c != 0).count() as u64;
+        assert_eq!(
+            claimed + self.untracked_pages,
+            self.mapping.frame_count(),
+            "frame accounting drifted (untracked: {})",
+            self.untracked_pages
+        );
     }
 
     // ------------------------------------------------------------------
@@ -271,6 +369,16 @@ impl Kernel {
         Ok(())
     }
 
+    /// Set what a colored allocation does when its color supply runs dry.
+    pub fn set_exhaustion_policy(
+        &mut self,
+        tid: Tid,
+        policy: ExhaustionPolicy,
+    ) -> Result<(), Errno> {
+        self.task_mut(tid)?.exhaustion = policy;
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // System calls
     // ------------------------------------------------------------------
@@ -294,6 +402,9 @@ impl Kernel {
         }
         let pages = length.div_ceil(PAGE_SIZE);
         let vm = self.task(tid)?.vm;
+        if Self::inject(&mut self.fault, &mut self.stats, FaultSite::SysMmap) {
+            return Err(Errno::Enomem);
+        }
         Ok(self.vms[vm.0].map_region(pages))
     }
 
@@ -374,6 +485,15 @@ impl Kernel {
         if self.vms[vm.0].vma_of(page).is_none() {
             return Err(Errno::Efault);
         }
+        if let Some(frame) = self.vms[vm.0].lookup(page) {
+            // Spurious fault: the page is already resident (e.g. a direct
+            // `page_fault` call on a mapped page, or a CLONE_VM teammate won
+            // the race). Nothing to allocate or install.
+            return Ok(AllocOutcome { frame, cycles: 0 });
+        }
+        if Self::inject(&mut self.fault, &mut self.stats, FaultSite::PageFault) {
+            return Err(Errno::Enomem);
+        }
         let out = Self::alloc_pages(
             &self.mapping,
             &self.topology,
@@ -381,12 +501,16 @@ impl Kernel {
             &mut self.colors,
             &mut self.stats,
             &self.costs,
+            &mut self.fault,
             task,
             0,
         )?;
-        self.vms[vm.0]
-            .install(page, out.frame)
-            .expect("vma checked above");
+        if let Err(e) = self.vms[vm.0].install(page, out.frame) {
+            // Unreachable (the VMA was checked above); if it ever regresses,
+            // return the frame instead of leaking it and surface the error.
+            self.colors.push(out.frame);
+            return Err(e);
+        }
         self.stats.page_faults += 1;
         self.stats.fault_cycles += out.cycles;
         Ok(out)
@@ -401,21 +525,25 @@ impl Kernel {
     pub fn alloc_pages_raw(&mut self, tid: Tid, order: u32) -> Result<AllocOutcome, Errno> {
         assert!(order <= MAX_ORDER, "order beyond MAX_ORDER");
         let task = self.tasks.get_mut(&tid).ok_or(Errno::Esrch)?;
-        Self::alloc_pages(
+        let out = Self::alloc_pages(
             &self.mapping,
             &self.topology,
             &mut self.buddy,
             &mut self.colors,
             &mut self.stats,
             &self.costs,
+            &mut self.fault,
             task,
             order,
-        )
+        )?;
+        self.untracked_pages += 1 << order;
+        Ok(out)
     }
 
     /// Free a block obtained from [`Kernel::alloc_pages_raw`].
     pub fn free_pages_raw(&mut self, frame: FrameNumber, order: u32) {
         self.buddy.free(frame, order);
+        self.untracked_pages = self.untracked_pages.saturating_sub(1 << order);
     }
 
     /// Dynamic recoloring: migrate every resident page of `tid`'s address
@@ -463,7 +591,11 @@ impl Kernel {
         let mut cycles = 0u64;
         let mut migrated = 0u64;
         for (page, old) in violating {
-            let task = self.tasks.get_mut(&tid).expect("checked above");
+            let Some(task) = self.tasks.get_mut(&tid) else {
+                self.stats.pages_migrated += migrated;
+                self.stats.fault_cycles += cycles;
+                return Err(Errno::Esrch);
+            };
             let out = Self::alloc_pages(
                 &self.mapping,
                 &self.topology,
@@ -471,6 +603,7 @@ impl Kernel {
                 &mut self.colors,
                 &mut self.stats,
                 &self.costs,
+                &mut self.fault,
                 task,
                 0,
             );
@@ -482,6 +615,17 @@ impl Kernel {
                     return Err(e);
                 }
             };
+            if Self::inject(&mut self.fault, &mut self.stats, FaultSite::PageCopy) {
+                // The copy "failed" after the destination frame was
+                // allocated: roll the destination back to its color list.
+                // The old frame stays mapped, no translation changed, so the
+                // epoch is untouched — already-migrated pages keep their new
+                // frames, exactly like an interrupted compaction pass.
+                self.colors.push(out.frame);
+                self.stats.pages_migrated += migrated;
+                self.stats.fault_cycles += cycles;
+                return Err(Errno::Enomem);
+            }
             self.vms[vm.0].remap(page, out.frame);
             self.translation_epoch += 1;
             self.colors.push(old);
@@ -507,11 +651,14 @@ impl Kernel {
         colors: &mut ColorMatrix,
         stats: &mut KernelStats,
         costs: &KernelCosts,
+        fault: &mut Option<FaultInjector>,
         task: &mut TaskStruct,
         order: u32,
     ) -> Result<AllocOutcome, Errno> {
         if order == 0 && task.coloring_active() {
-            return Self::colored_alloc(mapping, topology, buddy, colors, stats, costs, task);
+            return Self::colored_alloc(
+                mapping, topology, buddy, colors, stats, costs, fault, task,
+            );
         }
         if order == 0 && task.policy == HeapPolicy::FirstTouch {
             return Self::first_touch_alloc(mapping, topology, buddy, colors, stats, costs, task);
@@ -684,6 +831,7 @@ impl Kernel {
         (scanned, None)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn colored_alloc(
         mapping: &AddressMapping,
         topology: &Topology,
@@ -691,6 +839,7 @@ impl Kernel {
         colors: &mut ColorMatrix,
         stats: &mut KernelStats,
         costs: &KernelCosts,
+        fault: &mut Option<FaultInjector>,
         task: &mut TaskStruct,
     ) -> Result<AllocOutcome, Errno> {
         let mut extra = 0u64;
@@ -708,6 +857,9 @@ impl Kernel {
                         cycles: costs.page_fault + extra,
                     });
                 }
+                if Self::inject(fault, stats, FaultSite::BuddyReplenish) {
+                    return Err(Errno::Eagain);
+                }
                 let (scanned, found) = Self::find_matching_block(buddy, |f| {
                     let d = mapping.decode_frame(f);
                     d.node == node && Self::frame_matches(mapping, task, f)
@@ -715,6 +867,9 @@ impl Kernel {
                 extra += costs.block_scan * scanned;
                 match found {
                     Some((order, start)) => {
+                        if Self::inject(fault, stats, FaultSite::CreateColorList) {
+                            return Err(Errno::Eagain);
+                        }
                         buddy.take_block(order, start);
                         let moved = colors.create_color_list(order, start);
                         stats.create_color_list_calls += 1;
@@ -740,11 +895,17 @@ impl Kernel {
                     cycles: costs.page_fault + extra,
                 });
             }
+            if Self::inject(fault, stats, FaultSite::BuddyReplenish) {
+                return Err(Errno::Eagain);
+            }
             let (scanned, found) =
                 Self::find_matching_block(buddy, |f| Self::frame_matches(mapping, task, f));
             extra += costs.block_scan * scanned;
             match found {
                 Some((order, start)) => {
+                    if Self::inject(fault, stats, FaultSite::CreateColorList) {
+                        return Err(Errno::Eagain);
+                    }
                     buddy.take_block(order, start);
                     let moved = colors.create_color_list(order, start);
                     stats.create_color_list_calls += 1;
@@ -752,11 +913,217 @@ impl Kernel {
                     extra += costs.per_page_move * moved;
                 }
                 None => {
-                    stats.color_enomem += 1;
-                    return Err(Errno::Enomem);
+                    return Self::exhausted_alloc(
+                        mapping, topology, buddy, colors, stats, costs, task, extra,
+                    );
                 }
             }
         }
+    }
+
+    /// The task's color supply is truly exhausted: no free page of an owned
+    /// color remains and no buddy block can replenish the lists. Dispatch on
+    /// the task's [`ExhaustionPolicy`].
+    #[allow(clippy::too_many_arguments)]
+    fn exhausted_alloc(
+        mapping: &AddressMapping,
+        topology: &Topology,
+        buddy: &mut BuddyAllocator,
+        colors: &mut ColorMatrix,
+        stats: &mut KernelStats,
+        costs: &KernelCosts,
+        task: &mut TaskStruct,
+        mut extra: u64,
+    ) -> Result<AllocOutcome, Errno> {
+        match task.exhaustion {
+            ExhaustionPolicy::Strict => {}
+            ExhaustionPolicy::NearestColor => {
+                if let Some(frame) = Self::nearest_color_alloc(
+                    mapping, topology, buddy, colors, stats, costs, task, &mut extra,
+                ) {
+                    task.off_color_allocs += 1;
+                    stats.off_color_allocs += 1;
+                    return Ok(AllocOutcome {
+                        frame,
+                        cycles: costs.page_fault + extra,
+                    });
+                }
+            }
+            ExhaustionPolicy::LocalUncolored => {
+                if let Some(frame) =
+                    Self::local_uncolored_alloc(mapping, topology, buddy, colors, task)
+                {
+                    task.exhaustion_fallbacks += 1;
+                    stats.exhaustion_fallbacks += 1;
+                    return Ok(AllocOutcome {
+                        frame,
+                        cycles: costs.page_fault + extra,
+                    });
+                }
+            }
+        }
+        stats.color_enomem += 1;
+        Err(Errno::Enomem)
+    }
+
+    /// [`ExhaustionPolicy::NearestColor`]: borrow a page of the *nearest*
+    /// non-owned color. For bank-colored tasks the bank constraint is
+    /// relaxed — candidates are the non-owned bank colors on the nodes the
+    /// owned colors live on, ordered by color-index distance — while any LLC
+    /// constraint is kept. For LLC-only tasks the LLC constraint is relaxed
+    /// the same way. Cursors are *not* advanced: borrowed pages must not
+    /// perturb the task's on-color rotation.
+    #[allow(clippy::too_many_arguments)]
+    fn nearest_color_alloc(
+        mapping: &AddressMapping,
+        topology: &Topology,
+        buddy: &mut BuddyAllocator,
+        colors: &mut ColorMatrix,
+        stats: &mut KernelStats,
+        costs: &KernelCosts,
+        task: &TaskStruct,
+        extra: &mut u64,
+    ) -> Option<FrameNumber> {
+        if task.using_bank {
+            let owned = task.mem_colors();
+            let mut nodes: Vec<usize> = owned
+                .iter()
+                .map(|&c| mapping.node_of_bank_color(c).index())
+                .collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            let mut candidates: Vec<(usize, usize)> = (0..mapping.bank_color_count())
+                .filter(|&b| !owned.contains(&BankColor(b as u16)))
+                .filter(|&b| {
+                    nodes.contains(&mapping.node_of_bank_color(BankColor(b as u16)).index())
+                })
+                .map(|b| {
+                    let dist = owned
+                        .iter()
+                        .map(|&c| (b as isize - c.index() as isize).unsigned_abs())
+                        .min()
+                        .expect("using_bank implies owned colors");
+                    (dist, b)
+                })
+                .collect();
+            candidates.sort_unstable();
+            for (_, b) in candidates {
+                let bc = BankColor(b as u16);
+                if let Some(f) = Self::pop_borrowed_bank(colors, task, bc) {
+                    return Some(f);
+                }
+                // Targeted replenish for the borrowed color only.
+                let (scanned, found) = Self::find_matching_block(buddy, |f| {
+                    let d = mapping.decode_frame(f);
+                    d.bank_color == bc
+                        && (!task.using_llc || task.llc_colors().contains(&d.llc_color))
+                });
+                *extra += costs.block_scan * scanned;
+                if let Some((order, start)) = found {
+                    buddy.take_block(order, start);
+                    let moved = colors.create_color_list(order, start);
+                    stats.create_color_list_calls += 1;
+                    stats.pages_moved += moved;
+                    *extra += costs.per_page_move * moved;
+                    if let Some(f) = Self::pop_borrowed_bank(colors, task, bc) {
+                        return Some(f);
+                    }
+                }
+            }
+            None
+        } else {
+            // LLC-only coloring: relax the LLC constraint to the nearest
+            // non-owned LLC color, preferring the local node's banks the way
+            // the on-color path does.
+            let owned = task.llc_colors();
+            let node = topology.node_of_core(task.core);
+            let mut candidates: Vec<(usize, usize)> = (0..mapping.llc_color_count())
+                .filter(|&l| !owned.contains(&LlcColor(l as u16)))
+                .map(|l| {
+                    let dist = owned
+                        .iter()
+                        .map(|&c| (l as isize - c.index() as isize).unsigned_abs())
+                        .min()
+                        .expect("using_llc implies owned colors");
+                    (dist, l)
+                })
+                .collect();
+            candidates.sort_unstable();
+            for (_, l) in candidates {
+                let llc = LlcColor(l as u16);
+                if let Some((f, _)) = colors.pop_llc(llc, task.mem_cursor) {
+                    return Some(f);
+                }
+                let (scanned, found) = Self::find_matching_block(buddy, |f| {
+                    let d = mapping.decode_frame(f);
+                    d.node == node && d.llc_color == llc
+                });
+                *extra += costs.block_scan * scanned;
+                if let Some((order, start)) = found {
+                    buddy.take_block(order, start);
+                    let moved = colors.create_color_list(order, start);
+                    stats.create_color_list_calls += 1;
+                    stats.pages_moved += moved;
+                    *extra += costs.per_page_move * moved;
+                    if let Some((f, _)) = colors.pop_llc(llc, task.mem_cursor) {
+                        return Some(f);
+                    }
+                }
+            }
+            None
+        }
+    }
+
+    /// Pop from a borrowed bank color, honouring the task's LLC constraint
+    /// (if any) without advancing its cursors.
+    fn pop_borrowed_bank(
+        colors: &mut ColorMatrix,
+        task: &TaskStruct,
+        bc: BankColor,
+    ) -> Option<FrameNumber> {
+        if task.using_llc {
+            let l = task.llc_colors().len();
+            (0..l).find_map(|j| {
+                let llc = task.llc_colors()[(task.llc_cursor + j) % l];
+                colors.pop(bc, llc)
+            })
+        } else {
+            colors.pop_bank(bc, task.llc_cursor).map(|(f, _)| f)
+        }
+    }
+
+    /// [`ExhaustionPolicy::LocalUncolored`]: the paper's §III.C degraded
+    /// mode. Abandon both color constraints but keep controller locality:
+    /// serve from the local node's buddy pages first, then local pages
+    /// parked in other colors' lists, then any buddy page, then any parked
+    /// page. Returns `None` only when physical memory is truly gone.
+    fn local_uncolored_alloc(
+        mapping: &AddressMapping,
+        topology: &Topology,
+        buddy: &mut BuddyAllocator,
+        colors: &mut ColorMatrix,
+        task: &TaskStruct,
+    ) -> Option<FrameNumber> {
+        let node = topology.node_of_core(task.core);
+        if let Some(f) = buddy.lowest_free_matching(|f| mapping.decode_frame(f).node == node) {
+            if buddy.alloc_specific(f) {
+                return Some(f);
+            }
+        }
+        for bc in mapping.bank_colors_of_node(node) {
+            if let Some((f, _)) = colors.pop_bank(bc, 0) {
+                return Some(f);
+            }
+        }
+        if let Some(f) = buddy.alloc(0) {
+            return Some(f);
+        }
+        for b in 0..mapping.bank_color_count() {
+            if let Some((f, _)) = colors.pop_bank(BankColor(b as u16), 0) {
+                return Some(f);
+            }
+        }
+        None
     }
 
     /// The NUMA-aware buddy behaviour of a stock Linux kernel: serve the
@@ -1215,5 +1582,250 @@ mod tests {
         let p1 = k1.translate(t1, b1).unwrap().phys;
         let p2 = k2.translate(t2, b2).unwrap().phys;
         assert_ne!(p1.frame(), p2.frame());
+    }
+
+    #[test]
+    fn spurious_page_fault_returns_resident_frame() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        let base = k.sys_mmap(tid, 0, 4096, 0).unwrap();
+        let first = k.page_fault(tid, base.page()).unwrap();
+        assert!(first.cycles > 0);
+        let again = k.page_fault(tid, base.page()).unwrap();
+        assert_eq!(again.frame, first.frame);
+        assert_eq!(again.cycles, 0, "spurious fault is free");
+        assert_eq!(k.stats().page_faults, 1, "not double-counted");
+    }
+
+    // --------------------------------------------------------------
+    // Exhaustion policies
+    // --------------------------------------------------------------
+
+    /// Exhaust the (bank 0, llc 0) pair of the tiny machine and return the
+    /// base of a region with one still-untouched page.
+    fn exhaust_pair(k: &mut Kernel, tid: Tid) -> VirtAddr {
+        let total = k.mapping().frames_per_color_pair();
+        let base = k.sys_mmap(tid, 0, 4096 * (total + 4), 0).unwrap();
+        for p in 0..total {
+            k.translate(tid, base.offset(p * 4096)).unwrap();
+        }
+        base.offset(total * 4096)
+    }
+
+    #[test]
+    fn nearest_color_borrows_adjacent_bank() {
+        let mut k = kernel();
+        let tid = colored_task(&mut k, 0, 0, 0);
+        k.set_exhaustion_policy(tid, ExhaustionPolicy::NearestColor)
+            .unwrap();
+        let next = exhaust_pair(&mut k, tid);
+        let t = k.translate(tid, next).unwrap();
+        let d = k.mapping().decode_frame(t.phys.frame());
+        assert_eq!(
+            d.bank_color,
+            BankColor(1),
+            "borrowed the adjacent local bank color"
+        );
+        assert_eq!(d.llc_color, LlcColor(0), "LLC constraint kept");
+        assert_eq!(k.task(tid).unwrap().off_color_allocs, 1);
+        assert_eq!(k.stats().off_color_allocs, 1);
+        assert_eq!(k.stats().color_enomem, 0, "no failure surfaced");
+        k.check_invariants();
+    }
+
+    #[test]
+    fn local_uncolored_falls_back_on_node() {
+        let mut k = kernel();
+        let tid = colored_task(&mut k, 0, 0, 0);
+        k.set_exhaustion_policy(tid, ExhaustionPolicy::LocalUncolored)
+            .unwrap();
+        let next = exhaust_pair(&mut k, tid);
+        let t = k.translate(tid, next).unwrap();
+        let d = k.mapping().decode_frame(t.phys.frame());
+        assert_eq!(d.node.index(), 0, "fallback stays node-local");
+        assert_eq!(k.task(tid).unwrap().exhaustion_fallbacks, 1);
+        assert_eq!(k.stats().exhaustion_fallbacks, 1);
+        k.check_invariants();
+    }
+
+    #[test]
+    fn strict_policy_still_fails_with_enomem() {
+        let mut k = kernel();
+        let tid = colored_task(&mut k, 0, 0, 0);
+        let next = exhaust_pair(&mut k, tid);
+        assert_eq!(k.translate(tid, next), Err(Errno::Enomem));
+        assert_eq!(k.stats().off_color_allocs, 0);
+        assert_eq!(k.stats().exhaustion_fallbacks, 0);
+        k.check_invariants();
+    }
+
+    #[test]
+    fn graceful_policies_never_run_dry_before_memory_does() {
+        // A LocalUncolored task can consume *every* frame in the machine;
+        // the allocator only fails when physical memory is truly gone.
+        let mut k = kernel();
+        let tid = colored_task(&mut k, 0, 0, 0);
+        k.set_exhaustion_policy(tid, ExhaustionPolicy::LocalUncolored)
+            .unwrap();
+        let frames = k.mapping().frame_count();
+        let base = k.sys_mmap(tid, 0, 4096 * (frames + 1), 0).unwrap();
+        for p in 0..frames {
+            k.translate(tid, base.offset(p * 4096))
+                .unwrap_or_else(|e| panic!("page {p} of {frames}: {e}"));
+        }
+        assert_eq!(
+            k.translate(tid, base.offset(frames * 4096)),
+            Err(Errno::Enomem),
+            "machine truly empty"
+        );
+        k.check_invariants();
+    }
+
+    // --------------------------------------------------------------
+    // Fault injection
+    // --------------------------------------------------------------
+
+    fn always(site: FaultSite) -> FaultPlan {
+        FaultPlan::new(1).with_rate(site, 1000)
+    }
+
+    #[test]
+    fn injected_mmap_fault_is_enomem_and_transient() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        k.set_fault_plan(Some(always(FaultSite::SysMmap)));
+        assert_eq!(k.sys_mmap(tid, 0, 4096, 0), Err(Errno::Enomem));
+        assert_eq!(k.stats().injected_faults, 1);
+        // Color-protocol calls do not allocate and are never injected.
+        k.sys_mmap(tid, SET_MEM_COLOR | 1, 0, COLOR_ALLOC).unwrap();
+        k.set_fault_plan(None);
+        k.sys_mmap(tid, 0, 4096, 0).unwrap();
+        k.check_invariants();
+    }
+
+    #[test]
+    fn injected_replenish_fault_is_eagain_then_retry_succeeds() {
+        let mut k = kernel();
+        let tid = colored_task(&mut k, 0, 1, 2);
+        let base = k.sys_mmap(tid, 0, 4096, 0).unwrap();
+        // First colored fault needs a replenish; injection fails it before
+        // anything is mutated.
+        k.set_fault_plan(Some(always(FaultSite::BuddyReplenish)));
+        assert_eq!(k.translate(tid, base), Err(Errno::Eagain));
+        k.check_invariants();
+        k.set_fault_plan(None);
+        let t = k.translate(tid, base).unwrap();
+        let d = k.mapping().decode_frame(t.phys.frame());
+        assert_eq!(d.bank_color, BankColor(1));
+        assert_eq!(d.llc_color, LlcColor(2));
+    }
+
+    #[test]
+    fn injected_create_color_list_fault_is_eagain() {
+        let mut k = kernel();
+        let tid = colored_task(&mut k, 0, 1, 2);
+        let base = k.sys_mmap(tid, 0, 4096, 0).unwrap();
+        k.set_fault_plan(Some(always(FaultSite::CreateColorList)));
+        assert_eq!(k.translate(tid, base), Err(Errno::Eagain));
+        assert_eq!(k.stats().pages_moved, 0, "nothing moved before the fault");
+        k.check_invariants();
+        k.set_fault_plan(None);
+        k.translate(tid, base).unwrap();
+    }
+
+    #[test]
+    fn injected_page_fault_is_enomem_before_any_allocation() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        let base = k.sys_mmap(tid, 0, 4096, 0).unwrap();
+        let free0 = k.buddy().free_pages();
+        k.set_fault_plan(Some(always(FaultSite::PageFault)));
+        assert_eq!(k.translate(tid, base), Err(Errno::Enomem));
+        assert_eq!(k.buddy().free_pages(), free0, "no frame consumed");
+        k.set_fault_plan(None);
+        k.translate(tid, base).unwrap();
+        k.check_invariants();
+    }
+
+    #[test]
+    fn injected_page_copy_rolls_back_migration_transactionally() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        let base = k.sys_mmap(tid, 0, 4096 * 6, 0).unwrap();
+        for p in 0..6u64 {
+            k.translate(tid, base.offset(p * 4096)).unwrap();
+        }
+        let frames_before: Vec<_> = (0..6u64)
+            .map(|p| k.translate(tid, base.offset(p * 4096)).unwrap().phys)
+            .collect();
+        let epoch_before = k.translation_epoch();
+        k.sys_mmap(tid, SET_MEM_COLOR | 1, 0, COLOR_ALLOC).unwrap();
+        k.set_fault_plan(Some(always(FaultSite::PageCopy)));
+        assert_eq!(k.recolor_task(tid), Err(Errno::Enomem));
+        assert_eq!(
+            k.translation_epoch(),
+            epoch_before,
+            "no translation changed, so no epoch bump"
+        );
+        for (p, &phys) in frames_before.iter().enumerate() {
+            let tr = k.translate(tid, base.offset(p as u64 * 4096)).unwrap();
+            assert_eq!(tr.fault_cycles, 0, "page {p} still resident");
+            assert_eq!(tr.phys, phys, "page {p} kept its old frame");
+        }
+        k.check_invariants();
+        // With the weather cleared, the same migration completes.
+        k.set_fault_plan(None);
+        let (migrated, _) = k.recolor_task(tid).unwrap();
+        assert!(migrated > 0);
+        k.check_invariants();
+    }
+
+    #[test]
+    fn injection_off_is_bit_identical_to_unarmed_kernel() {
+        // An armed plan whose rates are all zero must reproduce the unarmed
+        // kernel's exact allocation sequence (the zero-cost-when-off
+        // contract underlying the baseline figures).
+        let mut a = kernel();
+        let mut b = kernel();
+        b.set_fault_plan(Some(FaultPlan::new(99)));
+        let ta = colored_task(&mut a, 0, 1, 2);
+        let tb = colored_task(&mut b, 0, 1, 2);
+        let ba = a.sys_mmap(ta, 0, 4096 * 64, 0).unwrap();
+        let bb = b.sys_mmap(tb, 0, 4096 * 64, 0).unwrap();
+        for p in 0..64u64 {
+            let pa = a.translate(ta, ba.offset(p * 4096)).unwrap();
+            let pb = b.translate(tb, bb.offset(p * 4096)).unwrap();
+            assert_eq!(pa, pb, "page {p}");
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn check_invariants_passes_through_mixed_workload() {
+        let mut k = kernel();
+        let colored = colored_task(&mut k, 0, 2, 1);
+        let legacy = k.create_task(CoreId(2));
+        k.consume_boot_noise(13);
+        k.check_invariants();
+        let cb = k.sys_mmap(colored, 0, 4096 * 16, 0).unwrap();
+        let lb = k.sys_mmap(legacy, 0, 4096 * 16, 0).unwrap();
+        for p in 0..16u64 {
+            k.translate(colored, cb.offset(p * 4096)).unwrap();
+            k.translate(legacy, lb.offset(p * 4096)).unwrap();
+        }
+        k.check_invariants();
+        let raw = k.alloc_pages_raw(legacy, 3).unwrap();
+        k.check_invariants();
+        k.sys_munmap(colored, cb, 4096 * 16).unwrap();
+        k.check_invariants();
+        k.free_pages_raw(raw.frame, 3);
+        k.sys_mmap(colored, SET_MEM_COLOR | 3, 0, COLOR_ALLOC)
+            .unwrap();
+        let cb2 = k.sys_mmap(colored, 0, 4096 * 8, 0).unwrap();
+        for p in 0..8u64 {
+            k.translate(colored, cb2.offset(p * 4096)).unwrap();
+        }
+        k.recolor_task(colored).unwrap();
+        k.check_invariants();
     }
 }

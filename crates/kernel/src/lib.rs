@@ -18,7 +18,10 @@
 //! * [`kernel`] — the [`kernel::Kernel`] facade: the `mmap()` system call
 //!   with the paper's zero-length/bit-30 color-setting protocol (§III.B),
 //!   and **Algorithm 1** (colored page selection) wired into the page-fault
-//!   path.
+//!   path;
+//! * [`fault`] — deterministic, seeded fault injection ([`FaultPlan`] /
+//!   [`FaultInjector`]) for the allocation paths, off by default and
+//!   zero-cost when off.
 //!
 //! The crate is purely about *which frame* a task gets and *what the kernel
 //! charges for it*; timing of subsequent accesses to those frames is the
@@ -47,6 +50,7 @@
 pub mod buddy;
 pub mod colorlist;
 pub mod errno;
+pub mod fault;
 pub mod kernel;
 pub mod task;
 pub mod vm;
@@ -54,8 +58,9 @@ pub mod vm;
 pub use buddy::BuddyAllocator;
 pub use colorlist::ColorMatrix;
 pub use errno::Errno;
+pub use fault::{FaultInjector, FaultPlan, FaultSite};
 pub use kernel::{AllocOutcome, Kernel, KernelCosts, KernelStats};
-pub use task::{ColorOp, HeapPolicy, TaskStruct, Tid};
+pub use task::{ColorOp, ExhaustionPolicy, HeapPolicy, TaskStruct, Tid};
 pub use vm::AddressSpace;
 
 /// Largest buddy order (blocks of `2^MAX_ORDER` pages = 8 MiB), mirroring

@@ -38,6 +38,28 @@ pub enum HeapPolicy {
     FirstTouch,
 }
 
+/// What Algorithm 1 does when a colored task's supply is exhausted — no
+/// free page of any owned color remains and no buddy block can replenish
+/// the color lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExhaustionPolicy {
+    /// Fail the allocation with `ENOMEM` — the paper's §III.B contract
+    /// ("mmap() will return an error code indicating that no more pages of
+    /// this color are available") and this kernel's historical behaviour.
+    #[default]
+    Strict,
+    /// Borrow the nearest free bank color on the task's local node: the
+    /// LLC constraint (if any) is kept, only the bank constraint is
+    /// relaxed, and candidates are tried in order of distance from the
+    /// task's owned colors so contention stays adjacent.
+    NearestColor,
+    /// Fall back to node-local uncolored buddy allocation — the paper's
+    /// §III.C degraded mode, where Algorithm 1's buddy traversal simply
+    /// serves the page it finds. Keeps controller locality, abandons both
+    /// color constraints.
+    LocalUncolored,
+}
+
 /// A decoded color-set operation (the `mmap()` protocol's payload).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ColorOp {
@@ -68,6 +90,14 @@ pub struct TaskStruct {
     pub using_llc: bool,
     /// Base policy when no coloring flag is set.
     pub policy: HeapPolicy,
+    /// What a colored allocation does when its color supply is exhausted.
+    pub exhaustion: ExhaustionPolicy,
+    /// Colored allocations served off-color under
+    /// [`ExhaustionPolicy::NearestColor`] (a borrowed bank color).
+    pub off_color_allocs: u64,
+    /// Colored allocations served uncolored under
+    /// [`ExhaustionPolicy::LocalUncolored`] (buddy fallback).
+    pub exhaustion_fallbacks: u64,
     /// Round-robin cursor over `mem_colors`.
     pub(crate) mem_cursor: usize,
     /// Round-robin cursor over `llc_colors` (and over the full LLC space for
@@ -94,6 +124,9 @@ impl TaskStruct {
             using_bank: false,
             using_llc: false,
             policy: HeapPolicy::Legacy,
+            exhaustion: ExhaustionPolicy::default(),
+            off_color_allocs: 0,
+            exhaustion_fallbacks: 0,
             // Stagger rotation phases per task so concurrently-allocating
             // tasks do not all pop the same color at the same time (the
             // paper's kernel gets this effect for free from per-CPU list
@@ -160,6 +193,9 @@ mod tests {
         assert!(!t.coloring_active());
         assert_eq!(t.policy, HeapPolicy::Legacy);
         assert!(t.mem_colors().is_empty());
+        assert_eq!(t.exhaustion, ExhaustionPolicy::Strict);
+        assert_eq!(t.off_color_allocs, 0);
+        assert_eq!(t.exhaustion_fallbacks, 0);
     }
 
     #[test]

@@ -19,4 +19,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== fault-injection fuzz (bounded) =="
+# A bounded pass of the memory-pressure fuzzer: mixed heap/syscall ops
+# under injected faults, kernel invariants checked throughout. Release
+# mode keeps the 5-seed pass to a few seconds; nightly-depth runs raise
+# TINT_FUZZ_SEEDS instead.
+TINT_FUZZ_SEEDS=5 cargo test --release -q -p tintmalloc --test fuzz_pressure
+
 echo "CI OK"
