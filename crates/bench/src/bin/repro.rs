@@ -1,7 +1,7 @@
 //! `repro` — regenerate every results figure of the TintMalloc paper.
 //!
 //! ```text
-//! repro [--reps N] [--scale F] [--csv] [--configs 16t4n,8t4n,...] <command>...
+//! repro [--reps N] [--scale F] [--csv] [--profile] [--configs 16t4n,8t4n,...] <command>...
 //!
 //! commands:
 //!   fig10              synthetic benchmark by coloring policy
@@ -9,10 +9,13 @@
 //!   fig12              normalized total idle times
 //!   fig13              per-thread runtimes at 16_threads_4_nodes
 //!   fig14              per-thread idle times at 16_threads_4_nodes
-//!   latency            local/remote + bank + LLC latency microbenchmarks\n//!   bandwidth          bank/controller parallelism microbenchmark
+//!   latency            local/remote + bank + LLC latency microbenchmarks
+//!   bandwidth          bank/controller parallelism microbenchmark
 //!   ablate-part        full vs partial coloring
 //!   ablate-firsttouch  legacy buddy vs NUMA buddy vs MEM coloring
-//!   ablate-migrate     dynamic recoloring via page migration (extension)\n//!   ablate-dynamic     static vs dynamic scheduling (extension)\n//!   ablate-pagepolicy  open- vs closed-page DRAM controllers (extension)
+//!   ablate-migrate     dynamic recoloring via page migration (extension)
+//!   ablate-dynamic     static vs dynamic scheduling (extension)
+//!   ablate-pagepolicy  open- vs closed-page DRAM controllers (extension)
 //!   ablate-colorlist   colored-free-list population overhead
 //!   ablate-pressure    exhaustion-policy degradation under color pressure (extension)
 //!   probe:<bench>      per-scheme diagnostics for one benchmark cell
@@ -22,7 +25,16 @@
 //! Multiple commands run in sequence within one process (the `BenchMatrix`
 //! behind fig11/fig12 is computed once and shared). After the run, a
 //! machine-readable `BENCH_repro.json` is written to the working directory
-//! with per-command wall-clock milliseconds and simulated cycles.
+//! with per-command wall-clock milliseconds and simulated cycles. An
+//! existing file is *merged into*, not clobbered: command records are
+//! upserted by name, so `repro probe:lbm` after `repro all` keeps the
+//! figure records.
+//!
+//! `--profile` turns on the pipeline self-profile (see `tint_hw::profile`):
+//! per-component wall time — scheduler, TLB, cache hierarchy, DRAM, frame
+//! decode — printed as a table after each command and recorded in the JSON.
+//! The timing probes themselves cost time, so wall_ms measured under
+//! `--profile` is inflated; figure *tables* are unaffected.
 
 use tint_bench::figures::{
     ablate_colorlist, ablate_dynamic, ablate_firsttouch, ablate_migrate, ablate_pagepolicy,
@@ -31,6 +43,7 @@ use tint_bench::figures::{
 };
 use tint_bench::runner::simulated_cycles;
 use tint_bench::table::Table;
+use tint_hw::profile::{self, Component, COMPONENT_COUNT};
 use tint_workloads::PinConfig;
 
 fn parse_config(s: &str) -> Option<PinConfig> {
@@ -49,6 +62,40 @@ struct CmdRecord {
     name: String,
     wall_ms: f64,
     sim_cycles: u64,
+    reps: u32,
+    scale: f64,
+    /// Per-component nanoseconds when `--profile` was on.
+    profile: Option<[u64; COMPONENT_COUNT]>,
+}
+
+/// Render one command's component profile as a table with derived rows.
+/// `Engine` contains `Access`, which contains the four leaf components, so
+/// the interesting shares are the subtractions.
+fn profile_table(nanos: &[u64; COMPONENT_COUNT], wall_ms: f64) -> Table {
+    let ms = |c: Component| nanos[c as usize] as f64 / 1e6;
+    let engine = ms(Component::Engine);
+    let access = ms(Component::Access);
+    let leaves =
+        ms(Component::Tlb) + ms(Component::Hierarchy) + ms(Component::Dram) + ms(Component::Decode);
+    let mut t = Table::new(vec!["component", "ms", "share_of_engine"]);
+    let share = |v: f64| {
+        if engine > 0.0 {
+            format!("{:.1}%", 100.0 * v / engine)
+        } else {
+            "-".to_string()
+        }
+    };
+    let mut row = |name: &str, v: f64| t.row(vec![name.to_string(), format!("{v:.1}"), share(v)]);
+    row("engine (sections total)", engine);
+    row("  scheduler (engine - access)", engine - access);
+    row("  access (System::access)", access);
+    row("    tlb + translate", ms(Component::Tlb));
+    row("    cache hierarchy", ms(Component::Hierarchy));
+    row("    dram timing", ms(Component::Dram));
+    row("    frame decode", ms(Component::Decode));
+    row("    access other", access - leaves);
+    row("outside engine (setup, alloc)", wall_ms - engine);
+    t
 }
 
 /// Per-invocation state shared across commands: the fig11/fig12 matrix is
@@ -192,13 +239,105 @@ fn json_table(t: &Table, indent: &str) -> String {
     s
 }
 
-/// Serialize the measurement records as `BENCH_repro.json`.
+/// Serialize one command record as a single JSON object line (no indent).
+fn record_json(r: &CmdRecord) -> String {
+    let mut s = format!(
+        "{{\"name\": \"{}\", \"wall_ms\": {:.3}, \"sim_cycles\": {}, \"reps\": {}, \"scale\": {}",
+        json_escape(&r.name),
+        r.wall_ms,
+        r.sim_cycles,
+        r.reps,
+        r.scale,
+    );
+    if let Some(nanos) = &r.profile {
+        let fields: Vec<String> = profile::COMPONENT_NAMES
+            .iter()
+            .zip(nanos)
+            .map(|(n, &v)| format!("\"{}_ms\": {:.3}", n, v as f64 / 1e6))
+            .collect();
+        s.push_str(&format!(", \"profile\": {{{}}}", fields.join(", ")));
+    }
+    s.push('}');
+    s
+}
+
+/// What survives from an existing `BENCH_repro.json`: the per-command
+/// records as `(name, raw JSON object)` pairs and the raw `"pressure"`
+/// block. Only files this tool wrote are parsed (one record per line); an
+/// unrecognizable file is treated as absent.
+struct ExistingBench {
+    records: Vec<(String, String)>,
+    pressure_raw: Option<String>,
+}
+
+/// Parse the parts of an existing `BENCH_repro.json` worth preserving.
+fn read_existing(path: &str) -> ExistingBench {
+    let mut out = ExistingBench {
+        records: Vec::new(),
+        pressure_raw: None,
+    };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return out;
+    };
+    let mut in_commands = false;
+    let mut pressure: Option<Vec<String>> = None;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if let Some(block) = pressure.as_mut() {
+            if trimmed == "]" || trimmed == "]," {
+                out.pressure_raw = Some(block.join("\n"));
+                pressure = None;
+            } else {
+                block.push(line.to_string());
+            }
+            continue;
+        }
+        if trimmed.starts_with("\"commands\"") {
+            in_commands = true;
+            continue;
+        }
+        if in_commands {
+            if trimmed == "]" || trimmed == "]," {
+                in_commands = false;
+                continue;
+            }
+            let raw = trimmed.trim_end_matches(',');
+            // `{"name": "X", ...}` — extract X.
+            if let Some(rest) = raw.strip_prefix("{\"name\": \"") {
+                if let Some(end) = rest.find('"') {
+                    out.records.push((rest[..end].to_string(), raw.to_string()));
+                }
+            }
+            continue;
+        }
+        if trimmed.starts_with("\"pressure\"") {
+            pressure = Some(Vec::new());
+        }
+    }
+    out
+}
+
+/// Serialize the measurement records as `BENCH_repro.json`, merging with an
+/// existing file: records are upserted by command name (an earlier `repro
+/// all` is not clobbered by a later `repro probe:lbm`), and a previously
+/// recorded pressure table survives unless this run regenerated it.
 fn write_bench_json(
     records: &[CmdRecord],
     opts: &FigOpts,
     configs: &[PinConfig],
     pressure: Option<&Table>,
 ) {
+    let path = "BENCH_repro.json";
+    let existing = read_existing(path);
+    // Upsert: existing records keep their position, new commands append.
+    let mut merged: Vec<(String, String)> = existing.records;
+    for r in records {
+        let line = record_json(r);
+        match merged.iter_mut().find(|(n, _)| *n == r.name) {
+            Some(slot) => slot.1 = line,
+            None => merged.push((r.name.clone(), line)),
+        }
+    }
     let total_ms: f64 = records.iter().map(|r| r.wall_ms).sum();
     let total_cycles: u64 = records.iter().map(|r| r.sim_cycles).sum();
     let mut s = String::new();
@@ -215,24 +354,22 @@ fn write_bench_json(
             .join(", ")
     ));
     s.push_str("  \"commands\": [\n");
-    for (i, r) in records.iter().enumerate() {
+    for (i, (_, line)) in merged.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"sim_cycles\": {}}}{}\n",
-            json_escape(&r.name),
-            r.wall_ms,
-            r.sim_cycles,
-            if i + 1 < records.len() { "," } else { "" }
+            "    {line}{}\n",
+            if i + 1 < merged.len() { "," } else { "" }
         ));
     }
     s.push_str("  ],\n");
     if let Some(t) = pressure {
         s.push_str(&format!("  \"pressure\": {},\n", json_table(t, "  ")));
+    } else if let Some(raw) = &existing.pressure_raw {
+        s.push_str(&format!("  \"pressure\": [\n{raw}\n  ],\n"));
     }
     s.push_str(&format!(
         "  \"total\": {{\"wall_ms\": {total_ms:.3}, \"sim_cycles\": {total_cycles}}}\n"
     ));
     s.push_str("}\n");
-    let path = "BENCH_repro.json";
     match std::fs::write(path, &s) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
@@ -250,6 +387,7 @@ fn main() {
             "--reps" => opts.reps = it.next().expect("--reps N").parse().expect("reps number"),
             "--scale" => opts.scale = it.next().expect("--scale F").parse().expect("scale number"),
             "--csv" => opts.csv = true,
+            "--profile" => profile::set_enabled(true),
             "--configs" => {
                 configs = it
                     .next()
@@ -277,12 +415,22 @@ fn main() {
     let mut records = Vec::with_capacity(cmds.len());
     for cmd in &cmds {
         let cycles_before = simulated_cycles();
+        profile::reset();
         let start = std::time::Instant::now();
         run_cmd(&mut ctx, cmd);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let prof = profile::enabled().then(profile::snapshot);
+        if let Some(nanos) = &prof {
+            println!("-- pipeline self-profile ({cmd}) --");
+            print!("{}", ctx.opts.render(&profile_table(nanos, wall_ms)));
+        }
         records.push(CmdRecord {
             name: cmd.clone(),
-            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            wall_ms,
             sim_cycles: simulated_cycles() - cycles_before,
+            reps: ctx.opts.reps,
+            scale: ctx.opts.scale,
+            profile: prof,
         });
     }
     write_bench_json(&records, &ctx.opts, &ctx.configs, ctx.pressure.as_ref());

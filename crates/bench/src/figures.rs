@@ -752,6 +752,22 @@ impl tint_spmd::SectionBody for ChainBodies<'_> {
         }
         None
     }
+
+    // Delegate to the inner bodies' (monomorphized) bulk fills rather than
+    // taking the outer one-op-at-a-time default. A short inner fill means
+    // that body is exhausted, so the next one continues filling the same
+    // buffer; only when all bodies are drained does the outer fill come up
+    // short.
+    fn fill(&mut self, buf: &mut [tint_spmd::Op]) -> usize {
+        let mut n = 0;
+        while n < buf.len() && self.1 < self.0.len() {
+            n += self.0[self.1].fill(&mut buf[n..]);
+            if n < buf.len() {
+                self.1 += 1;
+            }
+        }
+        n
+    }
 }
 
 /// Ablation (extension): graceful degradation under color-list pressure.

@@ -13,13 +13,29 @@ fn fibonacci_spread(v: u64) -> u64 {
     v.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
-/// One cached line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    /// Full line address (tag + index), which keeps lookup simple and exact.
-    line_addr: u64,
-    /// Core that most recently filled this line.
-    owner: CoreId,
+/// One cached line, packed into a single word: the full line address
+/// (tag + index, which keeps lookup simple and exact) in the low
+/// [`ADDR_BITS`] bits and the owning core in the top byte. Halving the
+/// per-line footprint (vs. a `(u64, CoreId)` pair) halves the metadata the
+/// host has to pull through its own caches on every simulated lookup —
+/// the set strides are the hottest randomly-accessed data in the whole
+/// simulator.
+type Line = u64;
+
+/// Bits of a [`Line`] holding the line address.
+const ADDR_BITS: u32 = 56;
+/// Mask selecting the line-address field of a [`Line`].
+const ADDR_MASK: u64 = (1 << ADDR_BITS) - 1;
+
+#[inline]
+fn pack(line_addr: u64, owner: CoreId) -> Line {
+    debug_assert!(owner.index() < 256, "owner must fit the top byte");
+    ((owner.index() as u64) << ADDR_BITS) | line_addr
+}
+
+#[inline]
+fn owner_of(l: Line) -> CoreId {
+    CoreId((l >> ADDR_BITS) as usize)
 }
 
 /// Result of a cache fill.
@@ -117,13 +133,7 @@ impl SetAssocCache {
             IndexMode::Modulo => {}
         }
         Self {
-            lines: vec![
-                Line {
-                    line_addr: 0,
-                    owner: CoreId(0)
-                };
-                sets * assoc
-            ],
+            lines: vec![0; sets * assoc],
             lens: vec![0; sets],
             set_count: sets,
             assoc,
@@ -160,6 +170,17 @@ impl SetAssocCache {
         self.misses
     }
 
+    /// Count a hit that the hierarchy's hot-line filter short-circuited.
+    ///
+    /// The filter only fires when a full [`Self::access`] would hit the MRU
+    /// way with the owner already set to the accessing core — the rotate is
+    /// a no-op and the owner write is idempotent — so the lookup can be
+    /// skipped entirely as long as this counter still moves.
+    #[inline]
+    pub fn record_filter_hit(&mut self) {
+        self.hits += 1;
+    }
+
     /// Set index of an address.
     #[inline]
     pub fn set_index(&self, addr: PhysAddr) -> usize {
@@ -191,7 +212,9 @@ impl SetAssocCache {
 
     #[inline]
     fn line_addr(&self, addr: PhysAddr) -> u64 {
-        addr.0 >> self.line_shift
+        let la = addr.0 >> self.line_shift;
+        debug_assert!(la <= ADDR_MASK, "line address must fit the packed field");
+        la
     }
 
     /// Look up and touch `addr` for `core`. On a hit the line moves to MRU;
@@ -205,18 +228,15 @@ impl SetAssocCache {
         let base = idx * self.assoc;
         let len = self.lens[idx] as usize;
         let set = &mut self.lines[base..base + len];
-        if let Some(pos) = set.iter().position(|l| l.line_addr == la) {
+        if let Some(pos) = set.iter().position(|&l| l & ADDR_MASK == la) {
             // Hit: move to MRU (end), refresh owner.
             set[pos..].rotate_left(1);
-            set[len - 1].owner = core;
+            set[len - 1] = pack(la, core);
             self.hits += 1;
             return (true, None);
         }
         self.misses += 1;
-        let new = Line {
-            line_addr: la,
-            owner: core,
-        };
+        let new = pack(la, core);
         if len == self.assoc {
             // Evict LRU (front), shift the rest down, fill the MRU slot.
             let victim = set[0];
@@ -225,8 +245,8 @@ impl SetAssocCache {
             (
                 false,
                 Some(Eviction {
-                    line_addr: victim.line_addr,
-                    owner: victim.owner,
+                    line_addr: victim & ADDR_MASK,
+                    owner: owner_of(victim),
                 }),
             )
         } else {
@@ -243,7 +263,7 @@ impl SetAssocCache {
         let base = idx * self.assoc;
         self.lines[base..base + self.lens[idx] as usize]
             .iter()
-            .any(|l| l.line_addr == la)
+            .any(|&l| l & ADDR_MASK == la)
     }
 
     /// Drop a line if present (used for invalidation tests).
@@ -253,7 +273,7 @@ impl SetAssocCache {
         let base = idx * self.assoc;
         let len = self.lens[idx] as usize;
         let set = &mut self.lines[base..base + len];
-        if let Some(pos) = set.iter().position(|l| l.line_addr == la) {
+        if let Some(pos) = set.iter().position(|&l| l & ADDR_MASK == la) {
             set[pos..].rotate_left(1);
             self.lens[idx] = (len - 1) as u8;
             true
@@ -273,7 +293,7 @@ impl SetAssocCache {
             .iter()
             .enumerate()
             .flat_map(|(i, &len)| self.lines[i * self.assoc..i * self.assoc + len as usize].iter())
-            .filter(|l| l.owner == core)
+            .filter(|&&l| owner_of(l) == core)
             .count()
     }
 

@@ -33,6 +33,14 @@ pub struct CacheHierarchy {
     l1_lat: u64,
     l2_lat: u64,
     l3_lat: u64,
+    line_shift: u32,
+    /// Per-core one-entry MRU line filter: the line address this core
+    /// touched last (`u64::MAX` = none yet). Invariant: after any access by
+    /// core *c*, `mru_line[c]` is resident in *c*'s private L1 in its set's
+    /// MRU way with *c* as owner — a repeat hit's move-to-MRU rotate is a
+    /// no-op and its owner refresh is idempotent, so the walk can be
+    /// skipped whole.
+    mru_line: Vec<u64>,
     stats: HierarchyStats,
 }
 
@@ -72,6 +80,8 @@ impl CacheHierarchy {
             l1_lat: m.cache.l1.latency,
             l2_lat: m.cache.l2.latency,
             l3_lat: m.cache.l3.latency,
+            line_shift: shift,
+            mru_line: vec![u64::MAX; cores],
             stats: HierarchyStats::new(cores),
         }
     }
@@ -84,6 +94,15 @@ impl CacheHierarchy {
     /// memory time).
     pub fn access(&mut self, core: CoreId, addr: PhysAddr) -> (HitLevel, u64) {
         let c = core.index();
+        // Hot-line fast path: repeated hit on the line this core touched
+        // last. The line sits in its L1 set's MRU way (see `mru_line`), so
+        // the full walk would change nothing but the hit counters.
+        if addr.0 >> self.line_shift == self.mru_line[c] {
+            self.l1[c].record_filter_hit();
+            self.stats.cores[c].l1_hits += 1;
+            return (HitLevel::L1, self.l1_lat);
+        }
+        self.mru_line[c] = addr.0 >> self.line_shift;
         let st = &mut self.stats.cores[c];
 
         let (l1_hit, _) = self.l1[c].access(core, addr);
@@ -104,6 +123,44 @@ impl CacheHierarchy {
         if let Some(ev) = evicted {
             if ev.owner != core {
                 // Interference: this fill displaced another core's line.
+                self.stats.cores[ev.owner.index()].l3_evicted_by_others += 1;
+            }
+        }
+        let st = &mut self.stats.cores[c];
+        if l3_hit {
+            st.l3_hits += 1;
+            (HitLevel::L3, self.l1_lat + self.l2_lat + self.l3_lat)
+        } else {
+            st.l3_misses += 1;
+            (HitLevel::Memory, self.l1_lat + self.l2_lat + self.l3_lat)
+        }
+    }
+
+    /// Reference walk without the MRU fast path: always performs the full
+    /// L1→L2→L3 lookup. Kept for equivalence testing — results and all
+    /// counters must match [`Self::access`] exactly on any access sequence.
+    pub fn access_reference(&mut self, core: CoreId, addr: PhysAddr) -> (HitLevel, u64) {
+        let c = core.index();
+        self.mru_line[c] = u64::MAX; // keep the filter cold for mixed use
+        let st = &mut self.stats.cores[c];
+
+        let (l1_hit, _) = self.l1[c].access(core, addr);
+        if l1_hit {
+            st.l1_hits += 1;
+            return (HitLevel::L1, self.l1_lat);
+        }
+        st.l1_misses += 1;
+
+        let (l2_hit, _) = self.l2[c].access(core, addr);
+        if l2_hit {
+            st.l2_hits += 1;
+            return (HitLevel::L2, self.l1_lat + self.l2_lat);
+        }
+        st.l2_misses += 1;
+
+        let (l3_hit, evicted) = self.l3.access(core, addr);
+        if let Some(ev) = evicted {
+            if ev.owner != core {
                 self.stats.cores[ev.owner.index()].l3_evicted_by_others += 1;
             }
         }
@@ -308,6 +365,61 @@ mod tests {
         assert_eq!(h.stats().core(CoreId(0)).accesses(), 0);
         let (lvl, _) = h.access(CoreId(0), a);
         assert_eq!(lvl, HitLevel::L1, "contents survived the reset");
+    }
+
+    #[test]
+    fn mru_filter_matches_reference_walk_bit_for_bit() {
+        use tint_hw::rng::SplitMix64;
+        // Random access streams with deliberate same-line repeats (the case
+        // the filter short-circuits), interleaved across cores so evictions
+        // and cross-core interference are exercised too.
+        for seed in 0..4u64 {
+            let (m, mut fast) = hierarchy();
+            let mut refr = CacheHierarchy::new(&m);
+            let mut rng = SplitMix64::new(0xC0FFEE ^ seed);
+            let mut last = [PhysAddr(0); 2];
+            for step in 0..20_000u64 {
+                let c = CoreId((rng.gen_range(2)) as usize);
+                let a = if step > 0 && rng.gen_range(3) == 0 {
+                    // Repeat the core's previous address (same line).
+                    last[c.index()]
+                } else {
+                    PhysAddr((rng.gen_range(1 << 18) & !0x3F) | rng.gen_range(64))
+                };
+                last[c.index()] = a;
+                assert_eq!(
+                    fast.access(c, a),
+                    refr.access_reference(c, a),
+                    "seed {seed} step {step}: result diverged"
+                );
+            }
+            for c in 0..2 {
+                let (f, r) = (fast.stats().core(CoreId(c)), refr.stats().core(CoreId(c)));
+                assert_eq!(f.l1_hits, r.l1_hits, "seed {seed} core {c}");
+                assert_eq!(f.l1_misses, r.l1_misses, "seed {seed} core {c}");
+                assert_eq!(f.l2_hits, r.l2_hits, "seed {seed} core {c}");
+                assert_eq!(f.l3_hits, r.l3_hits, "seed {seed} core {c}");
+                assert_eq!(f.l3_misses, r.l3_misses, "seed {seed} core {c}");
+                assert_eq!(
+                    f.l3_evicted_by_others, r.l3_evicted_by_others,
+                    "seed {seed} core {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mru_filter_short_circuits_same_line_hits() {
+        let (_, mut h) = hierarchy();
+        let a = PhysAddr(0x5000);
+        h.access(CoreId(0), a); // cold miss, fills + arms the filter
+        for off in 0..8 {
+            let (lvl, cyc) = h.access(CoreId(0), PhysAddr(0x5000 + off * 8));
+            assert_eq!((lvl, cyc), (HitLevel::L1, 3), "same 64B line");
+        }
+        let st = h.stats().core(CoreId(0));
+        assert_eq!(st.l1_hits, 8);
+        assert_eq!(st.l1_misses, 1);
     }
 
     #[test]

@@ -1,7 +1,34 @@
 //! The conservative discrete-event SPMD scheduler.
+//!
+//! Two interchangeable pipelines execute a section:
+//!
+//! * The **batched pipeline** (default): section bodies hand the engine
+//!   *runs* of operations through [`SectionBody::fill`] (one virtual call
+//!   per [`BATCH_OPS`] ops instead of one per op), the scheduler is a flat
+//!   min-scan over the thread array with a *still-minimum* fast path
+//!   (n ≤ 16 threads makes a `BinaryHeap` pure overhead), and consecutive
+//!   `Compute` ops are fused into one clock add. All three specializations
+//!   preserve the exact min-clock/tie-by-index execution order, so results
+//!   are bit-identical to the reference pipeline (asserted by tests here
+//!   and by a figure-level equivalence test in `tint-bench`).
+//! * The **reference pipeline**: the original one-op-at-a-time
+//!   `BinaryHeap` loop, kept as the semantic baseline. Export
+//!   `TINT_REFERENCE_PIPELINE=1` to route every section through it.
+//!
+//! Why the still-minimum fast path is safe: after thread *i* executes an
+//! operation, the heap loop would push `(clock_i, i)` back and immediately
+//! pop the global minimum. If `(clock_i, i)` is still lexicographically
+//! smaller than every other runnable thread's `(clock, index)` key, that
+//! pop returns *i* again — so the batched pipeline just keeps draining
+//! thread *i* and only rescans when its key rises past the runner-up's.
+//! Why compute fusion is safe: `Compute` ops touch nothing but the local
+//! clock, and the memory system observes only `(access order, issue
+//! cycle)` pairs, which depend on clock values alone — summing consecutive
+//! compute increments changes neither.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use tint_hw::profile::{self, Component};
 use tint_hw::types::{CoreId, Rw, VirtAddr};
 use tint_kernel::{Errno, Tid};
 use tintmalloc::System;
@@ -53,11 +80,36 @@ pub enum Op {
     },
 }
 
-/// A thread's work within one parallel (or serial) section, pulled
-/// operation-by-operation so huge traces never materialize.
+/// Ops the engine requests per [`SectionBody::fill`] call. Large enough to
+/// amortize the virtual call, small enough to stay in L1 (64 × 24 B).
+pub const BATCH_OPS: usize = 64;
+
+/// A thread's work within one parallel (or serial) section, pulled in
+/// batches (or operation-by-operation) so huge traces never materialize.
 pub trait SectionBody {
     /// The next operation, or `None` when the thread reaches the barrier.
     fn next_op(&mut self) -> Option<Op>;
+
+    /// Bulk variant: write upcoming ops into `buf` and return how many were
+    /// written. **Contract:** a return value shorter than `buf.len()`
+    /// (including 0) means the body is exhausted — the engine will not call
+    /// again. The default implementation delegates to [`Self::next_op`]
+    /// (stopping at its first `None`), which upholds the contract and, for
+    /// concrete body types behind `Box<dyn SectionBody>`, monomorphizes the
+    /// whole batch loop into one virtual call.
+    fn fill(&mut self, buf: &mut [Op]) -> usize {
+        let mut n = 0;
+        while n < buf.len() {
+            match self.next_op() {
+                Some(op) => {
+                    buf[n] = op;
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 }
 
 /// Blanket impl so closures/iterators can be used as bodies in tests.
@@ -67,6 +119,72 @@ impl<I: Iterator<Item = Op>> SectionBody for I {
     }
 }
 
+/// Route sections through the reference (one-op-at-a-time heap) pipeline?
+/// Checked once per section, so the env lookup never sits on a hot path.
+fn reference_pipeline() -> bool {
+    std::env::var_os("TINT_REFERENCE_PIPELINE").is_some_and(|v| v == "1")
+}
+
+/// Per-thread batch cursor over a section body.
+struct BodyCursor {
+    buf: [Op; BATCH_OPS],
+    /// Valid ops in `buf`.
+    len: usize,
+    /// Next op to execute.
+    cur: usize,
+    /// The last `fill` came back short: the body is exhausted once `cur`
+    /// reaches `len`.
+    exhausted: bool,
+}
+
+impl BodyCursor {
+    fn new() -> Self {
+        Self {
+            buf: [Op::Compute(0); BATCH_OPS],
+            len: 0,
+            cur: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Refill from `body`. Returns `false` when the body had no further ops.
+    fn refill(&mut self, body: &mut (dyn SectionBody + '_)) -> bool {
+        self.len = body.fill(&mut self.buf);
+        self.cur = 0;
+        self.exhausted = self.len < BATCH_OPS;
+        self.len > 0
+    }
+}
+
+/// Max threads the flat-scan scheduler handles; larger teams fall back to
+/// the reference heap. 16 is the evaluation machine's core count and leaves
+/// 4 index bits in the packed key.
+const MAX_FLAT_THREADS: usize = 16;
+
+/// Pack a thread's scheduling key: `(clock, index)` lexicographic order
+/// becomes plain `u64` order. Clocks stay far below 2^60 (simulations run
+/// ~10^10 cycles), asserted in debug builds.
+#[inline(always)]
+fn pack_key(clock: u64, i: usize) -> u64 {
+    debug_assert!(clock < 1 << 60);
+    (clock << 4) | i as u64
+}
+
+/// One pass over the packed keys: the global minimum and the runner-up.
+/// Dead threads hold `u64::MAX`. Branch-free compares — keys are unique
+/// (the index lives in the low bits), so strict `<` is exact.
+#[inline]
+fn min2_scan(keys: &[u64]) -> (u64, u64) {
+    let mut m1 = u64::MAX;
+    let mut m2 = u64::MAX;
+    for &k in keys {
+        let lo = m1.min(k);
+        m2 = m2.min(m1.max(k));
+        m1 = lo;
+    }
+    (m1, m2)
+}
+
 /// Run one parallel section: each thread executes its body to completion;
 /// the section ends at the implicit barrier. Returns each thread's end time
 /// (the engine caller computes idle per Algorithm 3).
@@ -74,6 +192,116 @@ impl<I: Iterator<Item = Op>> SectionBody for I {
 /// Determinism: the runnable thread with the smallest clock executes its
 /// next operation; ties break by thread index.
 pub fn run_section(
+    sys: &mut System,
+    threads: &mut [SimThread],
+    bodies: &mut [Box<dyn SectionBody + '_>],
+    ops_budget: u64,
+) -> Result<Vec<u64>, Errno> {
+    let t0 = profile::start();
+    let r = if reference_pipeline() {
+        run_section_reference(sys, threads, bodies, ops_budget)
+    } else {
+        run_section_batched(sys, threads, bodies, ops_budget)
+    };
+    profile::stop(Component::Engine, t0);
+    r
+}
+
+fn run_section_batched(
+    sys: &mut System,
+    threads: &mut [SimThread],
+    bodies: &mut [Box<dyn SectionBody + '_>],
+    ops_budget: u64,
+) -> Result<Vec<u64>, Errno> {
+    assert_eq!(threads.len(), bodies.len(), "one body per thread");
+    let n = threads.len();
+    if n > MAX_FLAT_THREADS {
+        return run_section_reference(sys, threads, bodies, ops_budget);
+    }
+    let mut end = vec![0u64; n];
+    let mut keys: Vec<u64> = (0..n).map(|i| pack_key(threads[i].clock, i)).collect();
+    let mut live = n;
+    let mut cursors: Vec<BodyCursor> = (0..n).map(|_| BodyCursor::new()).collect();
+    let mut ops = 0u64;
+    while live > 0 {
+        let (m1, runner_up) = min2_scan(&keys);
+        let i = (m1 & 0xF) as usize;
+        let tid = threads[i].tid;
+        let mut clock = threads[i].clock;
+        let cur = &mut cursors[i];
+        let body = bodies[i].as_mut();
+        // Drain thread i while it remains the min-clock thread.
+        loop {
+            if cur.cur == cur.len && (cur.exhausted || !cur.refill(body)) {
+                // The reference loop's final `None` pop.
+                ops += 1;
+                assert!(
+                    ops <= ops_budget,
+                    "section exceeded its operation budget ({ops_budget}); runaway body?"
+                );
+                end[i] = clock;
+                keys[i] = u64::MAX;
+                live -= 1;
+                break;
+            }
+            let batch = &cur.buf[..cur.len];
+            match batch[cur.cur] {
+                Op::Compute(c) => {
+                    // Fuse the run of consecutive Compute ops: no memory
+                    // side effects, so one clock add covers them all.
+                    cur.cur += 1;
+                    ops += 1;
+                    let mut add = c;
+                    while cur.cur < cur.len {
+                        let Op::Compute(c2) = batch[cur.cur] else {
+                            break;
+                        };
+                        add += c2;
+                        cur.cur += 1;
+                        ops += 1;
+                    }
+                    clock += add;
+                }
+                Op::Access { addr, rw } => {
+                    cur.cur += 1;
+                    ops += 1;
+                    let ta = profile::start();
+                    let acc = match sys.access(tid, addr, rw, clock) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            threads[i].clock = clock;
+                            return Err(e);
+                        }
+                    };
+                    profile::stop(Component::Access, ta);
+                    clock += acc.latency;
+                }
+            }
+            assert!(
+                ops <= ops_budget,
+                "section exceeded its operation budget ({ops_budget}); runaway body?"
+            );
+            // Still-minimum fast path: one compare against the runner-up.
+            let key = pack_key(clock, i);
+            if key >= runner_up {
+                keys[i] = key;
+                break;
+            }
+        }
+        threads[i].clock = clock;
+    }
+    // The implicit barrier: every thread resumes at the latest end time.
+    let barrier = end.iter().copied().max().unwrap_or(0);
+    for t in threads.iter_mut() {
+        t.clock = barrier;
+    }
+    Ok(end)
+}
+
+/// The reference parallel-section pipeline: one op at a time through a
+/// min-heap. Semantically authoritative; the batched pipeline must match it
+/// bit for bit.
+pub fn run_section_reference(
     sys: &mut System,
     threads: &mut [SimThread],
     bodies: &mut [Box<dyn SectionBody + '_>],
@@ -94,7 +322,9 @@ pub fn run_section(
                 heap.push(Reverse((threads[i].clock, i)));
             }
             Some(Op::Access { addr, rw }) => {
+                let ta = profile::start();
                 let acc = sys.access(threads[i].tid, addr, rw, threads[i].clock)?;
+                profile::stop(Component::Access, ta);
                 threads[i].clock += acc.latency;
                 heap.push(Reverse((threads[i].clock, i)));
             }
@@ -125,6 +355,135 @@ pub fn run_section(
 pub fn run_section_dynamic(
     sys: &mut System,
     threads: &mut [SimThread],
+    chunks: std::collections::VecDeque<Box<dyn SectionBody + '_>>,
+    ops_budget: u64,
+) -> Result<Vec<u64>, Errno> {
+    let t0 = profile::start();
+    let r = if reference_pipeline() {
+        run_section_dynamic_reference(sys, threads, chunks, ops_budget)
+    } else {
+        run_section_dynamic_batched(sys, threads, chunks, ops_budget)
+    };
+    profile::stop(Component::Engine, t0);
+    r
+}
+
+fn run_section_dynamic_batched<'b>(
+    sys: &mut System,
+    threads: &mut [SimThread],
+    mut chunks: std::collections::VecDeque<Box<dyn SectionBody + 'b>>,
+    ops_budget: u64,
+) -> Result<Vec<u64>, Errno> {
+    let n = threads.len();
+    if n > MAX_FLAT_THREADS {
+        return run_section_dynamic_reference(sys, threads, chunks, ops_budget);
+    }
+    let mut end = vec![0u64; n];
+    let mut current: Vec<Option<Box<dyn SectionBody + 'b>>> = (0..n).map(|_| None).collect();
+    let mut cursors: Vec<BodyCursor> = (0..n).map(|_| BodyCursor::new()).collect();
+    let mut keys: Vec<u64> = (0..n).map(|i| pack_key(threads[i].clock, i)).collect();
+    let mut live = n;
+    let mut ops = 0u64;
+    'threads: while live > 0 {
+        let (m1, runner_up) = min2_scan(&keys);
+        let i = (m1 & 0xF) as usize;
+        let tid = threads[i].tid;
+        let mut clock = threads[i].clock;
+        let cur = &mut cursors[i];
+        // Drain thread i (pulling chunks as needed) while it stays minimal.
+        loop {
+            if cur.cur == cur.len {
+                // Current chunk batch consumed: charge the reference loop's
+                // chunk-finishing `None` op, then pull queue chunks until
+                // one yields ops. A finishing/pulling thread keeps its clock,
+                // so it stays the minimum throughout (as the reference
+                // re-push/re-pop does).
+                loop {
+                    if cur.exhausted {
+                        cur.exhausted = false;
+                        cur.len = 0;
+                        cur.cur = 0;
+                        current[i] = None;
+                        ops += 1;
+                        assert!(
+                            ops <= ops_budget,
+                            "dynamic section exceeded its operation budget ({ops_budget})"
+                        );
+                    }
+                    if current[i].is_none() {
+                        current[i] = chunks.pop_front();
+                        if current[i].is_none() {
+                            // Queue drained: this thread is done (the
+                            // reference loop's `continue` — not an op).
+                            threads[i].clock = clock;
+                            end[i] = clock;
+                            keys[i] = u64::MAX;
+                            live -= 1;
+                            continue 'threads;
+                        }
+                    }
+                    if cur.refill(current[i].as_mut().unwrap().as_mut()) {
+                        break;
+                    }
+                    // Empty fill: the chunk was already exhausted;
+                    // `cur.exhausted` is set, so loop to charge its None op
+                    // and pull the next chunk.
+                }
+            }
+            let batch = &cur.buf[..cur.len];
+            match batch[cur.cur] {
+                Op::Compute(c) => {
+                    cur.cur += 1;
+                    ops += 1;
+                    let mut add = c;
+                    while cur.cur < cur.len {
+                        let Op::Compute(c2) = batch[cur.cur] else {
+                            break;
+                        };
+                        add += c2;
+                        cur.cur += 1;
+                        ops += 1;
+                    }
+                    clock += add;
+                }
+                Op::Access { addr, rw } => {
+                    cur.cur += 1;
+                    ops += 1;
+                    let ta = profile::start();
+                    let acc = match sys.access(tid, addr, rw, clock) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            threads[i].clock = clock;
+                            return Err(e);
+                        }
+                    };
+                    profile::stop(Component::Access, ta);
+                    clock += acc.latency;
+                }
+            }
+            assert!(
+                ops <= ops_budget,
+                "dynamic section exceeded its operation budget ({ops_budget})"
+            );
+            let key = pack_key(clock, i);
+            if key >= runner_up {
+                keys[i] = key;
+                break;
+            }
+        }
+        threads[i].clock = clock;
+    }
+    let barrier = end.iter().copied().max().unwrap_or(0);
+    for t in threads.iter_mut() {
+        t.clock = barrier;
+    }
+    Ok(end)
+}
+
+/// The reference dynamic-section pipeline (one op at a time, min-heap).
+pub fn run_section_dynamic_reference(
+    sys: &mut System,
+    threads: &mut [SimThread],
     mut chunks: std::collections::VecDeque<Box<dyn SectionBody + '_>>,
     ops_budget: u64,
 ) -> Result<Vec<u64>, Errno> {
@@ -146,7 +505,9 @@ pub fn run_section_dynamic(
         match body.next_op() {
             Some(Op::Compute(c)) => threads[i].clock += c,
             Some(Op::Access { addr, rw }) => {
+                let ta = profile::start();
                 let acc = sys.access(threads[i].tid, addr, rw, threads[i].clock)?;
+                profile::stop(Component::Access, ta);
                 threads[i].clock += acc.latency;
             }
             None => {
@@ -176,13 +537,80 @@ pub fn run_serial(
     body: &mut (dyn SectionBody + '_),
     ops_budget: u64,
 ) -> Result<u64, Errno> {
+    let t0 = profile::start();
+    let r = if reference_pipeline() {
+        run_serial_reference(sys, threads, body, ops_budget)
+    } else {
+        run_serial_batched(sys, threads, body, ops_budget)
+    };
+    profile::stop(Component::Engine, t0);
+    r
+}
+
+fn run_serial_batched(
+    sys: &mut System,
+    threads: &mut [SimThread],
+    body: &mut (dyn SectionBody + '_),
+    ops_budget: u64,
+) -> Result<u64, Errno> {
+    let tid = threads[0].tid;
+    let mut clock = threads[0].clock;
+    let mut buf = [Op::Compute(0); BATCH_OPS];
+    let mut ops = 0u64;
+    loop {
+        let len = body.fill(&mut buf);
+        let mut k = 0;
+        while k < len {
+            match buf[k] {
+                Op::Compute(c) => {
+                    k += 1;
+                    ops += 1;
+                    let mut add = c;
+                    while k < len {
+                        let Op::Compute(c2) = buf[k] else { break };
+                        add += c2;
+                        k += 1;
+                        ops += 1;
+                    }
+                    clock += add;
+                }
+                Op::Access { addr, rw } => {
+                    k += 1;
+                    ops += 1;
+                    let ta = profile::start();
+                    let acc = sys.access(tid, addr, rw, clock)?;
+                    profile::stop(Component::Access, ta);
+                    clock += acc.latency;
+                }
+            }
+            assert!(ops <= ops_budget, "serial section exceeded its budget");
+        }
+        if len < BATCH_OPS {
+            break;
+        }
+    }
+    for t in threads.iter_mut() {
+        t.clock = clock;
+    }
+    Ok(clock)
+}
+
+/// The reference serial-section pipeline (one op at a time).
+pub fn run_serial_reference(
+    sys: &mut System,
+    threads: &mut [SimThread],
+    body: &mut (dyn SectionBody + '_),
+    ops_budget: u64,
+) -> Result<u64, Errno> {
     let master = &mut threads[0];
     let mut ops = 0u64;
     while let Some(op) = body.next_op() {
         match op {
             Op::Compute(c) => master.clock += c,
             Op::Access { addr, rw } => {
+                let ta = profile::start();
                 let acc = sys.access(master.tid, addr, rw, master.clock)?;
+                profile::stop(Component::Access, ta);
                 master.clock += acc.latency;
             }
         }
@@ -295,6 +723,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "operation budget")]
+    fn runaway_body_trips_budget_reference() {
+        let (mut sys, mut threads) = setup(1);
+        let mut bodies: Vec<Box<dyn SectionBody>> =
+            vec![Box::new(std::iter::repeat(Op::Compute(1)))];
+        let _ = run_section_reference(&mut sys, &mut threads, &mut bodies, 10);
+    }
+
+    #[test]
     fn empty_bodies_end_immediately() {
         let (mut sys, mut threads) = setup(2);
         let mut bodies: Vec<Box<dyn SectionBody>> =
@@ -382,5 +819,184 @@ mod tests {
             run_section(&mut sys, &mut threads, &mut bodies, 100_000).unwrap()
         };
         assert_eq!(run(), run(), "bit-identical repeat runs");
+    }
+
+    /// Build the mixed-op body set used by the pipeline-equivalence tests:
+    /// per-thread streams with irregular compute runs (including
+    /// consecutive computes to exercise fusion, and zero-cycle computes to
+    /// exercise tie-breaking) interleaved with real memory accesses.
+    fn mixed_bodies(
+        sys: &mut System,
+        threads: &[SimThread],
+        seed: u64,
+    ) -> Vec<Box<dyn SectionBody + 'static>> {
+        use tint_hw::rng::SplitMix64;
+        let mut bodies: Vec<Box<dyn SectionBody>> = Vec::new();
+        for (ti, t) in threads.iter().enumerate() {
+            let a = sys.malloc(t.tid, 32 * 4096).unwrap();
+            let mut rng = SplitMix64::new(seed ^ (ti as u64).wrapping_mul(0x9E37));
+            let ops: Vec<Op> = (0..300)
+                .map(|_| match rng.gen_range(5) {
+                    0 => Op::Compute(rng.gen_range(200)),
+                    1 => Op::Compute(0),
+                    2 => Op::Compute(rng.gen_range(7)),
+                    _ => Op::Access {
+                        addr: a.offset(rng.gen_range(32 * 4096 / 64) * 64),
+                        rw: if rng.gen_range(3) == 0 {
+                            Rw::Write
+                        } else {
+                            Rw::Read
+                        },
+                    },
+                })
+                .collect();
+            bodies.push(Box::new(ops.into_iter()));
+        }
+        bodies
+    }
+
+    #[test]
+    fn batched_section_matches_reference_bit_for_bit() {
+        for seed in 0..4u64 {
+            let (mut sys_a, mut thr_a) = setup(4);
+            let mut bodies_a = mixed_bodies(&mut sys_a, &thr_a, seed);
+            let end_a =
+                run_section_batched(&mut sys_a, &mut thr_a, &mut bodies_a, 1_000_000).unwrap();
+
+            let (mut sys_b, mut thr_b) = setup(4);
+            let mut bodies_b = mixed_bodies(&mut sys_b, &thr_b, seed);
+            let end_b =
+                run_section_reference(&mut sys_b, &mut thr_b, &mut bodies_b, 1_000_000).unwrap();
+
+            assert_eq!(end_a, end_b, "seed {seed}: end times diverge");
+            assert_eq!(thr_a, thr_b, "seed {seed}: barrier clocks diverge");
+            for c in 0..4 {
+                let (a, b) = (
+                    sys_a.mem().stats().core(CoreId(c)),
+                    sys_b.mem().stats().core(CoreId(c)),
+                );
+                assert_eq!(a.accesses, b.accesses, "seed {seed} core {c}");
+                assert_eq!(a.total_latency, b.total_latency, "seed {seed} core {c}");
+            }
+            assert_eq!(
+                sys_a.mem().dram().stats().requests,
+                sys_b.mem().dram().stats().requests
+            );
+            assert_eq!(
+                sys_a.mem().dram().stats().total_latency,
+                sys_b.mem().dram().stats().total_latency,
+                "seed {seed}: DRAM timing state diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_dynamic_matches_reference_bit_for_bit() {
+        use tint_hw::rng::SplitMix64;
+        let build_chunks = |sys: &mut System,
+                            threads: &[SimThread],
+                            seed: u64|
+         -> std::collections::VecDeque<Box<dyn SectionBody + 'static>> {
+            let a = sys.malloc(threads[0].tid, 64 * 4096).unwrap();
+            let mut rng = SplitMix64::new(seed);
+            (0..13)
+                .map(|ci| {
+                    let ops: Vec<Op> = (0..rng.gen_range(120) + 1)
+                        .map(|_| match rng.gen_range(4) {
+                            0 => Op::Compute(rng.gen_range(90)),
+                            1 => Op::Compute(0),
+                            _ => Op::Access {
+                                addr: a.offset(
+                                    (rng.gen_range(64 * 4096 / 64) * 64 + ci * 64) % (64 * 4096),
+                                ),
+                                rw: Rw::Write,
+                            },
+                        })
+                        .collect();
+                    Box::new(ops.into_iter()) as Box<dyn SectionBody>
+                })
+                .collect()
+        };
+        for seed in 0..4u64 {
+            let (mut sys_a, mut thr_a) = setup(3);
+            let chunks_a = build_chunks(&mut sys_a, &thr_a, seed);
+            let end_a =
+                run_section_dynamic_batched(&mut sys_a, &mut thr_a, chunks_a, 1_000_000).unwrap();
+
+            let (mut sys_b, mut thr_b) = setup(3);
+            let chunks_b = build_chunks(&mut sys_b, &thr_b, seed);
+            let end_b =
+                run_section_dynamic_reference(&mut sys_b, &mut thr_b, chunks_b, 1_000_000).unwrap();
+
+            assert_eq!(end_a, end_b, "seed {seed}: end times diverge");
+            assert_eq!(thr_a, thr_b, "seed {seed}: barrier clocks diverge");
+            for c in 0..3 {
+                assert_eq!(
+                    sys_a.mem().stats().core(CoreId(c)).accesses,
+                    sys_b.mem().stats().core(CoreId(c)).accesses,
+                    "seed {seed} core {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_serial_matches_reference() {
+        let run = |reference: bool| {
+            let (mut sys, mut threads) = setup(2);
+            let a = sys.malloc(threads[0].tid, 8 * 4096).unwrap();
+            let ops: Vec<Op> = (0..200)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        Op::Compute(i)
+                    } else {
+                        Op::Access {
+                            addr: a.offset((i * 64) % (8 * 4096)),
+                            rw: Rw::Write,
+                        }
+                    }
+                })
+                .collect();
+            let mut body = ops.into_iter();
+            let end = if reference {
+                run_serial_reference(&mut sys, &mut threads, &mut body, 10_000).unwrap()
+            } else {
+                run_serial_batched(&mut sys, &mut threads, &mut body, 10_000).unwrap()
+            };
+            (end, sys.mem().stats().core(CoreId(0)).total_latency)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn env_var_routes_to_reference_pipeline() {
+        // Process-global env var: this test is the only one in the crate
+        // that sets it, and it restores the variable before returning.
+        let run = || {
+            let (mut sys, mut threads) = setup(2);
+            let mut bodies = vec![compute_body(10, 7), compute_body(3, 11)];
+            run_section(&mut sys, &mut threads, &mut bodies, 1_000).unwrap()
+        };
+        let batched = run();
+        std::env::set_var("TINT_REFERENCE_PIPELINE", "1");
+        assert!(reference_pipeline());
+        let referenced = run();
+        std::env::remove_var("TINT_REFERENCE_PIPELINE");
+        assert!(!reference_pipeline());
+        assert_eq!(batched, referenced);
+    }
+
+    #[test]
+    fn fill_default_impl_respects_short_fill_contract() {
+        let mut it = (0..10u64).map(Op::Compute);
+        let mut buf = [Op::Compute(0); BATCH_OPS];
+        let n = SectionBody::fill(&mut it, &mut buf);
+        assert_eq!(n, 10, "short fill signals exhaustion");
+        assert_eq!(buf[9], Op::Compute(9));
+        let mut small = [Op::Compute(0); 4];
+        let mut it2 = (0..10u64).map(Op::Compute);
+        assert_eq!(SectionBody::fill(&mut it2, &mut small), 4, "full buffer");
+        assert_eq!(SectionBody::fill(&mut it2, &mut small), 4);
+        assert_eq!(SectionBody::fill(&mut it2, &mut small), 2, "then short");
     }
 }

@@ -339,6 +339,34 @@ mod tests {
     }
 
     #[test]
+    fn fill_matches_next_op_for_every_pattern() {
+        use tint_spmd::SectionBody;
+        // The batched engine pulls ops through `SectionBody::fill`; the
+        // reference pipeline pulls them one at a time through `next_op`.
+        // Both routes must yield the identical op stream for every pattern
+        // (an odd buffer size exercises chunk boundaries).
+        fn drain_fill(body: &mut dyn SectionBody) -> Vec<Op> {
+            let mut out = Vec::new();
+            let mut buf = [Op::Compute(0); 7];
+            loop {
+                let n = body.fill(&mut buf);
+                out.extend_from_slice(&buf[..n]);
+                if n < buf.len() {
+                    return out;
+                }
+            }
+        }
+        let seq = Seq::new(VirtAddr(0), 1024, 128, 2, 5, 3);
+        let taps = RandomTaps::new(VirtAddr(0x1000), 4096, 64, 100, 2, 3, 42);
+        let alt = AlternatingStride::new(VirtAddr(0), 16 * 128, 128);
+        let mix = Interleave::new(seq.clone(), taps.clone());
+        assert_eq!(drain_fill(&mut seq.clone()), seq.collect::<Vec<_>>());
+        assert_eq!(drain_fill(&mut taps.clone()), taps.collect::<Vec<_>>());
+        assert_eq!(drain_fill(&mut alt.clone()), alt.collect::<Vec<_>>());
+        assert_eq!(drain_fill(&mut mix.clone()), mix.collect::<Vec<_>>());
+    }
+
+    #[test]
     fn interleave_alternates_then_drains() {
         let a = (0..3).map(Op::Compute);
         let b = (10..12).map(Op::Compute);

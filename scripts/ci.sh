@@ -26,4 +26,27 @@ echo "== fault-injection fuzz (bounded) =="
 # TINT_FUZZ_SEEDS instead.
 TINT_FUZZ_SEEDS=5 cargo test --release -q -p tintmalloc --test fuzz_pressure
 
+echo "== repro perf smoke =="
+# One release probe cell: the simulated cycle count is fully deterministic
+# (hard assert — any drift is a correctness bug in the pipeline), and the
+# wall time is compared against the recorded baseline (warn only: shared
+# machines are noisy, and a warning is a prompt to re-measure, not a
+# failure).
+cargo build --release -q -p tint-bench --bin repro
+smoke_dir=$(mktemp -d)
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" --reps 1 probe:lbm > /dev/null)
+smoke_cycles=$(sed -n 's/.*"name": "probe:lbm".*"sim_cycles": \([0-9]*\),.*/\1/p' "$smoke_dir/BENCH_repro.json")
+smoke_ms=$(sed -n 's/.*"name": "probe:lbm", "wall_ms": \([0-9.]*\),.*/\1/p' "$smoke_dir/BENCH_repro.json")
+rm -rf "$smoke_dir"
+if [ "$smoke_cycles" != "25652874" ]; then
+    echo "FAIL: probe:lbm simulated $smoke_cycles cycles, expected 25652874" >&2
+    exit 1
+fi
+recorded_ms=$(sed -n 's/.*"name": "probe:lbm", "wall_ms": \([0-9.]*\),.*/\1/p' BENCH_repro.json)
+if [ -n "$recorded_ms" ] && [ -n "$smoke_ms" ]; then
+    if awk -v now="$smoke_ms" -v rec="$recorded_ms" 'BEGIN { exit !(now > 1.25 * rec) }'; then
+        echo "WARN: probe:lbm took ${smoke_ms}ms, >25% over the recorded ${recorded_ms}ms" >&2
+    fi
+fi
+
 echo "CI OK"
