@@ -1,7 +1,8 @@
 //! `repro` — regenerate every results figure of the TintMalloc paper.
 //!
 //! ```text
-//! repro [--reps N] [--scale F] [--csv] [--profile] [--configs 16t4n,8t4n,...] <command>...
+//! repro [--reps N] [--scale F] [--csv] [--profile] [--jobs N]
+//!       [--configs 16t4n,8t4n,...] <command>...
 //!
 //! commands:
 //!   fig10              synthetic benchmark by coloring policy
@@ -22,13 +23,27 @@
 //!   all                everything above (except probe)
 //! ```
 //!
-//! Multiple commands run in sequence within one process (the `BenchMatrix`
-//! behind fig11/fig12 is computed once and shared). After the run, a
-//! machine-readable `BENCH_repro.json` is written to the working directory
-//! with per-command wall-clock milliseconds and simulated cycles. An
-//! existing file is *merged into*, not clobbered: command records are
-//! upserted by name, so `repro probe:lbm` after `repro all` keeps the
-//! figure records.
+//! Multiple commands run in sequence within one process. Two layers keep
+//! the sequence from repeating work: the `BenchMatrix` behind fig11/fig12
+//! and the fig13/fig14 sweep are each computed at most once per invocation,
+//! and underneath, every simulation cell flows through the content-addressed
+//! cell cache (`tint_bench::simcache`), so any command whose cells were
+//! already simulated — `fig13 fig14` after the fig11 matrix, `probe:<b>`
+//! after `all` — serves them from memory. `TINT_SIM_CACHE=0` disables the
+//! cache; figure output is byte-identical either way.
+//!
+//! `--jobs N` sets the simulation worker-thread count for the flattened
+//! cell executor (default: host parallelism; the `TINT_JOBS` env var is an
+//! equivalent override, with the flag taking precedence). Output is
+//! byte-identical at any job count — cells are merged in canonical order.
+//!
+//! After the run, a machine-readable `BENCH_repro.json` is written to the
+//! working directory with per-command wall-clock milliseconds, simulated
+//! cycles, and cell-cache hit/miss counts. An existing file is *merged
+//! into*, not clobbered: command records are upserted by name, so `repro
+//! probe:lbm` after `repro all` keeps the figure records. The `invocation`
+//! block describes only the commands this run executed; the `total` block
+//! sums over every merged record.
 //!
 //! `--profile` turns on the pipeline self-profile (see `tint_hw::profile`):
 //! per-component wall time — scheduler, TLB, cache hierarchy, DRAM, frame
@@ -41,7 +56,8 @@ use tint_bench::figures::{
     ablate_part, ablate_pressure, bandwidth, fig10, fig13_14, latency, probe, run_matrix,
     BenchMatrix, FigOpts,
 };
-use tint_bench::runner::simulated_cycles;
+use tint_bench::runner::{available_jobs, set_jobs, simulated_cycles};
+use tint_bench::simcache;
 use tint_bench::table::Table;
 use tint_hw::profile::{self, Component, COMPONENT_COUNT};
 use tint_workloads::PinConfig;
@@ -64,6 +80,11 @@ struct CmdRecord {
     sim_cycles: u64,
     reps: u32,
     scale: f64,
+    /// Cells served without simulation while this command ran (cell cache
+    /// or in-batch dedup).
+    cache_hits: u64,
+    /// Cells this command actually simulated.
+    cache_misses: u64,
     /// Per-component nanoseconds when `--profile` was on.
     profile: Option<[u64; COMPONENT_COUNT]>,
 }
@@ -106,6 +127,9 @@ struct Ctx {
     opts: FigOpts,
     configs: Vec<PinConfig>,
     matrix: Option<BenchMatrix>,
+    /// The fig13/fig14 `(summary, lbm detail)` tables — one sweep serves
+    /// both commands, so `repro fig13 fig14` computes it once.
+    fig13_14: Option<(Table, Table)>,
     /// The pressure-ablation table, kept for `BENCH_repro.json` (the sweep
     /// is the one result downstream tooling consumes cell-by-cell).
     pressure: Option<Table>,
@@ -117,6 +141,13 @@ impl Ctx {
             self.matrix = Some(run_matrix(&self.opts, &self.configs));
         }
         self.matrix.as_ref().unwrap()
+    }
+
+    fn fig13_14(&mut self) -> &(Table, Table) {
+        if self.fig13_14.is_none() {
+            self.fig13_14 = Some(fig13_14(&self.opts));
+        }
+        self.fig13_14.as_ref().unwrap()
     }
 }
 
@@ -160,10 +191,11 @@ fn run_cmd(ctx: &mut Ctx, cmd: &str) {
     }
     if all || cmd == "fig13" || cmd == "fig14" {
         header("Figures 13/14: per-thread runtime and idle, 16_threads_4_nodes");
-        let (summary, lbm) = fig13_14(&ctx.opts);
-        print!("{}", ctx.opts.render(&summary));
+        let opts = ctx.opts;
+        let (summary, lbm) = ctx.fig13_14();
+        print!("{}", opts.render(summary));
         println!("-- lbm per-thread detail --");
-        print!("{}", ctx.opts.render(&lbm));
+        print!("{}", opts.render(lbm));
     }
     if all || cmd == "latency" {
         header("§V latency claims: controller locality, bank sharing, LLC interference");
@@ -242,12 +274,15 @@ fn json_table(t: &Table, indent: &str) -> String {
 /// Serialize one command record as a single JSON object line (no indent).
 fn record_json(r: &CmdRecord) -> String {
     let mut s = format!(
-        "{{\"name\": \"{}\", \"wall_ms\": {:.3}, \"sim_cycles\": {}, \"reps\": {}, \"scale\": {}",
+        "{{\"name\": \"{}\", \"wall_ms\": {:.3}, \"sim_cycles\": {}, \"reps\": {}, \"scale\": {}, \
+         \"cache_hits\": {}, \"cache_misses\": {}",
         json_escape(&r.name),
         r.wall_ms,
         r.sim_cycles,
         r.reps,
         r.scale,
+        r.cache_hits,
+        r.cache_misses,
     );
     if let Some(nanos) = &r.profile {
         let fields: Vec<String> = profile::COMPONENT_NAMES
@@ -317,10 +352,26 @@ fn read_existing(path: &str) -> ExistingBench {
     out
 }
 
+/// Extract a numeric field from a single-line JSON record this tool wrote
+/// (`"field": 12.3,` or `"field": 45}` — terminated by `,` or `}`).
+fn json_field_num(line: &str, field: &str) -> Option<f64> {
+    let pat = format!("\"{field}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
 /// Serialize the measurement records as `BENCH_repro.json`, merging with an
 /// existing file: records are upserted by command name (an earlier `repro
 /// all` is not clobbered by a later `repro probe:lbm`), and a previously
 /// recorded pressure table survives unless this run regenerated it.
+///
+/// Two summary blocks follow the records. `invocation` covers only the
+/// commands *this run* executed — its `sim_cycles` and cache counters are
+/// what prove (or disprove) cross-figure cell reuse. `total` is recomputed
+/// as the sum over every merged record, so it describes the whole file
+/// rather than, misleadingly, whichever subset of commands ran last.
 fn write_bench_json(
     records: &[CmdRecord],
     opts: &FigOpts,
@@ -338,8 +389,19 @@ fn write_bench_json(
             None => merged.push((r.name.clone(), line)),
         }
     }
-    let total_ms: f64 = records.iter().map(|r| r.wall_ms).sum();
-    let total_cycles: u64 = records.iter().map(|r| r.sim_cycles).sum();
+    let inv_ms: f64 = records.iter().map(|r| r.wall_ms).sum();
+    let inv_cycles: u64 = records.iter().map(|r| r.sim_cycles).sum();
+    let inv_hits: u64 = records.iter().map(|r| r.cache_hits).sum();
+    let inv_misses: u64 = records.iter().map(|r| r.cache_misses).sum();
+    let total_ms: f64 = merged
+        .iter()
+        .filter_map(|(_, l)| json_field_num(l, "wall_ms"))
+        .sum();
+    let total_cycles: u64 = merged
+        .iter()
+        .filter_map(|(_, l)| json_field_num(l, "sim_cycles"))
+        .map(|v| v as u64)
+        .sum();
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"repro\",\n");
@@ -367,6 +429,18 @@ fn write_bench_json(
         s.push_str(&format!("  \"pressure\": [\n{raw}\n  ],\n"));
     }
     s.push_str(&format!(
+        "  \"invocation\": {{\"commands\": [{}], \"jobs\": {}, \"cache_enabled\": {}, \
+         \"wall_ms\": {inv_ms:.3}, \"sim_cycles\": {inv_cycles}, \
+         \"cache_hits\": {inv_hits}, \"cache_misses\": {inv_misses}}},\n",
+        records
+            .iter()
+            .map(|r| format!("\"{}\"", json_escape(&r.name)))
+            .collect::<Vec<_>>()
+            .join(", "),
+        available_jobs(),
+        simcache::enabled(),
+    ));
+    s.push_str(&format!(
         "  \"total\": {{\"wall_ms\": {total_ms:.3}, \"sim_cycles\": {total_cycles}}}\n"
     ));
     s.push_str("}\n");
@@ -388,6 +462,14 @@ fn main() {
             "--scale" => opts.scale = it.next().expect("--scale F").parse().expect("scale number"),
             "--csv" => opts.csv = true,
             "--profile" => profile::set_enabled(true),
+            "--jobs" => {
+                let n: usize = it
+                    .next()
+                    .expect("--jobs N")
+                    .parse()
+                    .expect("jobs number (>= 1)");
+                set_jobs(n.max(1));
+            }
             "--configs" => {
                 configs = it
                     .next()
@@ -410,19 +492,24 @@ fn main() {
         opts,
         configs,
         matrix: None,
+        fig13_14: None,
         pressure: None,
     };
     let mut records = Vec::with_capacity(cmds.len());
     for cmd in &cmds {
         let cycles_before = simulated_cycles();
+        let (hits_before, misses_before) = simcache::stats();
         profile::reset();
         let start = std::time::Instant::now();
         run_cmd(&mut ctx, cmd);
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let (hits_after, misses_after) = simcache::stats();
+        let (cache_hits, cache_misses) = (hits_after - hits_before, misses_after - misses_before);
         let prof = profile::enabled().then(profile::snapshot);
         if let Some(nanos) = &prof {
             println!("-- pipeline self-profile ({cmd}) --");
             print!("{}", ctx.opts.render(&profile_table(nanos, wall_ms)));
+            println!("cell cache: {cache_hits} hits, {cache_misses} misses");
         }
         records.push(CmdRecord {
             name: cmd.clone(),
@@ -430,6 +517,8 @@ fn main() {
             sim_cycles: simulated_cycles() - cycles_before,
             reps: ctx.opts.reps,
             scale: ctx.opts.scale,
+            cache_hits,
+            cache_misses,
             profile: prof,
         });
     }

@@ -1,6 +1,9 @@
 //! Figure regeneration: one function per results figure of the paper.
 
-use crate::runner::{run_once, run_reps, ExpResult, Summary};
+use crate::runner::{
+    available_jobs, run_cells, run_cells_with_progress, run_once, run_reps, CellSpec, ExpResult,
+    Summary,
+};
 use crate::table::{norm, norm_err, Table};
 use std::collections::HashMap;
 use tint_spmd::SimThread;
@@ -60,6 +63,26 @@ const OTHER_SCHEMES: [ColorScheme; 4] = [
     ColorScheme::LlcMemPart,
 ];
 
+/// Flatten `schemes × seeds 1..=reps` on one workload into a cell list.
+fn cells_for<'a>(
+    workload: &'a dyn Workload,
+    schemes: &[ColorScheme],
+    pin: PinConfig,
+    reps: u32,
+) -> Vec<CellSpec<'a>> {
+    schemes
+        .iter()
+        .flat_map(|&scheme| {
+            (1..=reps as u64).map(move |seed| CellSpec {
+                workload,
+                scheme,
+                pin,
+                seed,
+            })
+        })
+        .collect()
+}
+
 /// **Figure 10** — synthetic benchmark execution time per coloring policy.
 pub fn fig10(opts: &FigOpts) -> Table {
     let w = Synthetic::new(opts.scale_());
@@ -71,17 +94,16 @@ pub fn fig10(opts: &FigOpts) -> Table {
         "remote_frac",
         "row_hit_rate",
     ]);
-    let buddy = run_reps(&w, ColorScheme::Buddy, pin, opts.reps);
-    let base = Summary::runtime(&buddy).mean;
-    for scheme in FIG10_SCHEMES {
-        let rs = if scheme == ColorScheme::Buddy {
-            buddy.clone()
-        } else {
-            run_reps(&w, scheme, pin, opts.reps)
-        };
-        let s = Summary::runtime(&rs);
-        let remote = Summary::of(&rs, |r| r.remote_fraction).mean;
-        let hit = Summary::of(&rs, |r| r.row_hit_rate).mean;
+    // One flattened batch over all four schemes' repetitions.
+    let cells = cells_for(&w, &FIG10_SCHEMES, pin, opts.reps);
+    let results = run_cells(&cells, available_jobs());
+    let per_scheme: Vec<&[ExpResult]> = results.chunks(opts.reps as usize).collect();
+    let base = Summary::runtime(per_scheme[0]).mean;
+    for (i, scheme) in FIG10_SCHEMES.into_iter().enumerate() {
+        let rs = per_scheme[i];
+        let s = Summary::runtime(rs);
+        let remote = Summary::of(rs, |r| r.remote_fraction).mean;
+        let hit = Summary::of(rs, |r| r.row_hit_rate).mean;
         t.row(vec![
             scheme.label().to_string(),
             format!("{:.0}", s.mean),
@@ -113,29 +135,45 @@ fn matrix_schemes() -> Vec<ColorScheme> {
     v
 }
 
-/// Run the full (benchmark × config × scheme × reps) sweep.
+/// Run the full (benchmark × config × scheme × reps) sweep as **one**
+/// flattened work queue over every cell, drained by `--jobs`/`TINT_JOBS`
+/// host threads. Cells differ ~100× in cost (lbm vs blackscholes), so the
+/// queue — not a per-cell reps-way fan-out — is what load-balances the
+/// sweep; the canonical-order merge keeps the assembled matrix independent
+/// of job count.
 pub fn run_matrix(opts: &FigOpts, configs: &[PinConfig]) -> BenchMatrix {
     let benches = all_benchmarks(opts.scale_());
-    let mut cells = HashMap::new();
     let schemes = matrix_schemes();
-    let total = benches.len() * configs.len() * schemes.len();
-    let mut done = 0usize;
+    let mut specs: Vec<CellSpec> = Vec::new();
     for w in &benches {
         for &pin in configs {
             for &scheme in &schemes {
-                let rs = run_reps(w.as_ref(), scheme, pin, opts.reps);
-                cells.insert((w.name(), pin, scheme), rs);
-                done += 1;
-                eprint!(
-                    "\r[matrix] {done}/{total} ({} {} {})          ",
-                    w.name(),
-                    pin,
-                    scheme
-                );
+                for seed in 1..=opts.reps as u64 {
+                    specs.push(CellSpec {
+                        workload: w.as_ref(),
+                        scheme,
+                        pin,
+                        seed,
+                    });
+                }
             }
         }
     }
+    let listed = specs.len();
+    let results = run_cells_with_progress(&specs, available_jobs(), &move |done, total| {
+        eprint!("\r[matrix] simulated {done}/{total} cells ({listed} listed)          ");
+    });
     eprintln!();
+    let mut cells = HashMap::new();
+    let mut it = results.into_iter();
+    for w in &benches {
+        for &pin in configs {
+            for &scheme in &schemes {
+                let rs: Vec<ExpResult> = it.by_ref().take(opts.reps as usize).collect();
+                cells.insert((w.name(), pin, scheme), rs);
+            }
+        }
+    }
     BenchMatrix {
         cells,
         benchmarks: benches.iter().map(|w| w.name()).collect(),
@@ -206,8 +244,16 @@ impl BenchMatrix {
     }
 }
 
+/// The schemes Figures 13/14 compare.
+const FIG13_SCHEMES: [ColorScheme; 3] = [ColorScheme::Buddy, ColorScheme::Bpm, ColorScheme::MemLlc];
+
 /// **Figures 13 & 14** — per-thread runtime and idle at 16_threads_4_nodes.
 /// Returns (per-benchmark summary table, lbm per-thread detail table).
+///
+/// The whole `benchmark × scheme × rep` sweep is one flattened cell batch;
+/// every cell is a strict subset of the fig11 matrix, so in an invocation
+/// that already ran the matrix this function performs zero new simulations
+/// (asserted by scripts/ci.sh against the cache counters).
 pub fn fig13_14(opts: &FigOpts) -> (Table, Table) {
     let pin = PinConfig::T16N4;
     let benches = all_benchmarks(opts.scale_());
@@ -226,13 +272,25 @@ pub fn fig13_14(opts: &FigOpts) -> (Table, Table) {
         "buddy_idle",
         "memllc_idle",
     ]);
+    let mut specs: Vec<CellSpec> = Vec::new();
     for w in &benches {
-        for scheme in [ColorScheme::Buddy, ColorScheme::Bpm, ColorScheme::MemLlc] {
-            let rs = run_reps(w.as_ref(), scheme, pin, opts.reps);
-            let maxr = Summary::of(&rs, |r| r.metrics.max_thread_runtime() as f64).mean;
-            let minr = Summary::of(&rs, |r| r.metrics.min_thread_runtime() as f64).mean;
-            let spread = Summary::of(&rs, |r| r.metrics.runtime_spread() as f64).mean;
-            let maxi = Summary::of(&rs, |r| r.metrics.max_thread_idle() as f64).mean;
+        specs.extend(cells_for(w.as_ref(), &FIG13_SCHEMES, pin, opts.reps));
+    }
+    let results = run_cells(&specs, available_jobs());
+    let mut chunks = results.chunks(opts.reps as usize);
+    for w in &benches {
+        // Per-benchmark chunk layout follows FIG13_SCHEMES order; the
+        // MemLlc chunk's first repetition (seed 1) doubles as the lbm
+        // per-thread detail column, the same cell `run_once(.., 1)` used
+        // to re-simulate.
+        let mut lbm_memllc_first: Option<&ExpResult> = None;
+        let mut lbm_buddy_first: Option<&ExpResult> = None;
+        for scheme in FIG13_SCHEMES {
+            let rs = chunks.next().expect("chunk per (benchmark, scheme)");
+            let maxr = Summary::of(rs, |r| r.metrics.max_thread_runtime() as f64).mean;
+            let minr = Summary::of(rs, |r| r.metrics.min_thread_runtime() as f64).mean;
+            let spread = Summary::of(rs, |r| r.metrics.runtime_spread() as f64).mean;
+            let maxi = Summary::of(rs, |r| r.metrics.max_thread_idle() as f64).mean;
             summary.row(vec![
                 w.name().to_string(),
                 scheme.label().to_string(),
@@ -241,19 +299,24 @@ pub fn fig13_14(opts: &FigOpts) -> (Table, Table) {
                 format!("{spread:.0}"),
                 format!("{maxi:.0}"),
             ]);
-            if w.name() == "lbm" && scheme == ColorScheme::Buddy {
-                // Capture buddy per-thread detail from the first repetition.
-                let m = &rs[0].metrics;
-                let ml = run_once(w.as_ref(), ColorScheme::MemLlc, pin, 1).metrics;
-                for i in 0..m.threads {
-                    lbm_detail.row(vec![
-                        format!("{i}"),
-                        format!("{}", m.thread_runtime[i]),
-                        format!("{}", ml.thread_runtime[i]),
-                        format!("{}", m.thread_idle[i]),
-                        format!("{}", ml.thread_idle[i]),
-                    ]);
+            if w.name() == "lbm" {
+                match scheme {
+                    ColorScheme::Buddy => lbm_buddy_first = Some(&rs[0]),
+                    ColorScheme::MemLlc => lbm_memllc_first = Some(&rs[0]),
+                    _ => {}
                 }
+            }
+        }
+        if let (Some(buddy), Some(ml)) = (lbm_buddy_first, lbm_memllc_first) {
+            let (m, ml) = (&buddy.metrics, &ml.metrics);
+            for i in 0..m.threads {
+                lbm_detail.row(vec![
+                    format!("{i}"),
+                    format!("{}", m.thread_runtime[i]),
+                    format!("{}", ml.thread_runtime[i]),
+                    format!("{}", m.thread_idle[i]),
+                    format!("{}", ml.thread_idle[i]),
+                ]);
             }
         }
     }
@@ -423,17 +486,28 @@ pub fn ablate_part(opts: &FigOpts) -> Table {
         "MEM+LLC(part)",
         "LLC+MEM(part)",
     ]);
+    // Buddy first per benchmark (the normalization base), then the three
+    // partial-coloring variants — all benchmarks in one flattened batch.
+    let schemes = [
+        ColorScheme::Buddy,
+        ColorScheme::MemLlc,
+        ColorScheme::MemLlcPart,
+        ColorScheme::LlcMemPart,
+    ];
+    let mut specs: Vec<CellSpec> = Vec::new();
     for w in &benches {
-        let base = Summary::runtime(&run_reps(w.as_ref(), ColorScheme::Buddy, pin, opts.reps)).mean;
-        let mut cells = Vec::new();
-        for scheme in [
-            ColorScheme::MemLlc,
-            ColorScheme::MemLlcPart,
-            ColorScheme::LlcMemPart,
-        ] {
-            let s = Summary::runtime(&run_reps(w.as_ref(), scheme, pin, opts.reps));
-            cells.push(norm(s.mean / base));
-        }
+        specs.extend(cells_for(w.as_ref(), &schemes, pin, opts.reps));
+    }
+    let results = run_cells(&specs, available_jobs());
+    let mut chunks = results.chunks(opts.reps as usize);
+    for w in &benches {
+        let base = Summary::runtime(chunks.next().expect("buddy chunk")).mean;
+        let cells: Vec<String> = (0..3)
+            .map(|_| {
+                let s = Summary::runtime(chunks.next().expect("variant chunk"));
+                norm(s.mean / base)
+            })
+            .collect();
         t.row(vec![
             w.name().to_string(),
             cells[0].clone(),

@@ -8,11 +8,18 @@
 //!
 //! EXPERIMENTS.md records the paper-vs-measured comparison produced by
 //! `cargo run --release -p tint-bench --bin repro -- all`.
+//!
+//! All simulation flows through two shared layers: the content-addressed
+//! cell cache ([`simcache`], dedup across figures within one process) and
+//! the flattened matrix executor ([`runner::run_cells`], `--jobs`-way
+//! work queue). Figure output is byte-identical with the cache on or off
+//! and at any job count.
 
 pub mod figures;
 pub mod microbench;
 pub mod runner;
+pub mod simcache;
 pub mod table;
 
-pub use runner::{run_once, run_reps, ExpResult, Summary};
+pub use runner::{run_cells, run_once, run_reps, CellSpec, ExpResult, Summary};
 pub use table::Table;

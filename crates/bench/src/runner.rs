@@ -1,13 +1,32 @@
-//! Run one (workload, scheme, pinning, seed) experiment on a fresh machine.
+//! Run (workload, scheme, pinning, seed) experiment cells on fresh machines.
+//!
+//! Two layers sit between a figure and the simulator:
+//!
+//! * the **cell cache** ([`crate::simcache`]): every cell is deterministic,
+//!   so results are memoized by content — figures within one invocation
+//!   share cells (fig13/fig14 are a strict subset of the fig11 matrix)
+//!   without knowing about each other;
+//! * the **matrix executor** ([`run_cells`]): figures flatten their whole
+//!   (benchmark × config × scheme × rep) cell list into one work queue
+//!   drained by `--jobs`/`TINT_JOBS` host threads. Cells vary ~100× in cost
+//!   (lbm vs blackscholes), so stealing from a single flattened queue is
+//!   what load-balances a sweep; a per-cell ≤ reps-way fan-out cannot.
+//!
+//! Results are merged back in canonical (input) order, so figure output is
+//! byte-identical at any job count and with the cache on or off.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::simcache::{self, CellKey};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use tint_spmd::{RunMetrics, SimThread};
 use tint_workloads::{PinConfig, Workload};
 use tintmalloc::prelude::*;
 
-/// Simulated cycles completed by every [`run_once`] in this process —
+/// Simulated cycles completed by every actual simulation in this process —
 /// the benchmark-side progress counter `repro` snapshots around each
-/// figure to report simulated work next to wall-clock time.
+/// figure to report simulated work next to wall-clock time. Cache hits do
+/// not add to it: it counts *new* simulation work, which is how
+/// `BENCH_repro.json` proves a command was served from the cache.
 static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
 
 /// Total simulated cycles (sum of per-run `metrics.runtime`) executed so
@@ -17,7 +36,7 @@ pub fn simulated_cycles() -> u64 {
 }
 
 /// Everything one run produces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExpResult {
     /// SPMD metrics (runtime, per-thread runtime/idle).
     pub metrics: RunMetrics,
@@ -41,9 +60,24 @@ pub struct ExpResult {
     pub color_list_moves: u64,
 }
 
-/// Run one experiment. The seed drives boot noise (physical-layout jitter
-/// across the paper's 10 repetitions) and the workloads' random streams.
-pub fn run_once(
+/// One cell of a figure's sweep: `workload` run under `(scheme, pin)` with
+/// repetition seed `seed`.
+#[derive(Clone, Copy)]
+pub struct CellSpec<'a> {
+    /// The workload (immutable configuration; `Sync` by trait bound).
+    pub workload: &'a dyn Workload,
+    /// Coloring policy.
+    pub scheme: ColorScheme,
+    /// Thread→core pinning.
+    pub pin: PinConfig,
+    /// Repetition seed (the paper's 10 repetitions are seeds 1..=10).
+    pub seed: u64,
+}
+
+/// Actually simulate one cell on a fresh machine (no cache involvement).
+/// The seed drives boot noise (physical-layout jitter across the paper's
+/// repetitions) and the workloads' random streams.
+fn simulate_cell(
     workload: &dyn Workload,
     scheme: ColorScheme,
     pin: PinConfig,
@@ -100,57 +134,171 @@ pub fn run_once(
     }
 }
 
-/// Run `reps` seeded repetitions (the paper repeats everything 10×).
+/// Run one experiment cell, through the cell cache.
+pub fn run_once(
+    workload: &dyn Workload,
+    scheme: ColorScheme,
+    pin: PinConfig,
+    seed: u64,
+) -> ExpResult {
+    let key = CellKey::of(workload, scheme, pin, seed);
+    if let Some(r) = simcache::lookup(&key) {
+        simcache::note_hits(1);
+        return r;
+    }
+    simcache::note_misses(1);
+    let r = simulate_cell(workload, scheme, pin, seed);
+    simcache::insert(key, &r);
+    r
+}
+
+/// Run `reps` seeded repetitions (the paper repeats everything 10×) as one
+/// flattened cell batch.
 pub fn run_reps(
     workload: &dyn Workload,
     scheme: ColorScheme,
     pin: PinConfig,
     reps: u32,
 ) -> Vec<ExpResult> {
-    run_reps_parallel(workload, scheme, pin, reps, available_jobs())
+    let cells: Vec<CellSpec> = (1..=reps as u64)
+        .map(|seed| CellSpec {
+            workload,
+            scheme,
+            pin,
+            seed,
+        })
+        .collect();
+    run_cells(&cells, available_jobs())
 }
 
-/// Number of worker threads the parallel driver uses by default.
+/// `--jobs` override set by the `repro` binary; 0 = unset.
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the worker-thread count used by [`run_reps`]/figure sweeps (the
+/// `repro --jobs` flag). Passing 0 clears the override, falling back to
+/// `TINT_JOBS` / host parallelism.
+pub fn set_jobs(jobs: usize) {
+    JOBS_OVERRIDE.store(jobs, Ordering::Relaxed);
+}
+
+/// Number of worker threads the matrix executor uses by default:
+/// the `--jobs` flag if given, else a `TINT_JOBS` env override, else the
+/// host's available parallelism. Always ≥ 1.
 pub fn available_jobs() -> usize {
+    let forced = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("TINT_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
-/// Run seeded repetitions across `jobs` host threads. Each repetition is an
-/// independent deterministic simulation, so fanning them out changes only
-/// wall-clock time, never results (asserted by a test below).
-pub fn run_reps_parallel(
-    workload: &dyn Workload,
-    scheme: ColorScheme,
-    pin: PinConfig,
-    reps: u32,
+/// Run a batch of cells across `jobs` host threads with a shared work
+/// queue, returning results in input order. See [`run_cells_with_progress`].
+pub fn run_cells(cells: &[CellSpec<'_>], jobs: usize) -> Vec<ExpResult> {
+    run_cells_with_progress(cells, jobs, &|_, _| {})
+}
+
+/// [`run_cells`] with a progress callback, invoked after each *simulated*
+/// cell as `progress(done, to_simulate)` (cache hits are served instantly
+/// and not reported; the callback may be called from worker threads).
+///
+/// Execution model: cached cells are filled first; the remaining misses
+/// form a single flat queue drained by `min(jobs, misses)` scoped threads
+/// via an atomic cursor — a cheap work-stealing scheme that load-balances
+/// cells of wildly different cost. Each repetition is an independent
+/// deterministic simulation, so the fan-out changes only wall-clock time,
+/// never results: the canonical-order merge makes the output independent
+/// of `jobs` (asserted by tests below and `tests/cell_cache.rs`).
+///
+/// In-batch duplicates (same content key appearing twice) are simulated
+/// once and counted as cache hits when the cache is enabled; with the
+/// cache disabled every occurrence is simulated, exactly as the pre-cache
+/// harness did.
+pub fn run_cells_with_progress(
+    cells: &[CellSpec<'_>],
     jobs: usize,
+    progress: &(dyn Fn(usize, usize) + Sync),
 ) -> Vec<ExpResult> {
-    let jobs = jobs.max(1).min((reps as usize).max(1));
-    if jobs <= 1 || reps <= 1 {
-        return (0..reps as u64)
-            .map(|seed| run_once(workload, scheme, pin, seed + 1))
-            .collect();
-    }
-    let results: std::sync::Mutex<Vec<(u64, ExpResult)>> =
-        std::sync::Mutex::new(Vec::with_capacity(reps as usize));
-    let next = std::sync::atomic::AtomicU64::new(1);
-    std::thread::scope(|s| {
-        for _ in 0..jobs {
-            s.spawn(|| loop {
-                let seed = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if seed > reps as u64 {
-                    break;
-                }
-                let r = run_once(workload, scheme, pin, seed);
-                results.lock().unwrap().push((seed, r));
-            });
+    let jobs = jobs.max(1);
+    let caching = simcache::enabled();
+    let mut slots: Vec<Option<ExpResult>> = Vec::with_capacity(cells.len());
+    let mut to_run: Vec<usize> = Vec::new();
+    let mut pending: std::collections::HashMap<CellKey, usize> = std::collections::HashMap::new();
+    let mut dups: Vec<(usize, usize)> = Vec::new();
+    let mut hits = 0u64;
+    for (i, c) in cells.iter().enumerate() {
+        let key = CellKey::of(c.workload, c.scheme, c.pin, c.seed);
+        if let Some(r) = simcache::lookup(&key) {
+            slots.push(Some(r));
+            hits += 1;
+            continue;
         }
-    });
-    let mut v = results.into_inner().unwrap();
-    v.sort_by_key(|(seed, _)| *seed);
-    v.into_iter().map(|(_, r)| r).collect()
+        slots.push(None);
+        if caching {
+            if let Some(&src) = pending.get(&key) {
+                dups.push((i, src));
+                hits += 1;
+                continue;
+            }
+            pending.insert(key, i);
+        }
+        to_run.push(i);
+    }
+    simcache::note_hits(hits);
+    simcache::note_misses(to_run.len() as u64);
+
+    let total = to_run.len();
+    if total > 0 {
+        if jobs == 1 || total == 1 {
+            for (done, &i) in to_run.iter().enumerate() {
+                let c = &cells[i];
+                slots[i] = Some(simulate_cell(c.workload, c.scheme, c.pin, c.seed));
+                progress(done + 1, total);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let done = AtomicUsize::new(0);
+            let results: Mutex<Vec<(usize, ExpResult)>> = Mutex::new(Vec::with_capacity(total));
+            std::thread::scope(|s| {
+                for _ in 0..jobs.min(total) {
+                    s.spawn(|| loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= total {
+                            break;
+                        }
+                        let c = &cells[to_run[k]];
+                        let r = simulate_cell(c.workload, c.scheme, c.pin, c.seed);
+                        results.lock().unwrap().push((to_run[k], r));
+                        progress(done.fetch_add(1, Ordering::Relaxed) + 1, total);
+                    });
+                }
+            });
+            for (i, r) in results.into_inner().unwrap() {
+                slots[i] = Some(r);
+            }
+        }
+        if caching {
+            for &i in &to_run {
+                let c = &cells[i];
+                let key = CellKey::of(c.workload, c.scheme, c.pin, c.seed);
+                simcache::insert(key, slots[i].as_ref().expect("simulated"));
+            }
+        }
+    }
+    for (i, src) in dups {
+        slots[i] = slots[src].clone();
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every cell filled"))
+        .collect()
 }
 
 /// Mean/min/max over repetitions of a scalar metric.
@@ -201,16 +349,18 @@ mod tests {
 
     #[test]
     fn run_once_is_deterministic_per_seed() {
+        // Bypass the cache on purpose: a==b must hold because the simulator
+        // is deterministic, not because a memo served the second call.
         let w = tiny_synth();
-        let a = run_once(&w, ColorScheme::Buddy, PinConfig::T4N4, 3);
-        let b = run_once(&w, ColorScheme::Buddy, PinConfig::T4N4, 3);
+        let a = simulate_cell(&w, ColorScheme::Buddy, PinConfig::T4N4, 3);
+        let b = simulate_cell(&w, ColorScheme::Buddy, PinConfig::T4N4, 3);
         assert_eq!(a.metrics, b.metrics);
         // Under the node-oblivious legacy baseline, boot noise shifts the
         // global cursor and with it the node mix → runtimes differ. (The
         // NUMA-aware buddy is translation-invariant on this symmetric
         // workload, so it is not a good seed probe.)
-        let c = run_once(&w, ColorScheme::LegacyGlobal, PinConfig::T4N4, 3);
-        let d = run_once(&w, ColorScheme::LegacyGlobal, PinConfig::T4N4, 4);
+        let c = simulate_cell(&w, ColorScheme::LegacyGlobal, PinConfig::T4N4, 3);
+        let d = simulate_cell(&w, ColorScheme::LegacyGlobal, PinConfig::T4N4, 4);
         assert_ne!(c.metrics.runtime, d.metrics.runtime, "seed changes layout");
     }
 
@@ -224,13 +374,40 @@ mod tests {
     }
 
     #[test]
-    fn parallel_driver_matches_serial() {
+    fn flattened_executor_matches_serial_at_any_job_count() {
+        // Mixed-cost cell list (two schemes × reps) through the flat queue.
         let w = tiny_synth();
-        let serial = run_reps_parallel(&w, ColorScheme::MemLlc, PinConfig::T4N4, 4, 1);
-        let parallel = run_reps_parallel(&w, ColorScheme::MemLlc, PinConfig::T4N4, 4, 4);
+        let cells: Vec<CellSpec> = [ColorScheme::MemLlc, ColorScheme::Buddy]
+            .iter()
+            .flat_map(|&scheme| {
+                (1..=3u64)
+                    .map(move |seed| (scheme, seed))
+                    .collect::<Vec<_>>()
+            })
+            .map(|(scheme, seed)| CellSpec {
+                workload: &w,
+                scheme,
+                pin: PinConfig::T4N4,
+                seed,
+            })
+            .collect();
+        let serial = run_cells(&cells, 1);
+        let parallel = run_cells(&cells, 4);
+        assert_eq!(serial.len(), cells.len());
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.metrics, b.metrics, "fan-out must not change results");
         }
+    }
+
+    #[test]
+    fn run_once_and_run_reps_share_cells() {
+        // Seed 2 of run_reps is the same content cell as run_once(seed=2);
+        // whether it came from cache or a fresh simulation, the values are
+        // identical — the invariant byte-identical figures rest on.
+        let w = tiny_synth();
+        let one = run_once(&w, ColorScheme::MemOnly, PinConfig::T4N4, 2);
+        let reps = run_reps(&w, ColorScheme::MemOnly, PinConfig::T4N4, 2);
+        assert_eq!(one.metrics, reps[1].metrics);
     }
 
     #[test]
@@ -241,6 +418,17 @@ mod tests {
         assert!(r.page_faults > 0);
         // MEM+LLC keeps everything local.
         assert_eq!(r.remote_fraction, 0.0);
+    }
+
+    #[test]
+    fn jobs_override_and_env_clamp() {
+        // The override wins over everything and 0 clears it. (TINT_JOBS
+        // itself is exercised end-to-end by scripts/ci.sh; mutating the
+        // environment here would race sibling tests.)
+        set_jobs(3);
+        assert_eq!(available_jobs(), 3);
+        set_jobs(0);
+        assert!(available_jobs() >= 1);
     }
 
     #[test]

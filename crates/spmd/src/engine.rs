@@ -121,7 +121,11 @@ impl<I: Iterator<Item = Op>> SectionBody for I {
 
 /// Route sections through the reference (one-op-at-a-time heap) pipeline?
 /// Checked once per section, so the env lookup never sits on a hot path.
-fn reference_pipeline() -> bool {
+/// Public because the `tint-bench` cell cache folds this mode into its
+/// memoization key: the two pipelines are asserted bit-identical, but a
+/// cache that served a reference-mode request from a batched-mode result
+/// would make that very assertion vacuous.
+pub fn reference_pipeline() -> bool {
     std::env::var_os("TINT_REFERENCE_PIPELINE").is_some_and(|v| v == "1")
 }
 

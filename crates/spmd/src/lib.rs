@@ -43,6 +43,6 @@ pub mod engine;
 pub mod metrics;
 pub mod program;
 
-pub use engine::{run_section_dynamic, Op, SectionBody, SimThread};
+pub use engine::{reference_pipeline, run_section_dynamic, Op, SectionBody, SimThread};
 pub use metrics::{RunMetrics, SectionOutcome};
 pub use program::{Program, Section};

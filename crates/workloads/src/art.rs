@@ -43,6 +43,15 @@ impl Workload for Art {
         "art"
     }
 
+    fn fingerprint(&self) -> u64 {
+        crate::fingerprint::Fingerprint::new(self.name())
+            .u64(self.bytes_per_thread)
+            .u32(self.epochs)
+            .u32(self.scans_per_epoch)
+            .u64(self.compute)
+            .finish()
+    }
+
     fn build(
         &self,
         sys: &mut System,

@@ -53,6 +53,16 @@ impl Workload for Blackscholes {
         "blackscholes"
     }
 
+    fn fingerprint(&self) -> u64 {
+        crate::fingerprint::Fingerprint::new(self.name())
+            .u64(self.input_bytes)
+            .u64(self.private_bytes)
+            .u32(self.rounds)
+            .u64(self.compute)
+            .u32(self.input_passes)
+            .finish()
+    }
+
     fn build(
         &self,
         sys: &mut System,

@@ -45,6 +45,16 @@ impl Workload for Bodytrack {
         "bodytrack"
     }
 
+    fn fingerprint(&self) -> u64 {
+        crate::fingerprint::Fingerprint::new(self.name())
+            .u64(self.image_bytes)
+            .u64(self.particle_bytes)
+            .u32(self.frames)
+            .u64(self.samples)
+            .u64(self.compute)
+            .finish()
+    }
+
     fn build(
         &self,
         sys: &mut System,

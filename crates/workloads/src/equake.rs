@@ -47,6 +47,16 @@ impl Workload for Equake {
         "equake"
     }
 
+    fn fingerprint(&self) -> u64 {
+        crate::fingerprint::Fingerprint::new(self.name())
+            .u64(self.shared_bytes)
+            .u64(self.private_bytes)
+            .u32(self.iterations)
+            .u64(self.gathers)
+            .u64(self.compute)
+            .finish()
+    }
+
     fn build(
         &self,
         sys: &mut System,

@@ -47,6 +47,15 @@ impl Workload for Freqmine {
         "freqmine"
     }
 
+    fn fingerprint(&self) -> u64 {
+        crate::fingerprint::Fingerprint::new(self.name())
+            .u64(self.growth_bytes)
+            .u32(self.phases)
+            .u64(self.rewalk_taps)
+            .u64(self.compute)
+            .finish()
+    }
+
     fn build(
         &self,
         sys: &mut System,

@@ -40,6 +40,14 @@ impl Workload for Lbm {
         "lbm"
     }
 
+    fn fingerprint(&self) -> u64 {
+        crate::fingerprint::Fingerprint::new(self.name())
+            .u64(self.bytes_per_thread)
+            .u32(self.timesteps)
+            .u64(self.compute)
+            .finish()
+    }
+
     fn build(
         &self,
         sys: &mut System,

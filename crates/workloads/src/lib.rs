@@ -20,12 +20,15 @@
 //!   [`blackscholes`] — the six benchmark emulators.
 //! * [`traits`] — the [`traits::Workload`] interface and the benchmark
 //!   registry.
+//! * [`fingerprint`] — the in-tree FNV/SplitMix hasher behind
+//!   [`traits::Workload::fingerprint`] (content-addressed cell caching).
 
 pub mod art;
 pub mod blackscholes;
 pub mod bodytrack;
 pub mod config;
 pub mod equake;
+pub mod fingerprint;
 pub mod freqmine;
 pub mod lbm;
 pub mod patterns;

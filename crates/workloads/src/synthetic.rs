@@ -32,6 +32,12 @@ impl Workload for Synthetic {
         "synthetic"
     }
 
+    fn fingerprint(&self) -> u64 {
+        crate::fingerprint::Fingerprint::new(self.name())
+            .u64(self.bytes_per_thread)
+            .finish()
+    }
+
     fn build(
         &self,
         sys: &mut System,

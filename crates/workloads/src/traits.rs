@@ -13,6 +13,16 @@ pub trait Workload: Sync {
     /// Benchmark name as the paper prints it (e.g. `"lbm"`).
     fn name(&self) -> &'static str;
 
+    /// Stable content fingerprint of the full parameter set (see
+    /// [`crate::fingerprint::Fingerprint`]). Contract: two workloads with
+    /// equal fingerprints must build identical programs for every
+    /// `(sys, threads, seed)` — the simulation cell cache in `tint-bench`
+    /// uses `(fingerprint, scheme, pin, seed)` as its memoization key, so a
+    /// parameter that influences the access stream but is missing from the
+    /// fingerprint would silently alias distinct cells. Implementations
+    /// hash the type name plus every public field.
+    fn fingerprint(&self) -> u64;
+
     /// Build the program. `seed` varies across the paper's 10 repetitions
     /// (it perturbs random access streams; physical-layout jitter comes from
     /// boot noise applied by the harness before building).

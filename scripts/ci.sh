@@ -49,4 +49,24 @@ if [ -n "$recorded_ms" ] && [ -n "$smoke_ms" ]; then
     fi
 fi
 
+echo "== sim-cache smoke =="
+# Cross-figure cell reuse, asserted hard: every fig13/fig14 cell is a
+# subset of the fig11 matrix, so after fig11 runs in the same invocation,
+# fig13 must be served entirely from the cell cache (zero misses, some
+# hits) and fig14 must reuse the fig13 sweep via Ctx (zero traffic).
+cache_dir=$(mktemp -d)
+(cd "$cache_dir" && "$OLDPWD/target/release/repro" --reps 1 --scale 0.2 --configs 16t4n fig11 fig13 fig14 > /dev/null)
+fig13_misses=$(sed -n 's/.*"name": "fig13".*"cache_misses": \([0-9]*\).*/\1/p' "$cache_dir/BENCH_repro.json")
+fig13_hits=$(sed -n 's/.*"name": "fig13".*"cache_hits": \([0-9]*\),.*/\1/p' "$cache_dir/BENCH_repro.json")
+fig14_misses=$(sed -n 's/.*"name": "fig14".*"cache_misses": \([0-9]*\).*/\1/p' "$cache_dir/BENCH_repro.json")
+rm -rf "$cache_dir"
+if [ "$fig13_misses" != "0" ] || [ "$fig14_misses" != "0" ]; then
+    echo "FAIL: fig13/fig14 after the fig11 matrix simulated new cells (misses: fig13=$fig13_misses fig14=$fig14_misses)" >&2
+    exit 1
+fi
+if [ -z "$fig13_hits" ] || [ "$fig13_hits" = "0" ]; then
+    echo "FAIL: fig13 reported no cache hits (expected the whole sweep served from cache)" >&2
+    exit 1
+fi
+
 echo "CI OK"
