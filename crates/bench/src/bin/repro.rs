@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--reps N] [--scale F] [--csv] [--profile] [--jobs N]
-//!       [--configs 16t4n,8t4n,...] <command>...
+//!       [--strict-deadline] [--configs 16t4n,8t4n,...] <command>...
 //!
 //! commands:
 //!   fig10              synthetic benchmark by coloring policy
@@ -33,17 +33,44 @@
 //! cache; figure output is byte-identical either way.
 //!
 //! `--jobs N` sets the simulation worker-thread count for the flattened
-//! cell executor (default: host parallelism; the `TINT_JOBS` env var is an
-//! equivalent override, with the flag taking precedence). Output is
-//! byte-identical at any job count — cells are merged in canonical order.
+//! cell executor. Precedence: the `--jobs` flag wins over the `TINT_JOBS`
+//! env var, which wins over the host's available parallelism; both the
+//! flag and the env var must be a positive decimal integer — values like
+//! `0`, `0x4`, `-2`, or an empty string are rejected with an error, never
+//! silently clamped. Output is byte-identical at any job count — cells are
+//! merged in canonical order.
+//!
+//! ## Crash safety and resume
+//!
+//! Every completed simulation cell is appended to a crash-safe on-disk
+//! journal (`.tint-journal/` by default; `TINT_JOURNAL=<dir>` relocates
+//! it, `TINT_JOURNAL=0` disables it) and replayed into the cell cache at
+//! startup, so re-running the same command after a crash, OOM kill, or
+//! Ctrl-C simulates only the missing cells. Figure output is byte-identical
+//! with the journal on, off, or after a kill-and-resume.
+//!
+//! Workers are panic-isolated: a panicking cell is retried up to
+//! `TINT_CELL_RETRIES` times (default 2), then recorded as a poisoned cell
+//! that renders as `ERR` and makes the run exit 1 instead of aborting the
+//! matrix. `TINT_CELL_TIMEOUT_S=<secs>` arms a watchdog that warns about
+//! overdue cells; with `--strict-deadline` an overdue cell is poisoned and
+//! a cell stuck past 20× the deadline aborts the (resumable) run with
+//! exit code 124. SIGINT/SIGTERM drain workers at the next cell boundary,
+//! flush the journal, and exit 130 with a resume notice.
+//! `TINT_HOST_FAULT=panic:<permille>:<seed>` arms the deterministic
+//! host-fault harness (worker panics on schedule) that exercises all of
+//! the above in tests.
 //!
 //! After the run, a machine-readable `BENCH_repro.json` is written to the
 //! working directory with per-command wall-clock milliseconds, simulated
-//! cycles, and cell-cache hit/miss counts. An existing file is *merged
-//! into*, not clobbered: command records are upserted by name, so `repro
-//! probe:lbm` after `repro all` keeps the figure records. The `invocation`
-//! block describes only the commands this run executed; the `total` block
-//! sums over every merged record.
+//! cycles, and cell-cache hit/miss counts. The write is atomic (temp
+//! file plus rename), and a truncated/corrupt existing file is quarantined to
+//! `BENCH_repro.json.corrupt` and treated as empty rather than trusted.
+//! An intact existing file is *merged into*, not clobbered: command
+//! records are upserted by name, so `repro probe:lbm` after `repro all`
+//! keeps the figure records. The `invocation` block describes only the
+//! commands this run executed; the `total` block sums over every merged
+//! record.
 //!
 //! `--profile` turns on the pipeline self-profile (see `tint_hw::profile`):
 //! per-component wall time — scheduler, TLB, cache hierarchy, DRAM, frame
@@ -56,11 +83,23 @@ use tint_bench::figures::{
     ablate_part, ablate_pressure, bandwidth, fig10, fig13_14, latency, probe, run_matrix,
     BenchMatrix, FigOpts,
 };
-use tint_bench::runner::{available_jobs, set_jobs, simulated_cycles};
+use tint_bench::hostfault::{self, HostFaultPlan};
+use tint_bench::journal;
+use tint_bench::runner::{
+    available_jobs, cell_retries, cell_timeout, install_cancel_handlers, parse_jobs,
+    poisoned_cells, retries_used, set_jobs, set_strict_deadline, simulated_cycles,
+    validate_env_jobs,
+};
 use tint_bench::simcache;
 use tint_bench::table::Table;
 use tint_hw::profile::{self, Component, COMPONENT_COUNT};
 use tint_workloads::PinConfig;
+
+/// Exit with a one-line usage/config error (exit code 2: bad invocation).
+fn fail(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
 
 fn parse_config(s: &str) -> Option<PinConfig> {
     match s {
@@ -306,6 +345,9 @@ struct ExistingBench {
 }
 
 /// Parse the parts of an existing `BENCH_repro.json` worth preserving.
+/// A truncated or otherwise corrupt file (a crash mid-write predating the
+/// atomic-rename scheme, a disk error) is renamed to `<path>.corrupt` and
+/// treated as absent — a bad perf log must never take the run down.
 fn read_existing(path: &str) -> ExistingBench {
     let mut out = ExistingBench {
         records: Vec::new(),
@@ -314,6 +356,17 @@ fn read_existing(path: &str) -> ExistingBench {
     let Ok(text) = std::fs::read_to_string(path) else {
         return out;
     };
+    let intact = text.trim_start().starts_with('{') && text.trim_end().ends_with('}');
+    if !intact {
+        let quarantine = format!("{path}.corrupt");
+        match std::fs::rename(path, &quarantine) {
+            Ok(()) => eprintln!(
+                "warning: {path} is truncated/corrupt; moved to {quarantine} and starting fresh"
+            ),
+            Err(e) => eprintln!("warning: {path} is corrupt and could not be quarantined ({e})"),
+        }
+        return out;
+    }
     let mut in_commands = false;
     let mut pressure: Option<Vec<String>> = None;
     for line in text.lines() {
@@ -377,7 +430,7 @@ fn write_bench_json(
     opts: &FigOpts,
     configs: &[PinConfig],
     pressure: Option<&Table>,
-) {
+) -> Result<(), String> {
     let path = "BENCH_repro.json";
     let existing = read_existing(path);
     // Upsert: existing records keep their position, new commands append.
@@ -428,10 +481,14 @@ fn write_bench_json(
     } else if let Some(raw) = &existing.pressure_raw {
         s.push_str(&format!("  \"pressure\": [\n{raw}\n  ],\n"));
     }
+    let (journal_hits, journal_appends, journal_replayed) = journal::counters();
     s.push_str(&format!(
         "  \"invocation\": {{\"commands\": [{}], \"jobs\": {}, \"cache_enabled\": {}, \
          \"wall_ms\": {inv_ms:.3}, \"sim_cycles\": {inv_cycles}, \
-         \"cache_hits\": {inv_hits}, \"cache_misses\": {inv_misses}}},\n",
+         \"cache_hits\": {inv_hits}, \"cache_misses\": {inv_misses}, \
+         \"journal\": {{\"enabled\": {}, \"replayed\": {journal_replayed}, \
+         \"hits\": {journal_hits}, \"appended\": {journal_appends}}}, \
+         \"poisoned_cells\": {}, \"host_faults_injected\": {}, \"retries_used\": {}}},\n",
         records
             .iter()
             .map(|r| format!("\"{}\"", json_escape(&r.name)))
@@ -439,15 +496,26 @@ fn write_bench_json(
             .join(", "),
         available_jobs(),
         simcache::enabled(),
+        journal::enabled(),
+        poisoned_cells(),
+        hostfault::injected(),
+        retries_used(),
     ));
     s.push_str(&format!(
         "  \"total\": {{\"wall_ms\": {total_ms:.3}, \"sim_cycles\": {total_cycles}}}\n"
     ));
     s.push_str("}\n");
-    match std::fs::write(path, &s) {
-        Ok(()) => eprintln!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    // Crash-safe: write a temp file in the same directory, then atomically
+    // rename over the target — a kill mid-write can no longer leave a
+    // half-written perf trajectory behind.
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, &s).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot rename {tmp} over {path}: {e}")
+    })?;
+    eprintln!("wrote {path}");
+    Ok(())
 }
 
 fn main() {
@@ -456,37 +524,89 @@ fn main() {
     let mut configs: Vec<PinConfig> = PinConfig::ALL.to_vec();
     let mut cmds: Vec<String> = Vec::new();
     let mut it = args.iter();
+    // A missing or malformed flag argument is a usage error with a one-line
+    // message and exit code 2 — never a panic.
+    fn arg<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> &'a String {
+        it.next()
+            .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--reps" => opts.reps = it.next().expect("--reps N").parse().expect("reps number"),
-            "--scale" => opts.scale = it.next().expect("--scale F").parse().expect("scale number"),
+            "--reps" => {
+                opts.reps = arg(&mut it, "--reps")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--reps wants a positive integer"));
+            }
+            "--scale" => {
+                opts.scale = arg(&mut it, "--scale")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--scale wants a number"));
+            }
             "--csv" => opts.csv = true,
             "--profile" => profile::set_enabled(true),
-            "--jobs" => {
-                let n: usize = it
-                    .next()
-                    .expect("--jobs N")
-                    .parse()
-                    .expect("jobs number (>= 1)");
-                set_jobs(n.max(1));
-            }
+            "--strict-deadline" => set_strict_deadline(true),
+            "--jobs" => match parse_jobs(arg(&mut it, "--jobs")) {
+                Ok(n) => set_jobs(n),
+                Err(e) => fail(&format!("invalid --jobs: {e}")),
+            },
             "--configs" => {
-                configs = it
-                    .next()
-                    .expect("--configs list")
+                configs = arg(&mut it, "--configs")
                     .split(',')
-                    .map(|s| parse_config(s).unwrap_or_else(|| panic!("unknown config {s}")))
+                    .map(|s| {
+                        parse_config(s).unwrap_or_else(|| fail(&format!("unknown config {s:?}")))
+                    })
                     .collect();
             }
             c if !c.starts_with('-') => cmds.push(c.to_string()),
-            other => panic!("unknown flag {other}"),
+            other => fail(&format!("unknown flag {other}")),
         }
     }
     if cmds.is_empty() {
         cmds.push("all".to_string());
     }
-    assert!(opts.reps >= 1, "--reps must be at least 1");
-    assert!(opts.scale >= 0.0, "--scale must be non-negative");
+    if opts.reps < 1 {
+        fail("--reps must be at least 1");
+    }
+    if opts.scale.is_nan() || opts.scale < 0.0 {
+        fail("--scale must be non-negative");
+    }
+    // Environment knobs are validated up front: a typo'd TINT_JOBS or
+    // TINT_HOST_FAULT must stop the run before 20 minutes of simulation.
+    if let Err(e) = validate_env_jobs() {
+        fail(&e);
+    }
+    if let Ok(v) = std::env::var("TINT_HOST_FAULT") {
+        match HostFaultPlan::parse(&v) {
+            Ok(plan) => hostfault::set_plan(Some(plan)),
+            Err(e) => fail(&format!("invalid TINT_HOST_FAULT: {e}")),
+        }
+    }
+    let _ = cell_retries(); // surface a TINT_CELL_RETRIES warning early
+    let _ = cell_timeout(); // likewise for TINT_CELL_TIMEOUT_S
+
+    // Durability and graceful shutdown: arm the journal (TINT_JOURNAL=0
+    // disables, TINT_JOURNAL=<dir> relocates), replay prior completed
+    // cells into the cell cache, and convert SIGINT/SIGTERM into a
+    // cooperative drain + journal flush + resume notice.
+    install_cancel_handlers();
+    journal::configure_default();
+    let replay = journal::replay();
+    if replay.replayed > 0 || replay.quarantined {
+        eprintln!(
+            "journal: replayed {} completed cells{}{}",
+            replay.replayed,
+            if replay.torn_dropped > 0 {
+                " (dropped a torn final write)"
+            } else {
+                ""
+            },
+            if replay.quarantined {
+                " (corrupt journal quarantined)"
+            } else {
+                ""
+            },
+        );
+    }
 
     let mut ctx = Ctx {
         opts,
@@ -522,5 +642,20 @@ fn main() {
             profile: prof,
         });
     }
-    write_bench_json(&records, &ctx.opts, &ctx.configs, ctx.pressure.as_ref());
+    journal::flush();
+    if let Err(e) = write_bench_json(&records, &ctx.opts, &ctx.configs, ctx.pressure.as_ref()) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    if poisoned_cells() > 0 {
+        eprintln!(
+            "error: {} cell(s) failed after {} retr{} and render as ERR above \
+             ({} host fault(s) injected); rerun to retry them",
+            poisoned_cells(),
+            retries_used(),
+            if retries_used() == 1 { "y" } else { "ies" },
+            hostfault::injected(),
+        );
+        std::process::exit(1);
+    }
 }

@@ -1,8 +1,8 @@
 //! Figure regeneration: one function per results figure of the paper.
 
 use crate::runner::{
-    available_jobs, run_cells, run_cells_with_progress, run_once, run_reps, CellSpec, ExpResult,
-    Summary,
+    any_poisoned, available_jobs, run_cells, run_cells_with_progress, run_once, run_reps, CellSpec,
+    ExpResult, Summary,
 };
 use crate::table::{norm, norm_err, Table};
 use std::collections::HashMap;
@@ -98,18 +98,25 @@ pub fn fig10(opts: &FigOpts) -> Table {
     let cells = cells_for(&w, &FIG10_SCHEMES, pin, opts.reps);
     let results = run_cells(&cells, available_jobs());
     let per_scheme: Vec<&[ExpResult]> = results.chunks(opts.reps as usize).collect();
+    let base_bad = any_poisoned(per_scheme[0]);
     let base = Summary::runtime(per_scheme[0]).mean;
     for (i, scheme) in FIG10_SCHEMES.into_iter().enumerate() {
         let rs = per_scheme[i];
+        let bad = any_poisoned(rs);
         let s = Summary::runtime(rs);
         let remote = Summary::of(rs, |r| r.remote_fraction).mean;
         let hit = Summary::of(rs, |r| r.row_hit_rate).mean;
+        let val = |v: String| if bad { "ERR".to_string() } else { v };
         t.row(vec![
             scheme.label().to_string(),
-            format!("{:.0}", s.mean),
-            norm_err(s.mean / base, s.min / base, s.max / base),
-            format!("{remote:.3}"),
-            format!("{hit:.3}"),
+            val(format!("{:.0}", s.mean)),
+            if bad || base_bad {
+                "ERR".to_string()
+            } else {
+                norm_err(s.mean / base, s.min / base, s.max / base)
+            },
+            val(format!("{remote:.3}")),
+            val(format!("{hit:.3}")),
         ]);
     }
     t
@@ -214,18 +221,38 @@ impl BenchMatrix {
                 "best_other_scheme".to_string(),
             ]);
             for &b in &self.benchmarks {
-                let base = Summary::of(self.get(b, pin, ColorScheme::Buddy), metric);
+                let base_rs = self.get(b, pin, ColorScheme::Buddy);
+                let base_bad = any_poisoned(base_rs);
+                let base = Summary::of(base_rs, metric);
                 let nz = |v: f64| if base.mean > 0.0 { v / base.mean } else { 0.0 };
                 let bpm = Summary::of(self.get(b, pin, ColorScheme::Bpm), metric);
                 let ml = Summary::of(self.get(b, pin, ColorScheme::MemLlc), metric);
                 let (bs, bsum) = self.best_other(b, pin, metric);
+                // A poisoned repetition set renders as ERR; normalized
+                // columns also depend on the buddy base being clean.
+                let cell = |rs_bad: bool, v: String| {
+                    if rs_bad || base_bad {
+                        "ERR".to_string()
+                    } else {
+                        v
+                    }
+                };
+                let bpm_bad = any_poisoned(self.get(b, pin, ColorScheme::Bpm));
+                let ml_bad = any_poisoned(self.get(b, pin, ColorScheme::MemLlc));
+                let other_bad = OTHER_SCHEMES
+                    .iter()
+                    .any(|&s| any_poisoned(self.get(b, pin, s)));
                 t.row(vec![
                     b.to_string(),
-                    norm_err(1.0, nz(base.min), nz(base.max)),
-                    norm_err(nz(bpm.mean), nz(bpm.min), nz(bpm.max)),
-                    norm_err(nz(ml.mean), nz(ml.min), nz(ml.max)),
-                    norm(nz(bsum.mean)),
-                    bs.label().to_string(),
+                    cell(false, norm_err(1.0, nz(base.min), nz(base.max))),
+                    cell(bpm_bad, norm_err(nz(bpm.mean), nz(bpm.min), nz(bpm.max))),
+                    cell(ml_bad, norm_err(nz(ml.mean), nz(ml.min), nz(ml.max))),
+                    cell(other_bad, norm(nz(bsum.mean))),
+                    if other_bad {
+                        "ERR".to_string()
+                    } else {
+                        bs.label().to_string()
+                    },
                 ]);
             }
             tables.push(t);
@@ -287,17 +314,19 @@ pub fn fig13_14(opts: &FigOpts) -> (Table, Table) {
         let mut lbm_buddy_first: Option<&ExpResult> = None;
         for scheme in FIG13_SCHEMES {
             let rs = chunks.next().expect("chunk per (benchmark, scheme)");
+            let bad = any_poisoned(rs);
             let maxr = Summary::of(rs, |r| r.metrics.max_thread_runtime() as f64).mean;
             let minr = Summary::of(rs, |r| r.metrics.min_thread_runtime() as f64).mean;
             let spread = Summary::of(rs, |r| r.metrics.runtime_spread() as f64).mean;
             let maxi = Summary::of(rs, |r| r.metrics.max_thread_idle() as f64).mean;
+            let val = |v: String| if bad { "ERR".to_string() } else { v };
             summary.row(vec![
                 w.name().to_string(),
                 scheme.label().to_string(),
-                format!("{maxr:.0}"),
-                format!("{minr:.0}"),
-                format!("{spread:.0}"),
-                format!("{maxi:.0}"),
+                val(format!("{maxr:.0}")),
+                val(format!("{minr:.0}")),
+                val(format!("{spread:.0}")),
+                val(format!("{maxi:.0}")),
             ]);
             if w.name() == "lbm" {
                 match scheme {
@@ -308,14 +337,22 @@ pub fn fig13_14(opts: &FigOpts) -> (Table, Table) {
             }
         }
         if let (Some(buddy), Some(ml)) = (lbm_buddy_first, lbm_memllc_first) {
+            let bad = buddy.poisoned || ml.poisoned;
             let (m, ml) = (&buddy.metrics, &ml.metrics);
+            let val = |v: u64| {
+                if bad {
+                    "ERR".to_string()
+                } else {
+                    format!("{v}")
+                }
+            };
             for i in 0..m.threads {
                 lbm_detail.row(vec![
                     format!("{i}"),
-                    format!("{}", m.thread_runtime[i]),
-                    format!("{}", ml.thread_runtime[i]),
-                    format!("{}", m.thread_idle[i]),
-                    format!("{}", ml.thread_idle[i]),
+                    val(m.thread_runtime[i]),
+                    val(ml.thread_runtime[i]),
+                    val(m.thread_idle[i]),
+                    val(ml.thread_idle[i]),
                 ]);
             }
         }
@@ -459,17 +496,18 @@ pub fn probe(opts: &FigOpts, bench_name: &str, pin: PinConfig) -> Table {
     ]);
     for &scheme in &matrix_schemes() {
         let r = run_once(w.as_ref(), scheme, pin, 1);
+        let val = |v: String| if r.poisoned { "ERR".to_string() } else { v };
         t.row(vec![
             scheme.label().to_string(),
-            format!("{}", r.metrics.runtime),
-            format!("{}", r.metrics.total_idle()),
-            format!("{:.1}", r.mean_latency),
-            format!("{:.3}", r.remote_fraction),
-            format!("{:.3}", r.row_hit_rate),
-            format!("{:.3}", r.l3_miss_rate),
-            format!("{}", r.page_faults),
-            format!("{}", r.fault_cycles),
-            format!("{}", r.color_list_moves),
+            val(format!("{}", r.metrics.runtime)),
+            val(format!("{}", r.metrics.total_idle())),
+            val(format!("{:.1}", r.mean_latency)),
+            val(format!("{:.3}", r.remote_fraction)),
+            val(format!("{:.3}", r.row_hit_rate)),
+            val(format!("{:.3}", r.l3_miss_rate)),
+            val(format!("{}", r.page_faults)),
+            val(format!("{}", r.fault_cycles)),
+            val(format!("{}", r.color_list_moves)),
         ]);
     }
     t
@@ -501,11 +539,17 @@ pub fn ablate_part(opts: &FigOpts) -> Table {
     let results = run_cells(&specs, available_jobs());
     let mut chunks = results.chunks(opts.reps as usize);
     for w in &benches {
-        let base = Summary::runtime(chunks.next().expect("buddy chunk")).mean;
+        let base_rs = chunks.next().expect("buddy chunk");
+        let base_bad = any_poisoned(base_rs);
+        let base = Summary::runtime(base_rs).mean;
         let cells: Vec<String> = (0..3)
             .map(|_| {
-                let s = Summary::runtime(chunks.next().expect("variant chunk"));
-                norm(s.mean / base)
+                let rs = chunks.next().expect("variant chunk");
+                if base_bad || any_poisoned(rs) {
+                    "ERR".to_string()
+                } else {
+                    norm(Summary::runtime(rs).mean / base)
+                }
             })
             .collect();
         t.row(vec![
@@ -531,12 +575,14 @@ pub fn ablate_firsttouch(opts: &FigOpts) -> Table {
         ColorScheme::MemLlc,
     ] {
         let rs = run_reps(&w, scheme, pin, opts.reps);
+        let bad = any_poisoned(&rs);
         let s = Summary::runtime(&rs);
         let remote = Summary::of(&rs, |r| r.remote_fraction).mean;
+        let val = |v: String| if bad { "ERR".to_string() } else { v };
         t.row(vec![
             scheme.label().to_string(),
-            norm(s.mean / base),
-            format!("{remote:.3}"),
+            val(norm(s.mean / base)),
+            val(format!("{remote:.3}")),
         ]);
     }
     t

@@ -1,0 +1,135 @@
+//! Deterministic *host*-fault harness.
+//!
+//! PR 2 gave the simulated kernel a seeded `FaultPlan`; this is the same
+//! idea one layer up: make the *harness's own worker threads* panic on a
+//! deterministic schedule so every recovery path in [`crate::runner`]
+//! (catch_unwind isolation, seeded requeue, poisoned-cell accounting) is
+//! exercised by ordinary tests instead of waiting for a real crash.
+//!
+//! Armed via `TINT_HOST_FAULT=panic:<permille>:<seed>` (the `repro` binary
+//! validates and applies it at startup) or programmatically with
+//! [`set_plan`]. Each cell *attempt* draws from a global attempt counter:
+//! attempt `n` panics iff `SplitMix64(seed ⊕ mix(n))` lands below
+//! `permille`/1000. Retries are new attempts with fresh draws, so at
+//! moderate rates a retried cell almost always succeeds, while
+//! `permille=1000` defeats every retry and forces the poisoned-cell path.
+//! With `--jobs 1` the attempt order — hence the entire fault schedule —
+//! is fully deterministic, which is what the CI smoke hard-asserts on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tint_hw::rng::SplitMix64;
+
+/// Marker embedded in injected panic payloads; the quiet panic hook and
+/// tests key off it to distinguish injected faults from real bugs.
+pub const PANIC_MARKER: &str = "injected host fault";
+
+/// One armed fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostFaultPlan {
+    /// Per-mille panic probability per cell attempt (0..=1000).
+    pub per_mille: u16,
+    /// Seed of the attempt-indexed SplitMix64 schedule.
+    pub seed: u64,
+}
+
+impl HostFaultPlan {
+    /// Parse `panic:<permille>:<seed>` (the `TINT_HOST_FAULT` syntax).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut parts = s.split(':');
+        let mode = parts.next().unwrap_or_default();
+        if mode != "panic" {
+            return Err(format!(
+                "unknown host-fault mode {mode:?} (expected panic:<permille>:<seed>)"
+            ));
+        }
+        let per_mille: u16 = parts
+            .next()
+            .ok_or("missing <permille> in TINT_HOST_FAULT")?
+            .parse()
+            .map_err(|_| "TINT_HOST_FAULT permille must be an integer 0..=1000".to_string())?;
+        if per_mille > 1000 {
+            return Err("TINT_HOST_FAULT permille must be <= 1000".to_string());
+        }
+        let seed: u64 = parts
+            .next()
+            .ok_or("missing <seed> in TINT_HOST_FAULT")?
+            .parse()
+            .map_err(|_| "TINT_HOST_FAULT seed must be a u64".to_string())?;
+        if parts.next().is_some() {
+            return Err("TINT_HOST_FAULT has trailing fields".to_string());
+        }
+        Ok(Self { per_mille, seed })
+    }
+}
+
+static PLAN: Mutex<Option<HostFaultPlan>> = Mutex::new(None);
+static ATTEMPT: AtomicU64 = AtomicU64::new(0);
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+
+/// Arm (or with `None` disarm) the plan; resets the attempt counter so a
+/// given `(plan, jobs=1)` run always sees the same schedule.
+pub fn set_plan(plan: Option<HostFaultPlan>) {
+    *PLAN.lock().unwrap_or_else(|e| e.into_inner()) = plan;
+    ATTEMPT.store(0, Ordering::Relaxed);
+    INJECTED.store(0, Ordering::Relaxed);
+}
+
+/// The armed plan, if any.
+pub fn plan() -> Option<HostFaultPlan> {
+    *PLAN.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Faults injected so far this process.
+pub fn injected() -> u64 {
+    INJECTED.load(Ordering::Relaxed)
+}
+
+/// Called by the runner at the top of every cell attempt: panics when the
+/// schedule says this attempt fails. No-op (one relaxed load + mutex-free?
+/// no — one mutex lock, but only cell-granular) when disarmed.
+pub fn maybe_inject() {
+    let Some(p) = plan() else { return };
+    if p.per_mille == 0 {
+        return;
+    }
+    let n = ATTEMPT.fetch_add(1, Ordering::Relaxed);
+    // Decorrelate consecutive attempts: mix the attempt index into the
+    // seed with the SplitMix64 increment, then draw once.
+    let mut rng = SplitMix64::new(p.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    if rng.gen_range(1000) < p.per_mille as u64 {
+        INJECTED.fetch_add(1, Ordering::Relaxed);
+        panic!("{PANIC_MARKER} (attempt {n})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_syntax() {
+        assert_eq!(
+            HostFaultPlan::parse("panic:250:42"),
+            Ok(HostFaultPlan {
+                per_mille: 250,
+                seed: 42
+            })
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "oom:1:2",
+            "panic",
+            "panic:1",
+            "panic:x:1",
+            "panic:1001:1",
+            "panic:1:x",
+            "panic:1:2:3",
+        ] {
+            assert!(HostFaultPlan::parse(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+}

@@ -1,0 +1,680 @@
+//! Persistent, crash-safe cell journal.
+//!
+//! The simcache ([`crate::simcache`]) makes cells free to reuse *within* a
+//! process; this module makes completed cells survive the process. Every
+//! simulated cell is appended to an on-disk journal as a self-delimiting,
+//! CRC-protected record of its content key ([`CellKey`]) plus the full
+//! [`ExpResult`]. On startup the journal is replayed into the simcache, so
+//! a killed `repro` run resumes by simulating only the cells it never
+//! finished — cells are bit-deterministic per content key, which is what
+//! makes serving a journaled result indistinguishable from re-simulating.
+//!
+//! ## On-disk format (version 1)
+//!
+//! One file, `cells.v1.jnl`, inside the journal directory:
+//!
+//! ```text
+//! magic "TINTJNL1" (8 bytes)
+//! entry*:
+//!   len:   u32 LE   payload length in bytes
+//!   crc:   u32 LE   CRC-32 (IEEE) of the payload
+//!   payload: len bytes — CellKey then ExpResult, little-endian fields
+//! ```
+//!
+//! Each entry is appended with a single `write_all`, so a crash can only
+//! tear the *final* entry. Replay distinguishes the two failure shapes:
+//!
+//! * **torn final write** — the file ends before the last entry's declared
+//!   length: the fragment is dropped silently and the file truncated back
+//!   to the last good entry (the normal SIGKILL case);
+//! * **mid-stream corruption** — a CRC mismatch, an insane length, or an
+//!   undecodable payload with more data after it: the whole file is
+//!   quarantined (renamed to `cells.v1.jnl.corrupt`), the good prefix is
+//!   kept — replayed and rewritten into a fresh journal — and the run
+//!   continues; the journal never panics the harness.
+//!
+//! ## Activation
+//!
+//! The journal is inert until armed. The `repro` binary arms it at startup
+//! ([`configure_default`]): `TINT_JOURNAL=0` (or empty) disables it,
+//! `TINT_JOURNAL=<dir>` overrides the location, unset means
+//! `.tint-journal/` in the working directory. Library tests arm a private
+//! directory with [`set_dir`]. Replay requires the simcache (that is the
+//! serving path): with `TINT_SIM_CACHE=0` the journal still records
+//! completed cells but cannot serve them.
+//!
+//! Poisoned cells (worker panics, deadline kills — see
+//! [`crate::runner`]) are never journaled: a resume retries them.
+
+use crate::runner::ExpResult;
+use crate::simcache::{self, CellKey};
+use std::collections::{HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tint_spmd::RunMetrics;
+use tint_workloads::PinConfig;
+use tintmalloc::colors::ColorScheme;
+
+/// Journal file name inside the journal directory (the `v1` is the format
+/// version: readers reject other magics rather than guessing).
+pub const FILE_NAME: &str = "cells.v1.jnl";
+
+/// 8-byte file magic; the trailing `1` is the format version.
+const MAGIC: &[u8; 8] = b"TINTJNL1";
+
+/// Upper bound on one entry's payload (a cell record is ~200 bytes; a
+/// length beyond this is corruption, not a big record).
+const MAX_ENTRY: u32 = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven, in-tree (offline build: no crates)
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data` — the per-entry integrity check.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding (hand-rolled little-endian; no serde in the tree)
+// ---------------------------------------------------------------------------
+
+/// Stable wire code for a [`ColorScheme`] (declaration order; the wire
+/// format must not depend on `ColorScheme::ALL`'s presentation order).
+fn scheme_code(s: ColorScheme) -> u8 {
+    match s {
+        ColorScheme::Buddy => 0,
+        ColorScheme::LegacyGlobal => 1,
+        ColorScheme::LlcOnly => 2,
+        ColorScheme::MemOnly => 3,
+        ColorScheme::MemLlc => 4,
+        ColorScheme::MemLlcPart => 5,
+        ColorScheme::LlcMemPart => 6,
+        ColorScheme::Bpm => 7,
+        ColorScheme::Palloc => 8,
+    }
+}
+
+fn scheme_from(code: u8) -> Option<ColorScheme> {
+    Some(match code {
+        0 => ColorScheme::Buddy,
+        1 => ColorScheme::LegacyGlobal,
+        2 => ColorScheme::LlcOnly,
+        3 => ColorScheme::MemOnly,
+        4 => ColorScheme::MemLlc,
+        5 => ColorScheme::MemLlcPart,
+        6 => ColorScheme::LlcMemPart,
+        7 => ColorScheme::Bpm,
+        8 => ColorScheme::Palloc,
+        _ => return None,
+    })
+}
+
+fn pin_code(p: PinConfig) -> u8 {
+    match p {
+        PinConfig::T16N4 => 0,
+        PinConfig::T8N4 => 1,
+        PinConfig::T8N2 => 2,
+        PinConfig::T4N4 => 3,
+        PinConfig::T4N1 => 4,
+    }
+}
+
+fn pin_from(code: u8) -> Option<PinConfig> {
+    Some(match code {
+        0 => PinConfig::T16N4,
+        1 => PinConfig::T8N4,
+        2 => PinConfig::T8N2,
+        3 => PinConfig::T4N4,
+        4 => PinConfig::T4N1,
+        _ => return None,
+    })
+}
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn vec_u64(&mut self, v: &[u64]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u64(x);
+        }
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.buf.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+    fn vec_u64(&mut self) -> Option<Vec<u64>> {
+        let n = self.u32()? as usize;
+        if n > 4096 {
+            return None; // larger than any thread team: corruption
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+}
+
+/// Serialize one `(key, result)` cell record.
+fn encode(key: &CellKey, r: &ExpResult) -> Vec<u8> {
+    let mut e = Enc(Vec::with_capacity(192));
+    e.u64(key.fingerprint);
+    e.u8(scheme_code(key.scheme));
+    e.u8(pin_code(key.pin));
+    e.u8(key.reference_pipeline as u8);
+    e.u64(key.seed);
+    let m = &r.metrics;
+    e.u32(m.threads as u32);
+    e.u64(m.runtime);
+    e.vec_u64(&m.thread_runtime);
+    e.vec_u64(&m.thread_idle);
+    e.u64(m.serial_cycles);
+    e.u32(m.parallel_sections as u32);
+    e.f64(r.remote_fraction);
+    e.u64(r.llc_interference);
+    e.f64(r.row_hit_rate);
+    e.u64(r.pages_moved);
+    e.u64(r.page_faults);
+    e.u64(r.fault_cycles);
+    e.f64(r.l3_miss_rate);
+    e.f64(r.mean_latency);
+    e.u64(r.color_list_moves);
+    e.0
+}
+
+/// Decode one cell record; `None` means the payload is not a well-formed
+/// record (treated as corruption by the replayer).
+fn decode(payload: &[u8]) -> Option<(CellKey, ExpResult)> {
+    let mut d = Dec {
+        buf: payload,
+        at: 0,
+    };
+    let key = CellKey {
+        fingerprint: d.u64()?,
+        scheme: scheme_from(d.u8()?)?,
+        pin: pin_from(d.u8()?)?,
+        reference_pipeline: match d.u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        },
+        seed: d.u64()?,
+    };
+    let threads = d.u32()? as usize;
+    let runtime = d.u64()?;
+    let thread_runtime = d.vec_u64()?;
+    let thread_idle = d.vec_u64()?;
+    if thread_runtime.len() != threads || thread_idle.len() != threads {
+        return None;
+    }
+    let metrics = RunMetrics {
+        threads,
+        runtime,
+        thread_runtime,
+        thread_idle,
+        serial_cycles: d.u64()?,
+        parallel_sections: d.u32()? as usize,
+    };
+    let r = ExpResult {
+        metrics,
+        remote_fraction: d.f64()?,
+        llc_interference: d.u64()?,
+        row_hit_rate: d.f64()?,
+        pages_moved: d.u64()?,
+        page_faults: d.u64()?,
+        fault_cycles: d.u64()?,
+        l3_miss_rate: d.f64()?,
+        mean_latency: d.f64()?,
+        color_list_moves: d.u64()?,
+        poisoned: false,
+    };
+    if d.at != payload.len() {
+        return None; // trailing bytes: not a record this version wrote
+    }
+    Some((key, r))
+}
+
+/// One framed entry: `len | crc | payload`.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Journal state
+// ---------------------------------------------------------------------------
+
+/// What replay found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Cell records replayed into the simcache.
+    pub replayed: u64,
+    /// Trailing bytes dropped as a torn final write.
+    pub torn_dropped: u64,
+    /// True when mid-stream corruption quarantined the file.
+    pub quarantined: bool,
+}
+
+struct State {
+    /// `None` = disabled/unarmed; `Some(dir)` = armed.
+    dir: Option<PathBuf>,
+    /// Open journal file, positioned at its (validated) end.
+    file: Option<File>,
+    /// Keys loaded from disk this process — the set behind the
+    /// journal-hit counter that proves a resume reused prior work.
+    replayed: HashSet<CellKey>,
+    /// Replay already ran for the current `dir`.
+    replay_done: bool,
+    stats: ReplayStats,
+}
+
+static STATE: Mutex<Option<State>> = Mutex::new(None);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static APPENDS: AtomicU64 = AtomicU64::new(0);
+
+fn with_state<T>(f: impl FnOnce(&mut State) -> T) -> T {
+    let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let state = guard.get_or_insert_with(|| State {
+        dir: None,
+        file: None,
+        replayed: HashSet::new(),
+        replay_done: false,
+        stats: ReplayStats::default(),
+    });
+    f(state)
+}
+
+/// Arm the journal the way the `repro` binary does: `TINT_JOURNAL=0`/empty
+/// disables it, `TINT_JOURNAL=<dir>` relocates it, unset means
+/// `.tint-journal/` in the working directory. Library code (tests) never
+/// arms the journal implicitly — use [`set_dir`].
+pub fn configure_default() {
+    match std::env::var_os("TINT_JOURNAL") {
+        Some(v) if v.is_empty() || v == *"0" => set_dir(None),
+        Some(v) => set_dir(Some(Path::new(&v))),
+        None => set_dir(Some(Path::new(".tint-journal"))),
+    }
+}
+
+/// Arm the journal at `dir` (or disarm with `None`), resetting all journal
+/// state: the open file, the replayed-key set, and the counters. Tests use
+/// this to simulate process death — `set_dir` to the same directory again
+/// behaves exactly like a fresh process finding the file on disk.
+pub fn set_dir(dir: Option<&Path>) {
+    with_state(|s| {
+        s.dir = dir.map(Path::to_path_buf);
+        s.file = None;
+        s.replayed.clear();
+        s.replay_done = false;
+        s.stats = ReplayStats::default();
+    });
+    HITS.store(0, Ordering::Relaxed);
+    APPENDS.store(0, Ordering::Relaxed);
+}
+
+/// Is the journal armed (a directory configured)?
+pub fn enabled() -> bool {
+    with_state(|s| s.dir.is_some())
+}
+
+/// `(journal hits, cells appended, cells replayed)` so far. A *journal
+/// hit* is a cell served from the simcache whose value was loaded from
+/// disk — the counter a resumed run uses to prove the completed prefix was
+/// not re-simulated.
+pub fn counters() -> (u64, u64, u64) {
+    (
+        HITS.load(Ordering::Relaxed),
+        APPENDS.load(Ordering::Relaxed),
+        with_state(|s| s.stats.replayed),
+    )
+}
+
+/// Count a simcache hit as a journal hit when the key came from disk.
+/// Called by the runner on every cache hit; cheap no-op when unarmed.
+pub fn note_replayed_hit(key: &CellKey) {
+    let replayed = with_state(|s| s.replay_done && s.replayed.contains(key));
+    if replayed {
+        HITS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Replay the journal into the simcache (idempotent; also called lazily by
+/// [`append`]). Returns what was found. Disabled/unarmed → all-zero stats.
+pub fn replay() -> ReplayStats {
+    with_state(|s| {
+        if s.replay_done || s.dir.is_none() {
+            return s.stats;
+        }
+        s.replay_done = true;
+        s.stats = replay_locked(s);
+        s.stats
+    })
+}
+
+/// The replay body; `s.dir` is `Some`. Opens (creating if needed) the
+/// journal file, validates every entry, loads the good prefix, repairs the
+/// file (truncate a torn tail; quarantine mid-stream corruption) and
+/// leaves `s.file` open at the end for appends.
+fn replay_locked(s: &mut State) -> ReplayStats {
+    let dir = s.dir.clone().expect("replay_locked requires an armed dir");
+    let mut stats = ReplayStats::default();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "journal: cannot create {} ({e}); journaling disabled for this run",
+            dir.display()
+        );
+        s.dir = None;
+        return stats;
+    }
+    let path = dir.join(FILE_NAME);
+    let bytes = std::fs::read(&path).unwrap_or_default();
+
+    // Decide how much of the file is trustworthy.
+    let mut good: Vec<(CellKey, ExpResult)> = Vec::new();
+    let mut good_end = 0usize; // byte offset after the last good entry
+    let mut quarantine = false;
+    if bytes.len() < MAGIC.len() {
+        // Empty or sub-magic fragment: start fresh (a torn first write).
+        stats.torn_dropped = bytes.len() as u64;
+    } else if &bytes[..MAGIC.len()] != MAGIC {
+        quarantine = true;
+    } else {
+        good_end = MAGIC.len();
+        let mut at = MAGIC.len();
+        loop {
+            let remaining = bytes.len() - at;
+            if remaining == 0 {
+                break;
+            }
+            if remaining < 8 {
+                stats.torn_dropped += remaining as u64; // torn header
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+            if len > MAX_ENTRY {
+                quarantine = true; // insane length: corruption, not a tear
+                break;
+            }
+            if remaining < 8 + len as usize {
+                stats.torn_dropped += remaining as u64; // torn payload
+                break;
+            }
+            let payload = &bytes[at + 8..at + 8 + len as usize];
+            if crc32(payload) != crc {
+                quarantine = true;
+                break;
+            }
+            match decode(payload) {
+                Some(kv) => good.push(kv),
+                None => {
+                    quarantine = true;
+                    break;
+                }
+            }
+            at += 8 + len as usize;
+            good_end = at;
+        }
+    }
+
+    // Load the good prefix into the simcache (the serving path) and the
+    // replayed-key set (the journal-hit accounting).
+    let mut dedup: HashMap<CellKey, ExpResult> = HashMap::new();
+    for (k, v) in good {
+        dedup.insert(k, v);
+    }
+    stats.replayed = dedup.len() as u64;
+    for (k, v) in &dedup {
+        if simcache::enabled() {
+            simcache::insert(*k, v);
+        }
+        s.replayed.insert(*k);
+    }
+
+    let file = if quarantine {
+        stats.quarantined = true;
+        let corrupt = dir.join(format!("{FILE_NAME}.corrupt"));
+        if let Err(e) = std::fs::rename(&path, &corrupt) {
+            eprintln!("journal: quarantine rename failed ({e}); rewriting in place");
+        } else {
+            eprintln!(
+                "journal: {} is corrupt mid-stream; quarantined to {} \
+                 ({} good cells kept)",
+                path.display(),
+                corrupt.display(),
+                stats.replayed
+            );
+        }
+        // Fresh journal carrying the good prefix so it stays durable.
+        fresh_file(&path, &dedup)
+    } else {
+        match OpenOptions::new().create(true).append(true).open(&path) {
+            Ok(f) => {
+                if good_end == 0 {
+                    // New or sub-magic file: (re)write the magic.
+                    f.set_len(0).ok();
+                    let mut f = f;
+                    if f.write_all(MAGIC).is_err() {
+                        None
+                    } else {
+                        Some(f)
+                    }
+                } else {
+                    // Drop any torn tail so appends restart on a boundary.
+                    if (good_end as u64) < bytes.len() as u64 {
+                        f.set_len(good_end as u64).ok();
+                    }
+                    Some(f)
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "journal: cannot open {} ({e}); journaling disabled",
+                    path.display()
+                );
+                None
+            }
+        }
+    };
+    match file {
+        Some(f) => s.file = Some(f),
+        None => s.dir = None, // unusable: disable for this run
+    }
+    stats
+}
+
+/// Write a brand-new journal file containing `cells` (quarantine path).
+fn fresh_file(path: &Path, cells: &HashMap<CellKey, ExpResult>) -> Option<File> {
+    let mut f = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(path)
+        .ok()?;
+    f.write_all(MAGIC).ok()?;
+    for (k, v) in cells {
+        f.write_all(&frame(&encode(k, v))).ok()?;
+    }
+    Some(f)
+}
+
+/// Append one completed cell. Lazily replays first (so tests that only
+/// append still find prior runs' cells). Poisoned results must not reach
+/// the journal — the runner filters them; this is a debug-build backstop.
+pub fn append(key: &CellKey, r: &ExpResult) {
+    debug_assert!(!r.poisoned, "poisoned cells are never journaled");
+    if !enabled() {
+        return;
+    }
+    replay();
+    let entry = frame(&encode(key, r));
+    let ok = with_state(|s| match s.file.as_mut() {
+        Some(f) => f.write_all(&entry).is_ok(),
+        None => false,
+    });
+    if ok {
+        APPENDS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Flush journal appends to the OS (graceful-shutdown path). Appends are
+/// unbuffered single `write_all`s, so this is a best-effort `sync_data`
+/// for the power-loss case; a SIGKILL already cannot tear more than the
+/// final entry.
+pub fn flush() {
+    with_state(|s| {
+        if let Some(f) = s.file.as_mut() {
+            f.sync_data().ok();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard CRC-32 (IEEE) check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let key = CellKey {
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            scheme: ColorScheme::MemLlcPart,
+            pin: PinConfig::T8N2,
+            seed: 7,
+            reference_pipeline: true,
+        };
+        let r = ExpResult {
+            metrics: RunMetrics {
+                threads: 3,
+                runtime: 123,
+                thread_runtime: vec![1, 2, 3],
+                thread_idle: vec![4, 5, 6],
+                serial_cycles: 9,
+                parallel_sections: 2,
+            },
+            remote_fraction: 0.25,
+            llc_interference: 11,
+            row_hit_rate: 0.5,
+            pages_moved: 13,
+            page_faults: 17,
+            fault_cycles: 19,
+            l3_miss_rate: 0.125,
+            mean_latency: 42.5,
+            color_list_moves: 23,
+            poisoned: false,
+        };
+        let (k2, r2) = decode(&encode(&key, &r)).expect("roundtrip decodes");
+        assert_eq!(k2, key);
+        assert_eq!(r2, r);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_garbage() {
+        let key = CellKey {
+            fingerprint: 1,
+            scheme: ColorScheme::Buddy,
+            pin: PinConfig::T4N1,
+            seed: 1,
+            reference_pipeline: false,
+        };
+        let r = ExpResult {
+            metrics: RunMetrics::new(2),
+            remote_fraction: 0.0,
+            llc_interference: 0,
+            row_hit_rate: 0.0,
+            pages_moved: 0,
+            page_faults: 0,
+            fault_cycles: 0,
+            l3_miss_rate: 0.0,
+            mean_latency: 0.0,
+            color_list_moves: 0,
+            poisoned: false,
+        };
+        let full = encode(&key, &r);
+        assert!(decode(&full[..full.len() - 1]).is_none());
+        let mut extended = full.clone();
+        extended.push(0);
+        assert!(decode(&extended).is_none());
+    }
+
+    #[test]
+    fn scheme_and_pin_codes_roundtrip() {
+        for s in ColorScheme::ALL {
+            assert_eq!(scheme_from(scheme_code(s)), Some(s));
+        }
+        for p in PinConfig::ALL {
+            assert_eq!(pin_from(pin_code(p)), Some(p));
+        }
+        assert_eq!(scheme_from(200), None);
+        assert_eq!(pin_from(200), None);
+    }
+}

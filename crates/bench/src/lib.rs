@@ -9,13 +9,16 @@
 //! EXPERIMENTS.md records the paper-vs-measured comparison produced by
 //! `cargo run --release -p tint-bench --bin repro -- all`.
 //!
-//! All simulation flows through two shared layers: the content-addressed
-//! cell cache ([`simcache`], dedup across figures within one process) and
-//! the flattened matrix executor ([`runner::run_cells`], `--jobs`-way
-//! work queue). Figure output is byte-identical with the cache on or off
-//! and at any job count.
+//! All simulation flows through three shared layers: the content-addressed
+//! cell cache ([`simcache`], dedup across figures within one process), the
+//! crash-safe on-disk cell journal ([`journal`], exact resume of a killed
+//! run), and the flattened matrix executor ([`runner::run_cells`],
+//! `--jobs`-way work queue with panic-isolated workers). Figure output is
+//! byte-identical with the cache/journal on or off and at any job count.
 
 pub mod figures;
+pub mod hostfault;
+pub mod journal;
 pub mod microbench;
 pub mod runner;
 pub mod simcache;

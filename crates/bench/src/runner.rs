@@ -1,11 +1,15 @@
 //! Run (workload, scheme, pinning, seed) experiment cells on fresh machines.
 //!
-//! Two layers sit between a figure and the simulator:
+//! Three layers sit between a figure and the simulator:
 //!
 //! * the **cell cache** ([`crate::simcache`]): every cell is deterministic,
 //!   so results are memoized by content — figures within one invocation
 //!   share cells (fig13/fig14 are a strict subset of the fig11 matrix)
 //!   without knowing about each other;
+//! * the **cell journal** ([`crate::journal`]): completed cells are also
+//!   appended to a crash-safe on-disk journal (when armed), replayed into
+//!   the cache at startup, so a killed run resumes without re-simulating
+//!   its completed prefix;
 //! * the **matrix executor** ([`run_cells`]): figures flatten their whole
 //!   (benchmark × config × scheme × rep) cell list into one work queue
 //!   drained by `--jobs`/`TINT_JOBS` host threads. Cells vary ~100× in cost
@@ -13,11 +17,39 @@
 //!   what load-balances a sweep; a per-cell ≤ reps-way fan-out cannot.
 //!
 //! Results are merged back in canonical (input) order, so figure output is
-//! byte-identical at any job count and with the cache on or off.
+//! byte-identical at any job count and with the cache/journal on or off.
+//!
+//! ## Worker isolation
+//!
+//! Each cell attempt runs under `catch_unwind`: a panicking cell (a real
+//! bug, or a scheduled [`crate::hostfault`] injection) is retried up to
+//! `TINT_CELL_RETRIES` times (default 2) — an immediate, backoff-free
+//! requeue on the same worker — and only after every attempt fails is it
+//! recorded as a **poisoned** cell: a zeroed sentinel result with
+//! [`ExpResult::poisoned`] set, rendered as `ERR` in figure tables and
+//! counted by [`poisoned_cells`] so the `repro` binary can exit nonzero
+//! without aborting the rest of the matrix. Poisoned results are never
+//! cached or journaled; a later run retries them.
+//!
+//! A watchdog thread (armed by `TINT_CELL_TIMEOUT_S`) warns about cells
+//! exceeding the soft deadline; in strict-deadline mode
+//! ([`set_strict_deadline`], the `repro --strict-deadline` flag) an
+//! overdue cell's eventual result is discarded and the cell poisoned, and
+//! a cell stuck past 20× the deadline aborts the whole process (exit 124,
+//! journal flushed — a resume skips everything that completed) so a
+//! livelocked simulation cannot hang CI forever.
+//!
+//! SIGINT/SIGTERM (when the binary armed [`install_cancel_handlers`]) flip
+//! a cooperative cancel flag: workers drain at the next cell boundary, the
+//! journal is flushed, and the process exits 130 with a resume notice.
 
+use crate::hostfault;
+use crate::journal;
 use crate::simcache::{self, CellKey};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
+use std::time::{Duration, Instant};
 use tint_spmd::{RunMetrics, SimThread};
 use tint_workloads::{PinConfig, Workload};
 use tintmalloc::prelude::*;
@@ -58,6 +90,11 @@ pub struct ExpResult {
     pub mean_latency: f64,
     /// create_color_list invocations.
     pub color_list_moves: u64,
+    /// True when this is a sentinel for a cell whose every attempt
+    /// panicked (or blew its strict deadline): the numbers above are
+    /// zeros, figures render the affected rows as `ERR`, and the cell is
+    /// never cached or journaled.
+    pub poisoned: bool,
 }
 
 /// One cell of a figure's sweep: `workload` run under `(scheme, pin)` with
@@ -72,6 +109,19 @@ pub struct CellSpec<'a> {
     pub pin: PinConfig,
     /// Repetition seed (the paper's 10 repetitions are seeds 1..=10).
     pub seed: u64,
+}
+
+impl CellSpec<'_> {
+    /// Human-readable cell identity for warnings and poisoned-cell logs.
+    fn describe(&self) -> String {
+        format!(
+            "{} / {} / {} / seed {}",
+            self.workload.name(),
+            self.scheme.label(),
+            self.pin,
+            self.seed
+        )
+    }
 }
 
 /// Actually simulate one cell on a fresh machine (no cache involvement).
@@ -131,10 +181,315 @@ fn simulate_cell(
             lat as f64 / acc as f64
         },
         color_list_moves: kstats.create_color_list_calls,
+        poisoned: false,
     }
 }
 
-/// Run one experiment cell, through the cell cache.
+// ---------------------------------------------------------------------------
+// Worker isolation: retries, poisoned cells, deadlines, cancellation
+// ---------------------------------------------------------------------------
+
+/// Cells that exhausted every attempt this process (each is an `ERR` row
+/// driver and a reason for `repro` to exit nonzero).
+static POISONED: AtomicU64 = AtomicU64::new(0);
+
+/// Panicked attempts that were requeued (retry accounting for tests/JSON).
+static RETRIES_USED: AtomicU64 = AtomicU64::new(0);
+
+/// Number of cells poisoned so far this process.
+pub fn poisoned_cells() -> u64 {
+    POISONED.load(Ordering::Relaxed)
+}
+
+/// Number of panicked attempts that were retried so far this process.
+pub fn retries_used() -> u64 {
+    RETRIES_USED.load(Ordering::Relaxed)
+}
+
+/// Zero the poisoned/retry counters (tests).
+pub fn reset_fault_counters() {
+    POISONED.store(0, Ordering::Relaxed);
+    RETRIES_USED.store(0, Ordering::Relaxed);
+}
+
+/// Sentinel retry override; `usize::MAX` = unset (fall back to env).
+static RETRIES_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Programmatic `TINT_CELL_RETRIES` override (tests); `None` restores the
+/// env / default-2 lookup.
+pub fn set_cell_retries(retries: Option<u32>) {
+    RETRIES_OVERRIDE.store(
+        retries.map(|r| r as usize).unwrap_or(usize::MAX),
+        Ordering::Relaxed,
+    );
+}
+
+/// Retries per panicking cell: the override, else `TINT_CELL_RETRIES`,
+/// else 2. An unparsable env value warns once and falls back.
+pub fn cell_retries() -> u32 {
+    let forced = RETRIES_OVERRIDE.load(Ordering::Relaxed);
+    if forced != usize::MAX {
+        return forced as u32;
+    }
+    if let Ok(v) = std::env::var("TINT_CELL_RETRIES") {
+        match v.trim().parse::<u32>() {
+            Ok(n) => return n,
+            Err(_) => {
+                static WARN: Once = Once::new();
+                WARN.call_once(|| {
+                    eprintln!("warning: ignoring unparsable TINT_CELL_RETRIES={v:?} (want a u32)")
+                });
+            }
+        }
+    }
+    2
+}
+
+/// Sentinel timeout override in milliseconds; `u64::MAX` = unset.
+static TIMEOUT_OVERRIDE_MS: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Programmatic `TINT_CELL_TIMEOUT_S` override (tests); `None` restores
+/// the env lookup.
+pub fn set_cell_timeout_ms(ms: Option<u64>) {
+    TIMEOUT_OVERRIDE_MS.store(ms.unwrap_or(u64::MAX), Ordering::Relaxed);
+}
+
+/// The soft per-cell deadline, if armed: the override, else a positive
+/// `TINT_CELL_TIMEOUT_S` (seconds, fractional ok). Unparsable env values
+/// warn once and disarm.
+pub fn cell_timeout() -> Option<Duration> {
+    let forced = TIMEOUT_OVERRIDE_MS.load(Ordering::Relaxed);
+    if forced != u64::MAX {
+        return Some(Duration::from_millis(forced));
+    }
+    let v = std::env::var("TINT_CELL_TIMEOUT_S").ok()?;
+    match v.trim().parse::<f64>() {
+        Ok(s) if s > 0.0 && s.is_finite() => Some(Duration::from_secs_f64(s)),
+        _ => {
+            static WARN: Once = Once::new();
+            WARN.call_once(|| {
+                eprintln!(
+                    "warning: ignoring unparsable TINT_CELL_TIMEOUT_S={v:?} (want seconds > 0)"
+                )
+            });
+            None
+        }
+    }
+}
+
+/// Strict-deadline mode: overdue cells are poisoned instead of merely
+/// warned about (the `repro --strict-deadline` flag).
+static STRICT_DEADLINE: AtomicBool = AtomicBool::new(false);
+
+/// Enable/disable strict-deadline mode.
+pub fn set_strict_deadline(on: bool) {
+    STRICT_DEADLINE.store(on, Ordering::Relaxed);
+}
+
+/// Is strict-deadline mode on?
+pub fn strict_deadline() -> bool {
+    STRICT_DEADLINE.load(Ordering::Relaxed)
+}
+
+/// Cooperative cancellation flag, flipped by SIGINT/SIGTERM once the
+/// binary has armed the handlers.
+static CANCELLED: AtomicBool = AtomicBool::new(false);
+/// True once [`install_cancel_handlers`] ran: only then may the executor
+/// exit the process on cancellation (library tests never arm this).
+static CANCEL_ARMED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_cancel_signal(_sig: i32) {
+    // Async-signal-safe: a single atomic store.
+    CANCELLED.store(true, Ordering::SeqCst);
+}
+
+/// Install SIGINT/SIGTERM handlers that request cooperative cancellation:
+/// workers drain at the next cell boundary, the journal is flushed, and
+/// the process exits 130 with a resume notice. Binary entry points only —
+/// library code must never install process-wide handlers.
+pub fn install_cancel_handlers() {
+    type Handler = extern "C" fn(i32);
+    extern "C" {
+        // The platform libc every Rust std binary already links.
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_cancel_signal);
+        signal(SIGTERM, on_cancel_signal);
+    }
+    CANCEL_ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Has a cancellation been requested (signal received)?
+pub fn cancel_requested() -> bool {
+    CANCELLED.load(Ordering::SeqCst)
+}
+
+/// The zeroed sentinel recorded for a cell that exhausted every attempt.
+fn poisoned_sentinel(c: &CellSpec<'_>) -> ExpResult {
+    ExpResult {
+        metrics: RunMetrics::new(c.pin.cores().len()),
+        remote_fraction: 0.0,
+        llc_interference: 0,
+        row_hit_rate: 0.0,
+        pages_moved: 0,
+        page_faults: 0,
+        fault_cycles: 0,
+        l3_miss_rate: 0.0,
+        mean_latency: 0.0,
+        color_list_moves: 0,
+        poisoned: true,
+    }
+}
+
+/// True when any repetition in `rs` is a poisoned sentinel — figures use
+/// this to render the affected row's value cells as `ERR`.
+pub fn any_poisoned(rs: &[ExpResult]) -> bool {
+    rs.iter().any(|r| r.poisoned)
+}
+
+/// Run one cell attempt-isolated: `catch_unwind` around the simulation
+/// (plus the host-fault injection point), immediate requeue up to
+/// [`cell_retries`] times, then a poisoned sentinel. Simulation is
+/// deterministic, so a successful retry returns exactly what an
+/// undisturbed run would have.
+fn run_cell_guarded(c: &CellSpec<'_>) -> ExpResult {
+    let attempts = 1 + cell_retries() as u64;
+    for attempt in 1..=attempts {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            hostfault::maybe_inject();
+            simulate_cell(c.workload, c.scheme, c.pin, c.seed)
+        }));
+        match outcome {
+            Ok(r) => return r,
+            Err(_) if attempt < attempts => {
+                RETRIES_USED.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "worker: cell [{}] panicked (attempt {attempt}/{attempts}); requeueing",
+                    c.describe()
+                );
+            }
+            Err(_) => {
+                POISONED.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "worker: cell [{}] poisoned after {attempts} attempts — \
+                     it will render as ERR and the run will exit nonzero",
+                    c.describe()
+                );
+            }
+        }
+    }
+    poisoned_sentinel(c)
+}
+
+/// Shared worker↔watchdog state for one `run_cells` batch.
+struct Watch {
+    /// Per-worker: `(cell index, start)` while a cell is being simulated.
+    active: Mutex<Vec<Option<(usize, Instant)>>>,
+    /// Cells flagged overdue by the watchdog (strict mode: reject result).
+    flagged: Mutex<std::collections::HashSet<usize>>,
+    /// Cells already warned about (warn once each).
+    warned: Mutex<std::collections::HashSet<usize>>,
+    /// Workers still draining the queue; the watchdog exits at zero.
+    workers_alive: AtomicUsize,
+}
+
+impl Watch {
+    fn new(workers: usize) -> Self {
+        Self {
+            active: Mutex::new(vec![None; workers]),
+            flagged: Mutex::new(std::collections::HashSet::new()),
+            warned: Mutex::new(std::collections::HashSet::new()),
+            workers_alive: AtomicUsize::new(workers),
+        }
+    }
+
+    fn begin(&self, worker: usize, cell: usize) {
+        self.active.lock().unwrap_or_else(|e| e.into_inner())[worker] =
+            Some((cell, Instant::now()));
+    }
+
+    /// Clear the worker's slot; returns true when strict-deadline mode
+    /// flagged this cell while it ran (its result must be discarded).
+    fn end(&self, worker: usize, cell: usize) -> bool {
+        self.active.lock().unwrap_or_else(|e| e.into_inner())[worker] = None;
+        strict_deadline()
+            && self
+                .flagged
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .contains(&cell)
+    }
+
+    fn worker_done(&self) {
+        self.workers_alive.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Watchdog body: wake a few times per deadline, warn about overdue cells
+/// (once each), flag them in strict mode, and — strict mode, armed binary
+/// only — abort the process if a cell is stuck past 20× the deadline (the
+/// journal holds everything completed, so an abort is resumable).
+fn watchdog_loop(watch: &Watch, cells: &[CellSpec<'_>], timeout: Duration) {
+    let tick = (timeout / 4)
+        .min(Duration::from_millis(200))
+        .max(Duration::from_millis(10));
+    let hard_kill = timeout.saturating_mul(20);
+    while watch.workers_alive.load(Ordering::Acquire) > 0 {
+        std::thread::sleep(tick);
+        let overdue: Vec<(usize, Duration)> = {
+            let active = watch.active.lock().unwrap_or_else(|e| e.into_inner());
+            active
+                .iter()
+                .flatten()
+                .filter(|(_, start)| start.elapsed() > timeout)
+                .map(|&(i, start)| (i, start.elapsed()))
+                .collect()
+        };
+        for (i, elapsed) in overdue {
+            let first = watch
+                .warned
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(i);
+            if first {
+                eprintln!(
+                    "watchdog: cell [{}] running {:.1}s, past the {:.1}s deadline{}",
+                    cells[i].describe(),
+                    elapsed.as_secs_f64(),
+                    timeout.as_secs_f64(),
+                    if strict_deadline() {
+                        " — its result will be discarded (strict-deadline)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            if strict_deadline() {
+                watch
+                    .flagged
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(i);
+                if elapsed > hard_kill && CANCEL_ARMED.load(Ordering::SeqCst) {
+                    journal::flush();
+                    eprintln!(
+                        "watchdog: cell [{}] stuck for {:.1}s (20x the deadline); \
+                         aborting — completed cells are journaled, resume with the same command",
+                        cells[i].describe(),
+                        elapsed.as_secs_f64()
+                    );
+                    std::process::exit(124);
+                }
+            }
+        }
+    }
+}
+
+/// Run one experiment cell, through the cell cache and journal, isolated
+/// like any executor cell (a panic poisons the result, never the process).
 pub fn run_once(
     workload: &dyn Workload,
     scheme: ColorScheme,
@@ -144,11 +499,21 @@ pub fn run_once(
     let key = CellKey::of(workload, scheme, pin, seed);
     if let Some(r) = simcache::lookup(&key) {
         simcache::note_hits(1);
+        journal::note_replayed_hit(&key);
         return r;
     }
     simcache::note_misses(1);
-    let r = simulate_cell(workload, scheme, pin, seed);
-    simcache::insert(key, &r);
+    let spec = CellSpec {
+        workload,
+        scheme,
+        pin,
+        seed,
+    };
+    let r = run_cell_guarded(&spec);
+    if !r.poisoned {
+        simcache::insert(key, &r);
+        journal::append(&key, &r);
+    }
     r
 }
 
@@ -181,17 +546,52 @@ pub fn set_jobs(jobs: usize) {
     JOBS_OVERRIDE.store(jobs, Ordering::Relaxed);
 }
 
-/// Number of worker threads the matrix executor uses by default:
-/// the `--jobs` flag if given, else a `TINT_JOBS` env override, else the
-/// host's available parallelism. Always ≥ 1.
+/// Parse a worker count: a positive decimal integer. `0`, signs, hex
+/// (`0x4`), empty, and non-numeric strings are rejected — silent clamping
+/// hid typos like `TINT_JOBS=-2` behind a serial run.
+pub fn parse_jobs(s: &str) -> Result<usize, String> {
+    let t = s.trim();
+    if t.is_empty() {
+        return Err("job count is empty".to_string());
+    }
+    if !t.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("job count {t:?} is not a positive decimal integer"));
+    }
+    match t.parse::<usize>() {
+        Ok(0) => Err("job count must be >= 1".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("job count {t:?} is out of range")),
+    }
+}
+
+/// Validate the executor-related environment up front (`repro` startup):
+/// a bad `TINT_JOBS` is a hard error there, not a silent fallback.
+pub fn validate_env_jobs() -> Result<(), String> {
+    match std::env::var("TINT_JOBS") {
+        Ok(v) => parse_jobs(&v)
+            .map(|_| ())
+            .map_err(|e| format!("invalid TINT_JOBS: {e}")),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Number of worker threads the matrix executor uses by default: the
+/// `--jobs` flag if given, else a valid `TINT_JOBS` env override, else the
+/// host's available parallelism. Always ≥ 1. (Precedence: the flag wins;
+/// an invalid env value warns once and is ignored here — the `repro`
+/// binary rejects it up front via [`validate_env_jobs`].)
 pub fn available_jobs() -> usize {
     let forced = JOBS_OVERRIDE.load(Ordering::Relaxed);
     if forced > 0 {
         return forced;
     }
     if let Ok(v) = std::env::var("TINT_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+        match parse_jobs(&v) {
+            Ok(n) => return n,
+            Err(e) => {
+                static WARN: Once = Once::new();
+                WARN.call_once(|| eprintln!("warning: ignoring invalid TINT_JOBS: {e}"));
+            }
         }
     }
     std::thread::available_parallelism()
@@ -217,6 +617,12 @@ pub fn run_cells(cells: &[CellSpec<'_>], jobs: usize) -> Vec<ExpResult> {
 /// never results: the canonical-order merge makes the output independent
 /// of `jobs` (asserted by tests below and `tests/cell_cache.rs`).
 ///
+/// Every simulated cell runs panic-isolated (see the module docs); each
+/// completed cell is appended to the journal at the moment it finishes, so
+/// a crash loses at most in-flight cells. On cooperative cancellation
+/// (SIGINT/SIGTERM in the `repro` binary) workers stop picking up new
+/// cells, the journal is flushed, and the process exits 130.
+///
 /// In-batch duplicates (same content key appearing twice) are simulated
 /// once and counted as cache hits when the cache is enabled; with the
 /// cache disabled every occurrence is simulated, exactly as the pre-cache
@@ -228,26 +634,30 @@ pub fn run_cells_with_progress(
 ) -> Vec<ExpResult> {
     let jobs = jobs.max(1);
     let caching = simcache::enabled();
+    let keys: Vec<CellKey> = cells
+        .iter()
+        .map(|c| CellKey::of(c.workload, c.scheme, c.pin, c.seed))
+        .collect();
     let mut slots: Vec<Option<ExpResult>> = Vec::with_capacity(cells.len());
     let mut to_run: Vec<usize> = Vec::new();
     let mut pending: std::collections::HashMap<CellKey, usize> = std::collections::HashMap::new();
     let mut dups: Vec<(usize, usize)> = Vec::new();
     let mut hits = 0u64;
-    for (i, c) in cells.iter().enumerate() {
-        let key = CellKey::of(c.workload, c.scheme, c.pin, c.seed);
-        if let Some(r) = simcache::lookup(&key) {
+    for (i, key) in keys.iter().enumerate() {
+        if let Some(r) = simcache::lookup(key) {
             slots.push(Some(r));
             hits += 1;
+            journal::note_replayed_hit(key);
             continue;
         }
         slots.push(None);
         if caching {
-            if let Some(&src) = pending.get(&key) {
+            if let Some(&src) = pending.get(key) {
                 dups.push((i, src));
                 hits += 1;
                 continue;
             }
-            pending.insert(key, i);
+            pending.insert(*key, i);
         }
         to_run.push(i);
     }
@@ -256,40 +666,85 @@ pub fn run_cells_with_progress(
 
     let total = to_run.len();
     if total > 0 {
-        if jobs == 1 || total == 1 {
-            for (done, &i) in to_run.iter().enumerate() {
-                let c = &cells[i];
-                slots[i] = Some(simulate_cell(c.workload, c.scheme, c.pin, c.seed));
-                progress(done + 1, total);
+        let workers = jobs.min(total);
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, ExpResult)>> = Mutex::new(Vec::with_capacity(total));
+        let watch = Watch::new(workers);
+        let timeout = cell_timeout();
+        std::thread::scope(|s| {
+            if let Some(t) = timeout {
+                let watch = &watch;
+                s.spawn(move || watchdog_loop(watch, cells, t));
             }
-        } else {
-            let next = AtomicUsize::new(0);
-            let done = AtomicUsize::new(0);
-            let results: Mutex<Vec<(usize, ExpResult)>> = Mutex::new(Vec::with_capacity(total));
-            std::thread::scope(|s| {
-                for _ in 0..jobs.min(total) {
-                    s.spawn(|| loop {
+            for w in 0..workers {
+                let (watch, next, done, results) = (&watch, &next, &done, &results);
+                let (to_run, keys) = (&to_run, &keys);
+                s.spawn(move || {
+                    loop {
+                        if cancel_requested() {
+                            break;
+                        }
                         let k = next.fetch_add(1, Ordering::Relaxed);
                         if k >= total {
                             break;
                         }
-                        let c = &cells[to_run[k]];
-                        let r = simulate_cell(c.workload, c.scheme, c.pin, c.seed);
-                        results.lock().unwrap().push((to_run[k], r));
+                        let i = to_run[k];
+                        let c = &cells[i];
+                        watch.begin(w, i);
+                        let mut r = run_cell_guarded(c);
+                        if watch.end(w, i) && !r.poisoned {
+                            // Strict deadline: the cell finished, but too
+                            // late — treat like a failed cell.
+                            POISONED.fetch_add(1, Ordering::Relaxed);
+                            eprintln!(
+                                "worker: cell [{}] exceeded the strict deadline; \
+                                 result discarded (ERR)",
+                                c.describe()
+                            );
+                            r = poisoned_sentinel(c);
+                        }
+                        if !r.poisoned {
+                            journal::append(&keys[i], &r);
+                        }
+                        results
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push((i, r));
                         progress(done.fetch_add(1, Ordering::Relaxed) + 1, total);
-                    });
-                }
-            });
-            for (i, r) in results.into_inner().unwrap() {
-                slots[i] = Some(r);
+                    }
+                    watch.worker_done();
+                });
             }
+        });
+        for (i, r) in results.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            slots[i] = Some(r);
         }
         if caching {
             for &i in &to_run {
-                let c = &cells[i];
-                let key = CellKey::of(c.workload, c.scheme, c.pin, c.seed);
-                simcache::insert(key, slots[i].as_ref().expect("simulated"));
+                match slots[i].as_ref() {
+                    Some(r) if !r.poisoned => simcache::insert(keys[i], r),
+                    _ => {}
+                }
             }
+        }
+    }
+    // Graceful shutdown: everything completed so far is journaled; tell
+    // the user how to pick the run back up and stop here.
+    if CANCEL_ARMED.load(Ordering::SeqCst) && cancel_requested() {
+        journal::flush();
+        eprintln!(
+            "\nrepro: interrupted — completed cells are journaled; \
+             resume by re-running the same command"
+        );
+        std::process::exit(130);
+    }
+    // A cancelled batch without armed handlers (library use) can leave
+    // unfilled slots; that never happens in practice because only the
+    // binary arms cancellation, but fail soft rather than panicking.
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if slot.is_none() && !dups.iter().any(|&(d, _)| d == i) {
+            *slot = Some(poisoned_sentinel(&cells[i]));
         }
     }
     for (i, src) in dups {
@@ -429,6 +884,15 @@ mod tests {
         assert_eq!(available_jobs(), 3);
         set_jobs(0);
         assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn parse_jobs_rejects_nonsense() {
+        assert_eq!(parse_jobs("4"), Ok(4));
+        assert_eq!(parse_jobs(" 8 "), Ok(8));
+        for bad in ["0", "0x4", "-2", "", "  ", "four", "1.5", "+3"] {
+            assert!(parse_jobs(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Crash-safety differential tests: the on-disk cell journal and the
+//! panic-isolated workers.
+//!
+//! The load-bearing invariants:
+//!
+//! 1. A killed run resumes **exactly**: every cell the dead process
+//!    completed is replayed from the journal and never re-simulated, and
+//!    the resumed figures are byte-identical to an undisturbed run.
+//! 2. A damaged journal is never fatal. A torn final write (the only tear
+//!    a SIGKILL can produce) is dropped silently; mid-stream corruption
+//!    quarantines the file and keeps the good prefix.
+//! 3. Injected worker panics are masked by deterministic retries; a cell
+//!    that fails every attempt renders as `ERR` instead of aborting the
+//!    matrix.
+//!
+//! Journal state, the cell cache, and the fault counters are
+//! process-global, so every test serializes on [`LOCK`] and restores what
+//! it found. "Process death" is simulated by [`journal::set_dir`] to the
+//! same directory (which drops all in-memory journal state) plus
+//! [`simcache::clear`].
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use tint_bench::figures::{fig10, FigOpts};
+use tint_bench::hostfault::{self, HostFaultPlan};
+use tint_bench::journal;
+use tint_bench::runner::{
+    poisoned_cells, reset_fault_counters, retries_used, set_cell_retries, set_jobs,
+};
+use tint_bench::simcache;
+
+/// Serializes tests that touch the process-global journal/cache/counters.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Small-but-nontrivial options (mirrors `cell_cache.rs`).
+fn quick() -> FigOpts {
+    FigOpts {
+        reps: 2,
+        scale: 0.02,
+        csv: false,
+    }
+}
+
+/// A unique scratch directory for one test's journal.
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tint-journal-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Run `f` with a clean cache (forced on), clean journal (unarmed), and
+/// clean fault state; restore/disarm everything afterwards.
+fn isolated<T>(cache_on: bool, f: impl FnOnce() -> T) -> T {
+    let cache_was = simcache::enabled();
+    simcache::clear();
+    simcache::set_enabled(cache_on);
+    journal::set_dir(None);
+    hostfault::set_plan(None);
+    reset_fault_counters();
+    set_cell_retries(None);
+    set_jobs(1); // deterministic queue order (and fault schedule)
+    let out = f();
+    set_jobs(0);
+    set_cell_retries(None);
+    hostfault::set_plan(None);
+    reset_fault_counters();
+    journal::set_dir(None);
+    simcache::set_enabled(cache_was);
+    simcache::clear();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume: completed prefix is never re-simulated
+// ---------------------------------------------------------------------------
+
+#[test]
+fn resume_replays_completed_cells_and_matches_bytes() {
+    let _g = LOCK.lock().unwrap();
+    let dir = scratch("resume");
+    let opts = quick();
+    isolated(true, || {
+        // "First process": run a figure with the journal armed.
+        journal::set_dir(Some(&dir));
+        journal::replay();
+        let first = opts.render(&fig10(&opts));
+        let (_, appended, _) = journal::counters();
+        assert!(appended > 0, "the first run must journal its cells");
+
+        // "Second process": all in-memory state is gone; only the file
+        // survives.
+        journal::set_dir(Some(&dir));
+        simcache::clear();
+        let stats = journal::replay();
+        assert_eq!(stats.replayed, appended, "every appended cell replays");
+        assert_eq!(stats.torn_dropped, 0);
+        assert!(!stats.quarantined);
+
+        let misses_before = simcache::stats().1;
+        let resumed = opts.render(&fig10(&opts));
+        let misses_after = simcache::stats().1;
+        assert_eq!(
+            misses_after - misses_before,
+            0,
+            "a resumed run must not re-simulate the completed prefix"
+        );
+        let (hits, appended2, replayed) = journal::counters();
+        assert!(replayed > 0);
+        assert!(
+            hits >= replayed,
+            "every replayed cell is served at least once"
+        );
+        assert_eq!(appended2, 0, "nothing new to journal on a full resume");
+        assert_eq!(first, resumed, "resumed figures are byte-identical");
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Damaged journals: torn tail vs mid-stream corruption
+// ---------------------------------------------------------------------------
+
+/// Journal a figure's cells and return the file path + its bytes.
+fn journaled_run(dir: &Path) -> (PathBuf, Vec<u8>) {
+    journal::set_dir(Some(dir));
+    journal::replay();
+    let opts = quick();
+    let _ = opts.render(&fig10(&opts));
+    journal::flush();
+    let path = dir.join(journal::FILE_NAME);
+    let bytes = std::fs::read(&path).expect("journal file exists");
+    (path, bytes)
+}
+
+/// Byte offset just past the `n`-th entry (file starts with an 8-byte
+/// magic; entries are `[len u32 LE][crc u32 LE][payload]`).
+fn entry_end(bytes: &[u8], n: usize) -> usize {
+    let mut at = 8;
+    for _ in 0..n {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        at += 8 + len;
+    }
+    at
+}
+
+#[test]
+fn torn_final_write_is_dropped_silently() {
+    let _g = LOCK.lock().unwrap();
+    let dir = scratch("torn");
+    isolated(true, || {
+        let (path, bytes) = journaled_run(&dir);
+        let (_, appended, _) = journal::counters();
+        assert!(appended >= 2, "need at least two entries to tear one");
+        // Tear the final entry mid-payload, as a crash during the last
+        // write would.
+        let keep = entry_end(&bytes, appended as usize - 1) + 5;
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+
+        journal::set_dir(Some(&dir)); // process death
+        simcache::clear();
+        let stats = journal::replay();
+        assert_eq!(
+            stats.replayed,
+            appended - 1,
+            "all but the torn entry replay"
+        );
+        assert!(stats.torn_dropped > 0);
+        assert!(!stats.quarantined, "a tear is not corruption");
+        assert!(!path.with_extension("jnl.corrupt").exists());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn midstream_bitflip_quarantines_but_keeps_good_prefix() {
+    let _g = LOCK.lock().unwrap();
+    let dir = scratch("bitflip");
+    isolated(true, || {
+        let (path, mut bytes) = journaled_run(&dir);
+        let (_, appended, _) = journal::counters();
+        assert!(appended >= 2);
+        // Flip one bit inside the *second* entry's payload: data follows
+        // it, so this is mid-stream corruption, not a tear.
+        let flip_at = entry_end(&bytes, 1) + 10;
+        bytes[flip_at] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        journal::set_dir(Some(&dir)); // process death
+        simcache::clear();
+        let stats = journal::replay();
+        assert!(stats.quarantined, "CRC mismatch mid-stream must quarantine");
+        assert_eq!(stats.replayed, 1, "the good prefix (first entry) survives");
+        let corrupt = dir.join(format!("{}.corrupt", journal::FILE_NAME));
+        assert!(corrupt.exists(), "damaged file is kept for inspection");
+        // The rewritten journal is healthy: a third "process" replays the
+        // surviving prefix without complaint.
+        journal::set_dir(Some(&dir));
+        simcache::clear();
+        let again = journal::replay();
+        assert_eq!(again.replayed, 1);
+        assert!(!again.quarantined);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Host faults: retries mask them; total failure poisons and renders ERR
+// ---------------------------------------------------------------------------
+
+#[test]
+fn injected_faults_are_masked_by_retries() {
+    let _g = LOCK.lock().unwrap();
+    let opts = quick();
+    isolated(false, || {
+        let clean = opts.render(&fig10(&opts));
+
+        // 10% of attempts panic; with 10 retries a cell failing for good
+        // needs 11 consecutive bad draws — the fixed seed never does.
+        set_cell_retries(Some(10));
+        hostfault::set_plan(Some(HostFaultPlan {
+            per_mille: 100,
+            seed: 11,
+        }));
+        reset_fault_counters();
+        let faulted = opts.render(&fig10(&opts));
+
+        assert!(hostfault::injected() > 0, "the plan must actually fire");
+        assert!(retries_used() > 0);
+        assert_eq!(poisoned_cells(), 0, "retries must absorb every fault");
+        assert_eq!(clean, faulted, "masked faults leave no trace in the output");
+    });
+}
+
+#[test]
+fn total_fault_rate_poisons_cells_and_renders_err() {
+    let _g = LOCK.lock().unwrap();
+    let opts = quick();
+    isolated(false, || {
+        set_cell_retries(Some(1));
+        hostfault::set_plan(Some(HostFaultPlan {
+            per_mille: 1000,
+            seed: 1,
+        }));
+        reset_fault_counters();
+        let table = opts.render(&fig10(&opts));
+
+        assert!(poisoned_cells() > 0, "permille=1000 defeats every retry");
+        assert!(
+            table.contains("ERR"),
+            "poisoned cells render as ERR:\n{table}"
+        );
+        assert!(hostfault::injected() >= poisoned_cells() * 2);
+    });
+}

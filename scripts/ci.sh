@@ -69,4 +69,60 @@ if [ -z "$fig13_hits" ] || [ "$fig13_hits" = "0" ]; then
     exit 1
 fi
 
+echo "== crash-recovery smoke =="
+# Three hard-asserted recovery paths of the journal/worker-isolation layer:
+#
+#  a) deterministic host faults at a moderate rate are fully masked by the
+#     retry loop — stdout byte-identical to an undisturbed run;
+#  b) a 100% fault rate defeats every retry — the run renders ERR cells
+#     and exits nonzero instead of aborting the matrix;
+#  c) a SIGKILL mid-matrix leaves a journal whose replay lets the resumed
+#     run skip every completed cell and still print byte-identical output.
+crash_dir=$(mktemp -d)
+(cd "$crash_dir" && TINT_JOURNAL=0 "$OLDPWD/target/release/repro" --jobs 1 --reps 1 --scale 0.2 --configs 16t4n fig12 > clean.txt 2> /dev/null)
+(cd "$crash_dir" && TINT_JOURNAL=0 TINT_HOST_FAULT=panic:50:7 "$OLDPWD/target/release/repro" --jobs 1 --reps 1 --scale 0.2 --configs 16t4n fig12 > faulted.txt 2> /dev/null)
+if ! cmp -s "$crash_dir/clean.txt" "$crash_dir/faulted.txt"; then
+    echo "FAIL: retried host faults changed figure output" >&2
+    exit 1
+fi
+injected=$(sed -n 's/.*"host_faults_injected": \([0-9]*\).*/\1/p' "$crash_dir/BENCH_repro.json")
+if [ -z "$injected" ] || [ "$injected" = "0" ]; then
+    echo "FAIL: the host-fault plan injected nothing (injected=$injected)" >&2
+    exit 1
+fi
+if (cd "$crash_dir" && TINT_JOURNAL=0 TINT_HOST_FAULT=panic:1000:1 "$OLDPWD/target/release/repro" --jobs 1 --reps 1 --scale 0.2 --configs 16t4n fig10 > total.txt 2> /dev/null); then
+    echo "FAIL: a 100% fault rate must exit nonzero" >&2
+    exit 1
+fi
+if ! grep -q "ERR" "$crash_dir/total.txt"; then
+    echo "FAIL: poisoned cells did not render as ERR" >&2
+    exit 1
+fi
+rm -rf "$crash_dir"
+
+kill_dir=$(mktemp -d)
+(cd "$kill_dir" && exec "$OLDPWD/target/release/repro" --jobs 2 --reps 2 --configs 16t4n fig11 > half.txt 2> /dev/null) &
+kill_pid=$!
+sleep 2
+kill -9 "$kill_pid" 2>/dev/null || true
+wait "$kill_pid" 2>/dev/null || true
+(cd "$kill_dir" && "$OLDPWD/target/release/repro" --jobs 2 --reps 2 --configs 16t4n fig11 > resumed.txt 2> /dev/null)
+clean_dir=$(mktemp -d)
+(cd "$clean_dir" && TINT_JOURNAL=0 "$OLDPWD/target/release/repro" --jobs 2 --reps 2 --configs 16t4n fig11 > clean.txt 2> /dev/null)
+if ! cmp -s "$kill_dir/resumed.txt" "$clean_dir/clean.txt"; then
+    echo "FAIL: resumed-after-SIGKILL output differs from an undisturbed run" >&2
+    exit 1
+fi
+replayed=$(sed -n 's/.*"journal": {"enabled": true, "replayed": \([0-9]*\),.*/\1/p' "$kill_dir/BENCH_repro.json")
+jhits=$(sed -n 's/.*"journal": {[^}]*"hits": \([0-9]*\),.*/\1/p' "$kill_dir/BENCH_repro.json")
+rm -rf "$kill_dir" "$clean_dir"
+if [ -z "$replayed" ] || [ "$replayed" = "0" ]; then
+    echo "FAIL: resume replayed no journaled cells (replayed=$replayed)" >&2
+    exit 1
+fi
+if [ -z "$jhits" ] || [ "$jhits" -lt "$replayed" ]; then
+    echo "FAIL: journal hits ($jhits) below replayed cells ($replayed) — prefix was re-simulated" >&2
+    exit 1
+fi
+
 echo "CI OK"
