@@ -19,6 +19,8 @@
 //!   ablate-pagepolicy  open- vs closed-page DRAM controllers (extension)
 //!   ablate-colorlist   colored-free-list population overhead
 //!   ablate-pressure    exhaustion-policy degradation under color pressure (extension)
+//!   churn              multi-tenant task churn: throughput, off-color fraction,
+//!                      pool-population skew vs task count and uptime (extension)
 //!   probe:<bench>      per-scheme diagnostics for one benchmark cell
 //!   all                everything above (except probe)
 //! ```
@@ -80,7 +82,7 @@
 
 use tint_bench::figures::{
     ablate_colorlist, ablate_dynamic, ablate_firsttouch, ablate_migrate, ablate_pagepolicy,
-    ablate_part, ablate_pressure, bandwidth, fig10, fig13_14, latency, probe, run_matrix,
+    ablate_part, ablate_pressure, bandwidth, churn, fig10, fig13_14, latency, probe, run_matrix,
     BenchMatrix, FigOpts,
 };
 use tint_bench::hostfault::{self, HostFaultPlan};
@@ -172,6 +174,8 @@ struct Ctx {
     /// The pressure-ablation table, kept for `BENCH_repro.json` (the sweep
     /// is the one result downstream tooling consumes cell-by-cell).
     pressure: Option<Table>,
+    /// The churn-figure table, likewise recorded in `BENCH_repro.json`.
+    churn: Option<Table>,
 }
 
 impl Ctx {
@@ -274,6 +278,12 @@ fn run_cmd(ctx: &mut Ctx, cmd: &str) {
         print!("{}", ctx.opts.render(&t));
         ctx.pressure = Some(t);
     }
+    if all || cmd == "churn" {
+        header("Extension: multi-tenant churn (round-robin scheduling, full task reclamation)");
+        let t = churn(&ctx.opts);
+        print!("{}", ctx.opts.render(&t));
+        ctx.churn = Some(t);
+    }
 }
 
 /// Minimal JSON string escaping (command names are ASCII, but be correct).
@@ -336,12 +346,13 @@ fn record_json(r: &CmdRecord) -> String {
 }
 
 /// What survives from an existing `BENCH_repro.json`: the per-command
-/// records as `(name, raw JSON object)` pairs and the raw `"pressure"`
-/// block. Only files this tool wrote are parsed (one record per line); an
-/// unrecognizable file is treated as absent.
+/// records as `(name, raw JSON object)` pairs and the raw `"pressure"` and
+/// `"churn"` table blocks. Only files this tool wrote are parsed (one
+/// record per line); an unrecognizable file is treated as absent.
 struct ExistingBench {
     records: Vec<(String, String)>,
     pressure_raw: Option<String>,
+    churn_raw: Option<String>,
 }
 
 /// Parse the parts of an existing `BENCH_repro.json` worth preserving.
@@ -352,6 +363,7 @@ fn read_existing(path: &str) -> ExistingBench {
     let mut out = ExistingBench {
         records: Vec::new(),
         pressure_raw: None,
+        churn_raw: None,
     };
     let Ok(text) = std::fs::read_to_string(path) else {
         return out;
@@ -368,15 +380,20 @@ fn read_existing(path: &str) -> ExistingBench {
         return out;
     }
     let mut in_commands = false;
-    let mut pressure: Option<Vec<String>> = None;
+    // `(key, lines)` of the table block currently being collected.
+    let mut block: Option<(&str, Vec<String>)> = None;
     for line in text.lines() {
         let trimmed = line.trim();
-        if let Some(block) = pressure.as_mut() {
+        if let Some((key, lines)) = block.as_mut() {
             if trimmed == "]" || trimmed == "]," {
-                out.pressure_raw = Some(block.join("\n"));
-                pressure = None;
+                let raw = Some(lines.join("\n"));
+                match *key {
+                    "pressure" => out.pressure_raw = raw,
+                    _ => out.churn_raw = raw,
+                }
+                block = None;
             } else {
-                block.push(line.to_string());
+                lines.push(line.to_string());
             }
             continue;
         }
@@ -399,7 +416,9 @@ fn read_existing(path: &str) -> ExistingBench {
             continue;
         }
         if trimmed.starts_with("\"pressure\"") {
-            pressure = Some(Vec::new());
+            block = Some(("pressure", Vec::new()));
+        } else if trimmed.starts_with("\"churn\"") {
+            block = Some(("churn", Vec::new()));
         }
     }
     out
@@ -430,6 +449,7 @@ fn write_bench_json(
     opts: &FigOpts,
     configs: &[PinConfig],
     pressure: Option<&Table>,
+    churn: Option<&Table>,
 ) -> Result<(), String> {
     let path = "BENCH_repro.json";
     let existing = read_existing(path);
@@ -480,6 +500,11 @@ fn write_bench_json(
         s.push_str(&format!("  \"pressure\": {},\n", json_table(t, "  ")));
     } else if let Some(raw) = &existing.pressure_raw {
         s.push_str(&format!("  \"pressure\": [\n{raw}\n  ],\n"));
+    }
+    if let Some(t) = churn {
+        s.push_str(&format!("  \"churn\": {},\n", json_table(t, "  ")));
+    } else if let Some(raw) = &existing.churn_raw {
+        s.push_str(&format!("  \"churn\": [\n{raw}\n  ],\n"));
     }
     let (journal_hits, journal_appends, journal_replayed) = journal::counters();
     s.push_str(&format!(
@@ -614,6 +639,7 @@ fn main() {
         matrix: None,
         fig13_14: None,
         pressure: None,
+        churn: None,
     };
     let mut records = Vec::with_capacity(cmds.len());
     for cmd in &cmds {
@@ -643,7 +669,13 @@ fn main() {
         });
     }
     journal::flush();
-    if let Err(e) = write_bench_json(&records, &ctx.opts, &ctx.configs, ctx.pressure.as_ref()) {
+    if let Err(e) = write_bench_json(
+        &records,
+        &ctx.opts,
+        &ctx.configs,
+        ctx.pressure.as_ref(),
+        ctx.churn.as_ref(),
+    ) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

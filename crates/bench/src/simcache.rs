@@ -72,6 +72,10 @@ static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
+// Every lock below absorbs poisoning: a worker panic caught by the
+// executor's `catch_unwind` while this mutex is held must not cascade
+// panics into the surviving workers — the map holds plain completed
+// results, valid regardless of where the panicking worker stopped.
 fn cache() -> &'static Mutex<HashMap<CellKey, ExpResult>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
@@ -102,13 +106,20 @@ pub fn lookup(key: &CellKey) -> Option<ExpResult> {
     if !enabled() {
         return None;
     }
-    cache().lock().unwrap().get(key).cloned()
+    cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(key)
+        .cloned()
 }
 
 /// Store a freshly simulated cell (no-op when disabled).
 pub fn insert(key: CellKey, result: &ExpResult) {
     if enabled() {
-        cache().lock().unwrap().insert(key, result.clone());
+        cache()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, result.clone());
     }
 }
 
@@ -130,12 +141,12 @@ pub fn stats() -> (u64, u64) {
 
 /// Number of cached cells (tests/diagnostics).
 pub fn len() -> usize {
-    cache().lock().unwrap().len()
+    cache().lock().unwrap_or_else(|e| e.into_inner()).len()
 }
 
 /// Drop every cached cell and zero the counters (tests).
 pub fn clear() {
-    cache().lock().unwrap().clear();
+    cache().lock().unwrap_or_else(|e| e.into_inner()).clear();
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
 }

@@ -231,6 +231,67 @@ fn injected_faults_are_masked_by_retries() {
     });
 }
 
+/// The `--jobs 4` crash-consistency case: a worker that panics mid-cell may
+/// die between the cell cache's `lookup` and `insert`, poisoning the
+/// process-global mutex for every surviving worker. The cache absorbs the
+/// poison (`simcache`'s locks recover via `into_inner`), so subsequent gets
+/// and inserts must keep succeeding, the failed cells must be accounted as
+/// poisoned and render as `ERR`, and a disarmed re-run over the same cache
+/// must heal to a byte-identical clean figure.
+#[test]
+fn parallel_faulted_run_keeps_cache_usable_and_accounts_err() {
+    let _g = LOCK.lock().unwrap();
+    let opts = quick();
+    isolated(true, || {
+        // Clean reference, computed with the cache bypassed so the faulted
+        // run below still simulates (and can panic in) every cell.
+        simcache::set_enabled(false);
+        let reference = opts.render(&fig10(&opts));
+        simcache::set_enabled(true);
+
+        set_jobs(4); // the repro binary's `--jobs 4`
+        set_cell_retries(Some(1));
+        hostfault::set_plan(Some(HostFaultPlan {
+            per_mille: 1000,
+            seed: 3,
+        }));
+        reset_fault_counters();
+        let faulted = opts.render(&fig10(&opts));
+        assert!(hostfault::injected() > 0, "the plan must actually fire");
+        assert!(
+            poisoned_cells() > 0,
+            "permille=1000 must poison cells across 4 workers"
+        );
+        assert!(
+            faulted.contains("ERR"),
+            "poisoned cells render as ERR:\n{faulted}"
+        );
+        assert!(
+            hostfault::injected() >= poisoned_cells() * 2,
+            "every poisoned cell burned its retry too"
+        );
+
+        // The panicking workers must not have wedged the cache: direct
+        // probes (these take the same mutex) and a full figure re-run —
+        // every get and insert on the heal path — still succeed.
+        hostfault::set_plan(None);
+        let len_before = simcache::len();
+        let healed = opts.render(&fig10(&opts));
+        assert!(
+            simcache::len() >= len_before,
+            "post-panic inserts must land in the cache"
+        );
+        assert!(
+            simcache::stats().1 > 0,
+            "healing re-simulates the poisoned cells (cache misses)"
+        );
+        assert_eq!(
+            healed, reference,
+            "a disarmed re-run heals to the clean figure byte-for-byte"
+        );
+    });
+}
+
 #[test]
 fn total_fault_rate_poisons_cells_and_renders_err() {
     let _g = LOCK.lock().unwrap();

@@ -76,7 +76,9 @@ struct Tlb {
     /// Direct-mapped slots; conflicting pages simply evict each other.
     entries: Vec<TlbEntry>,
     /// `tid.0` → (vm index, pinned core); tids are small and sequential.
-    /// Tasks never migrate or die in this model, so entries stay valid.
+    /// Tasks never migrate, and tids are never reused, so an entry stays
+    /// valid for the task's whole life; [`System::exit`] clears the slot
+    /// when the task dies.
     tasks: Vec<Option<(usize, CoreId)>>,
 }
 
@@ -305,6 +307,23 @@ impl System {
     /// The task's heap (stats).
     pub fn heap(&self, tid: Tid) -> Result<&Heap, Errno> {
         self.heaps.get(&tid).ok_or(Errno::Esrch)
+    }
+
+    /// Exit a task: drop its heap arena and cached TLB task entry, then let
+    /// the kernel run the full reclamation — address-space teardown when the
+    /// last sharer exits, provenance-routed frame returns, TCB removal, and
+    /// a translation-epoch bump that strands every cached translation of the
+    /// torn-down space. Heap metadata needs no unwinding of its own: all
+    /// heap memory lives in the task's address space, which the kernel
+    /// reclaims wholesale.
+    pub fn exit(&mut self, tid: Tid) -> Result<(), Errno> {
+        self.kernel.sys_exit(tid)?;
+        self.heaps.remove(&tid);
+        let ti = tid.0 as usize;
+        if ti < self.tlb.tasks.len() {
+            self.tlb.tasks[ti] = None;
+        }
+        Ok(())
     }
 
     /// Issue one memory access from `tid` at cycle `now`: translates
@@ -572,6 +591,60 @@ mod tests {
         assert_eq!(s.malloc(bogus, 16), Err(Errno::Esrch));
         assert_eq!(s.set_mem_color(bogus, BankColor(0)), Err(Errno::Esrch));
         assert!(s.heap(bogus).is_err());
+    }
+
+    #[test]
+    fn exit_reclaims_everything_and_invalidates_translations() {
+        let mut s = sys();
+        let baseline = s.kernel().pool_snapshot();
+        let t = s.spawn(CoreId(0));
+        s.set_mem_color(t, BankColor(1)).unwrap();
+        s.set_llc_color(t, LlcColor(2)).unwrap();
+        let a = s.malloc(t, 8 * 4096).unwrap();
+        // Warm the TLB through the access path, then kill the task.
+        s.access(t, a, Rw::Write, 0).unwrap();
+        s.exit(t).unwrap();
+        assert_eq!(s.access(t, a, Rw::Read, 0), Err(Errno::Esrch));
+        assert_eq!(s.malloc(t, 16), Err(Errno::Esrch));
+        assert!(s.heap(t).is_err());
+        assert_eq!(
+            s.kernel().pool_snapshot(),
+            baseline,
+            "zero leaked frames, zero pool skew"
+        );
+        s.check_invariants();
+        // The machine is reusable: a fresh task colors and allocates again.
+        let t2 = s.spawn(CoreId(2));
+        s.set_mem_color(t2, BankColor(2)).unwrap();
+        let b = s.malloc(t2, 4096).unwrap();
+        s.access(t2, b, Rw::Write, 0).unwrap();
+        s.exit(t2).unwrap();
+        assert_eq!(s.kernel().pool_snapshot(), baseline);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn thread_exit_leaves_the_team_running() {
+        let mut s = sys();
+        let leader = s.spawn(CoreId(0));
+        s.set_mem_color(leader, BankColor(0)).unwrap();
+        let worker = s.spawn_thread(CoreId(2), leader).unwrap();
+        // The worker inherited the leader's colors at spawn.
+        assert!(s.kernel().task(worker).unwrap().using_bank);
+        let a = s.malloc(leader, 4096).unwrap();
+        s.access(worker, a, Rw::Write, 0).unwrap();
+        s.exit(worker).unwrap();
+        // The shared space survives: the leader still sees the page.
+        let acc = s.access(leader, a, Rw::Read, 0).unwrap();
+        assert!(!acc.faulted, "page survived the sibling's exit");
+        s.exit(leader).unwrap();
+        s.check_invariants();
+    }
+
+    #[test]
+    fn exit_unknown_task_is_esrch() {
+        let mut s = sys();
+        assert_eq!(s.exit(Tid(999)), Err(Errno::Esrch));
     }
 
     #[test]

@@ -3,7 +3,11 @@
 //! Drives a mixed population of tasks — strict, nearest-color, and
 //! local-uncolored exhaustion policies, plus an uncolored task and a
 //! raw-syscall task — through ≥10k operations per seed while the kernel
-//! injects deterministic faults at every site. The contract under test:
+//! injects deterministic faults at every site. The population itself
+//! churns: ops spawn fresh colored tenants and exit live ones mid-life, so
+//! the full task-reclamation path (address-space teardown, provenance-
+//! routed frame return, color-list drain on last-colored-exit) runs with
+//! buffers still mapped and the injector armed. The contract under test:
 //!
 //! * allocation failures surface as **typed errnos** (`ENOMEM`, `EAGAIN`,
 //!   `EFAULT`, `EINVAL`), never as panics or aborts;
@@ -90,9 +94,11 @@ fn fuzz_one_seed(seed: u64) {
         FaultPlan::new(seed ^ 0xfa17).with_all_rates(25).after(64),
     ));
 
+    let mut spawns = 0u64;
+    let mut exits = 0u64;
     for op in 0..OPS_PER_SEED {
         let t = (rng.next_u64() % tasks.len() as u64) as usize;
-        match rng.next_u64() % 16 {
+        match rng.next_u64() % 18 {
             // malloc 1–8 pages (page-granular so free() really munmaps).
             0..=4 => {
                 let pages = 1 + rng.next_u64() % 8;
@@ -188,6 +194,45 @@ fn fuzz_one_seed(seed: u64) {
                     }
                 }
             }
+            // spawn a fresh colored tenant (bounded population) — churn's
+            // arrival half, under injected faults.
+            15 => {
+                if tasks.len() >= 12 {
+                    continue;
+                }
+                let tid = sys.spawn(CoreId((rng.next_u64() % 4) as usize));
+                let banks = sys.machine().mapping.bank_color_count() as u64;
+                let llcs = sys.machine().mapping.llc_color_count() as u64;
+                if rng.gen_ratio(3, 4) {
+                    let bank = BankColor(rng.gen_range(banks) as u16);
+                    let llc = LlcColor(rng.gen_range(llcs) as u16);
+                    expect_ok_or_tolerated(sys.set_mem_color(tid, bank), "set_mem_color");
+                    expect_ok_or_tolerated(sys.set_llc_color(tid, llc), "set_llc_color");
+                }
+                let policy = match rng.next_u64() % 3 {
+                    0 => ExhaustionPolicy::Strict,
+                    1 => ExhaustionPolicy::NearestColor,
+                    _ => ExhaustionPolicy::LocalUncolored,
+                };
+                sys.set_exhaustion_policy(tid, policy).unwrap();
+                spawns += 1;
+                tasks.push(HeapTask {
+                    tid,
+                    live: Vec::new(),
+                });
+            }
+            // exit a tenant mid-life — full reclamation with live buffers
+            // still mapped and the injector armed. Exit of a live task is
+            // infallible by contract.
+            16 => {
+                if tasks.len() <= 2 {
+                    continue;
+                }
+                let i = (rng.next_u64() % tasks.len() as u64) as usize;
+                let gone = tasks.swap_remove(i);
+                sys.exit(gone.tid).expect("live task exits cleanly");
+                exits += 1;
+            }
             // occasionally re-seed the fault plan (exercises arm/disarm).
             _ => {
                 if rng.gen_ratio(1, 4) {
@@ -212,6 +257,11 @@ fn fuzz_one_seed(seed: u64) {
     assert!(
         stats.page_faults > 0 && stats.colored_allocs > 0,
         "seed {seed}: the op mix must actually exercise the allocator"
+    );
+    assert!(
+        spawns > 0 && exits > 0,
+        "seed {seed}: the op mix must churn the task population \
+         ({spawns} spawns, {exits} exits)"
     );
 }
 

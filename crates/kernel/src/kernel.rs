@@ -31,7 +31,7 @@ use crate::colorlist::ColorMatrix;
 use crate::errno::Errno;
 use crate::fault::{FaultInjector, FaultPlan, FaultSite};
 use crate::task::{ColorOp, ExhaustionPolicy, HeapPolicy, TaskStruct, Tid, VmId};
-use crate::vm::AddressSpace;
+use crate::vm::{AddressSpace, FrameSource};
 use crate::MAX_ORDER;
 use std::collections::HashMap;
 use tint_hw::addrmap::AddressMapping;
@@ -126,6 +126,11 @@ pub struct AllocOutcome {
     pub frame: FrameNumber,
     /// Kernel cycles charged to the faulting task.
     pub cycles: u64,
+    /// Pool the frame was taken from — recorded in the PTE so reclamation
+    /// routes by where the frame *came from*, not by the task's current
+    /// coloring flags (which may have changed, or never matched: an
+    /// exhaustion fallback serves buddy pages to colored tasks).
+    pub source: FrameSource,
 }
 
 /// Result of an address translation that may have faulted.
@@ -323,6 +328,28 @@ impl Kernel {
             "frame accounting drifted (untracked: {})",
             self.untracked_pages
         );
+        // Post-exit baseline: once every task is gone there is nothing to
+        // hold pages — the color matrix must have drained and the buddy
+        // allocator must own every tracked frame again (zero leaked frames,
+        // zero pool skew, regardless of the churn that came before).
+        if self.tasks.is_empty() {
+            assert_eq!(
+                self.colors.pages(),
+                0,
+                "no tasks left but the color matrix still parks pages"
+            );
+            assert_eq!(
+                self.buddy.free_pages() + self.untracked_pages,
+                self.mapping.frame_count(),
+                "post-exit buddy population below the post-boot baseline"
+            );
+        }
+    }
+
+    /// Free-pool populations, `(buddy_free_pages, color_list_pages)` — the
+    /// snapshot churn harnesses compare before/after task lifecycles.
+    pub fn pool_snapshot(&self) -> (u64, u64) {
+        (self.buddy.free_pages(), self.colors.pages())
     }
 
     // ------------------------------------------------------------------
@@ -342,15 +369,56 @@ impl Kernel {
     }
 
     /// Create a thread pinned to `core` sharing `leader`'s address space
-    /// (CLONE_VM) — the OpenMP team model. Colors remain per-thread in the
-    /// TCB, so the *first-touching* thread's colors place each page.
+    /// (CLONE_VM) — the OpenMP team model. The new thread inherits the
+    /// leader's color sets and policies (like a forked `task_struct` copy);
+    /// colors remain per-thread in the TCB afterwards, so the
+    /// *first-touching* thread's colors place each page.
     pub fn create_thread(&mut self, core: CoreId, leader: Tid) -> Result<Tid, Errno> {
         assert!(core.index() < self.topology.core_count(), "no such core");
         let vm = self.task(leader)?.vm;
         let tid = Tid(self.next_tid);
         self.next_tid += 1;
-        self.tasks.insert(tid, TaskStruct::new(tid, core, vm));
+        let mut t = TaskStruct::new(tid, core, vm);
+        t.inherit_from(self.task(leader)?);
+        self.tasks.insert(tid, t);
         Ok(tid)
+    }
+
+    /// The `exit()` system call: destroy `tid` and reclaim everything it
+    /// exclusively owned.
+    pub fn sys_exit(&mut self, tid: Tid) -> Result<(), Errno> {
+        self.destroy_task(tid)
+    }
+
+    /// Tear a task down: remove its TCB, drain its pcp batch back to the
+    /// buddy allocator and — when it was the last CLONE_VM sharer — tear its
+    /// address space down, returning every frame to the pool recorded in its
+    /// PTE. When the last *colored* task leaves, the color matrix is nothing
+    /// but a cache of free pages, so it drains back to the buddy allocator:
+    /// after arbitrary churn the free-pool populations return to their
+    /// post-boot baseline (zero leaked frames, zero pool skew).
+    pub fn destroy_task(&mut self, tid: Tid) -> Result<(), Errno> {
+        let mut task = self.tasks.remove(&tid).ok_or(Errno::Esrch)?;
+        for f in task.pcp.drain(..) {
+            self.buddy.free(f, 0);
+        }
+        let vm = task.vm;
+        if !self.tasks.values().any(|t| t.vm == vm) {
+            let ptes = self.vms[vm.0].teardown();
+            if !ptes.is_empty() {
+                // Existing translations died: caches above must flush.
+                self.translation_epoch += 1;
+            }
+            for pte in ptes {
+                self.release_frame(pte.frame, pte.source);
+            }
+        }
+        if !self.tasks.values().any(|t| t.coloring_active()) {
+            for f in self.colors.drain_all() {
+                self.buddy.free(f, 0);
+            }
+        }
+        Ok(())
     }
 
     /// Immutable task access.
@@ -409,26 +477,32 @@ impl Kernel {
     }
 
     /// The `munmap()` system call: unmap a region and return its frames to
-    /// the allocator — colored pages to their color lists (the paper:
-    /// "calls to free heap space ... add pages to the corresponding colored
-    /// free lists"), legacy pages to the buddy allocator.
+    /// the pool each was allocated from — color-list pages back to their
+    /// color lists (the paper: "calls to free heap space ... add pages to
+    /// the corresponding colored free lists"), buddy pages back to the
+    /// buddy allocator. Routing is by the provenance recorded in each PTE,
+    /// never by the task's *current* coloring flags: a `CLEAR_MEM_COLOR`
+    /// before unmap, or an exhaustion fallback that served buddy pages to a
+    /// colored task, must not drain one pool into the other.
     pub fn sys_munmap(&mut self, tid: Tid, base: VirtAddr, length: u64) -> Result<(), Errno> {
         let pages = length.div_ceil(PAGE_SIZE);
-        let task = self.tasks.get(&tid).ok_or(Errno::Esrch)?;
-        let colored = task.coloring_active();
-        let vm = task.vm;
-        let frames = self.vms[vm.0].unmap_region(base, pages)?;
-        if !frames.is_empty() {
+        let vm = self.tasks.get(&tid).ok_or(Errno::Esrch)?.vm;
+        let ptes = self.vms[vm.0].unmap_region(base, pages)?;
+        if !ptes.is_empty() {
             self.translation_epoch += 1;
         }
-        for f in frames {
-            if colored {
-                self.colors.push(f);
-            } else {
-                self.buddy.free(f, 0);
-            }
+        for pte in ptes {
+            self.release_frame(pte.frame, pte.source);
         }
         Ok(())
+    }
+
+    /// Return one order-0 frame to the pool it was allocated from.
+    fn release_frame(&mut self, frame: FrameNumber, source: FrameSource) {
+        match source {
+            FrameSource::Colors => self.colors.push(frame),
+            FrameSource::Buddy => self.buddy.free(frame, 0),
+        }
     }
 
     fn decode_color_op(&self, addr_arg: u64) -> Result<ColorOp, Errno> {
@@ -485,11 +559,15 @@ impl Kernel {
         if self.vms[vm.0].vma_of(page).is_none() {
             return Err(Errno::Efault);
         }
-        if let Some(frame) = self.vms[vm.0].lookup(page) {
+        if let Some(pte) = self.vms[vm.0].pte(page) {
             // Spurious fault: the page is already resident (e.g. a direct
             // `page_fault` call on a mapped page, or a CLONE_VM teammate won
             // the race). Nothing to allocate or install.
-            return Ok(AllocOutcome { frame, cycles: 0 });
+            return Ok(AllocOutcome {
+                frame: pte.frame,
+                cycles: 0,
+                source: pte.source,
+            });
         }
         if Self::inject(&mut self.fault, &mut self.stats, FaultSite::PageFault) {
             return Err(Errno::Enomem);
@@ -505,10 +583,10 @@ impl Kernel {
             task,
             0,
         )?;
-        if let Err(e) = self.vms[vm.0].install(page, out.frame) {
+        if let Err(e) = self.vms[vm.0].install(page, out.frame, out.source) {
             // Unreachable (the VMA was checked above); if it ever regresses,
             // return the frame instead of leaking it and surface the error.
-            self.colors.push(out.frame);
+            self.release_frame(out.frame, out.source);
             return Err(e);
         }
         self.stats.page_faults += 1;
@@ -590,7 +668,7 @@ impl Kernel {
             .collect();
         let mut cycles = 0u64;
         let mut migrated = 0u64;
-        for (page, old) in violating {
+        for (page, _) in violating {
             let Some(task) = self.tasks.get_mut(&tid) else {
                 self.stats.pages_migrated += migrated;
                 self.stats.fault_cycles += cycles;
@@ -617,18 +695,18 @@ impl Kernel {
             };
             if Self::inject(&mut self.fault, &mut self.stats, FaultSite::PageCopy) {
                 // The copy "failed" after the destination frame was
-                // allocated: roll the destination back to its color list.
+                // allocated: roll the destination back to its origin pool.
                 // The old frame stays mapped, no translation changed, so the
                 // epoch is untouched — already-migrated pages keep their new
                 // frames, exactly like an interrupted compaction pass.
-                self.colors.push(out.frame);
+                self.release_frame(out.frame, out.source);
                 self.stats.pages_migrated += migrated;
                 self.stats.fault_cycles += cycles;
                 return Err(Errno::Enomem);
             }
-            self.vms[vm.0].remap(page, out.frame);
+            let prev = self.vms[vm.0].remap(page, out.frame, out.source);
             self.translation_epoch += 1;
-            self.colors.push(old);
+            self.release_frame(prev.frame, prev.source);
             cycles += out.cycles + self.costs.page_copy;
             migrated += 1;
         }
@@ -675,6 +753,7 @@ impl Kernel {
             return Ok(AllocOutcome {
                 frame,
                 cycles: costs.page_fault,
+                source: FrameSource::Buddy,
             });
         }
         let frame = buddy.alloc(order).ok_or(Errno::Enomem)?;
@@ -682,6 +761,7 @@ impl Kernel {
         Ok(AllocOutcome {
             frame,
             cycles: costs.page_fault,
+            source: FrameSource::Buddy,
         })
     }
 
@@ -855,6 +935,7 @@ impl Kernel {
                     return Ok(AllocOutcome {
                         frame,
                         cycles: costs.page_fault + extra,
+                        source: FrameSource::Colors,
                     });
                 }
                 if Self::inject(fault, stats, FaultSite::BuddyReplenish) {
@@ -893,6 +974,7 @@ impl Kernel {
                 return Ok(AllocOutcome {
                     frame,
                     cycles: costs.page_fault + extra,
+                    source: FrameSource::Colors,
                 });
             }
             if Self::inject(fault, stats, FaultSite::BuddyReplenish) {
@@ -946,11 +1028,12 @@ impl Kernel {
                     return Ok(AllocOutcome {
                         frame,
                         cycles: costs.page_fault + extra,
+                        source: FrameSource::Colors,
                     });
                 }
             }
             ExhaustionPolicy::LocalUncolored => {
-                if let Some(frame) =
+                if let Some((frame, source)) =
                     Self::local_uncolored_alloc(mapping, topology, buddy, colors, task)
                 {
                     task.exhaustion_fallbacks += 1;
@@ -958,6 +1041,7 @@ impl Kernel {
                     return Ok(AllocOutcome {
                         frame,
                         cycles: costs.page_fault + extra,
+                        source,
                     });
                 }
             }
@@ -1096,31 +1180,35 @@ impl Kernel {
     /// mode. Abandon both color constraints but keep controller locality:
     /// serve from the local node's buddy pages first, then local pages
     /// parked in other colors' lists, then any buddy page, then any parked
-    /// page. Returns `None` only when physical memory is truly gone.
+    /// page. Each served frame is tagged with the pool it actually left —
+    /// the buddy-served branches hand out [`FrameSource::Buddy`] frames to
+    /// a *colored* task, which is exactly why reclamation cannot route by
+    /// the task's flags. Returns `None` only when physical memory is truly
+    /// gone.
     fn local_uncolored_alloc(
         mapping: &AddressMapping,
         topology: &Topology,
         buddy: &mut BuddyAllocator,
         colors: &mut ColorMatrix,
         task: &TaskStruct,
-    ) -> Option<FrameNumber> {
+    ) -> Option<(FrameNumber, FrameSource)> {
         let node = topology.node_of_core(task.core);
         if let Some(f) = buddy.lowest_free_matching(|f| mapping.decode_frame(f).node == node) {
             if buddy.alloc_specific(f) {
-                return Some(f);
+                return Some((f, FrameSource::Buddy));
             }
         }
         for bc in mapping.bank_colors_of_node(node) {
             if let Some((f, _)) = colors.pop_bank(bc, 0) {
-                return Some(f);
+                return Some((f, FrameSource::Colors));
             }
         }
         if let Some(f) = buddy.alloc(0) {
-            return Some(f);
+            return Some((f, FrameSource::Buddy));
         }
         for b in 0..mapping.bank_color_count() {
             if let Some((f, _)) = colors.pop_bank(BankColor(b as u16), 0) {
-                return Some(f);
+                return Some((f, FrameSource::Colors));
             }
         }
         None
@@ -1150,6 +1238,7 @@ impl Kernel {
             return Ok(AllocOutcome {
                 frame,
                 cycles: costs.page_fault,
+                source: FrameSource::Buddy,
             });
         }
         // Local node exhausted: fall back to any free page (remote).
@@ -1158,6 +1247,7 @@ impl Kernel {
         Ok(AllocOutcome {
             frame,
             cycles: costs.page_fault,
+            source: FrameSource::Buddy,
         })
     }
 }
@@ -1827,5 +1917,244 @@ mod tests {
         }
         k.recolor_task(colored).unwrap();
         k.check_invariants();
+    }
+
+    // --------------------------------------------------------------
+    // Provenance routing (the sys_munmap mis-routing regressions)
+    // --------------------------------------------------------------
+
+    #[test]
+    fn munmap_after_clear_color_still_returns_frames_to_color_lists() {
+        // The historical bug: sys_munmap routed by the task's *current*
+        // coloring flags, so CLEAR_MEM_COLOR before unmap leaked colored
+        // frames into the buddy allocator. Provenance routing must return
+        // them to the color lists they came from.
+        let mut k = kernel();
+        let tid = colored_task(&mut k, 0, 2, 1);
+        let base = k.sys_mmap(tid, 0, 4096 * 4, 0).unwrap();
+        for p in 0..4u64 {
+            k.translate(tid, base.offset(p * 4096)).unwrap();
+        }
+        let list_before = k.color_lists().len(BankColor(2), LlcColor(1));
+        let (buddy_before, colors_before) = k.pool_snapshot();
+        k.check_invariants();
+        // Drop both color sets — the task is now uncolored.
+        k.sys_mmap(tid, CLEAR_MEM_COLOR, 0, COLOR_ALLOC).unwrap();
+        k.sys_mmap(tid, CLEAR_LLC_COLOR, 0, COLOR_ALLOC).unwrap();
+        assert!(!k.task(tid).unwrap().coloring_active());
+        k.sys_munmap(tid, base, 4096 * 4).unwrap();
+        let (buddy_after, colors_after) = k.pool_snapshot();
+        assert_eq!(
+            k.color_lists().len(BankColor(2), LlcColor(1)),
+            list_before + 4,
+            "colored frames went back to their origin color list"
+        );
+        assert_eq!(colors_after, colors_before + 4);
+        assert_eq!(buddy_after, buddy_before, "buddy gained nothing");
+        k.check_invariants();
+    }
+
+    #[test]
+    fn munmap_uncolored_fallback_frames_return_to_buddy() {
+        // The dual leak: a LocalUncolored exhaustion fallback serves a
+        // *buddy* frame to a still-colored task. Routing the unmap by the
+        // coloring flags would push that buddy frame into the color lists.
+        //
+        // Exhausting a pair on the tiny machine normally drains the whole
+        // buddy into the matrix (every block holds pages of every combo), so
+        // a bystander first parks one frame of a *different* color out of
+        // reach, and returns it to the buddy only after exhaustion: the
+        // fallback then has exactly one frame to take, and it is buddy's.
+        let mut k = kernel();
+        let bystander = k.create_task(CoreId(0));
+        let held = k.alloc_pages_raw(bystander, 0).unwrap().frame;
+        assert_ne!(
+            k.mapping().decode_frame(held).bank_color,
+            BankColor(2),
+            "the held frame must not be able to replenish the task's pair"
+        );
+        let tid = colored_task(&mut k, 0, 2, 0);
+        let pair = k.mapping().frames_per_color_pair();
+        let base = k.sys_mmap(tid, 0, 4096 * (pair + 4), 0).unwrap();
+        let mut colored = 0u64;
+        while k.translate(tid, base.offset(colored * 4096)).is_ok() {
+            colored += 1;
+        }
+        // Give the bystander's frame back: the only page left in buddy.
+        k.free_pages_raw(held, 0);
+        k.set_exhaustion_policy(tid, ExhaustionPolicy::LocalUncolored)
+            .unwrap();
+        let t = k.translate(tid, base.offset(colored * 4096)).unwrap();
+        assert_eq!(t.phys.frame(), held, "fallback took the buddy frame");
+        assert_eq!(k.task(tid).unwrap().exhaustion_fallbacks, 1);
+        let (buddy_before, colors_before) = k.pool_snapshot();
+        assert_eq!(buddy_before, 0);
+        k.check_invariants();
+        k.sys_munmap(tid, base, 4096 * (pair + 4)).unwrap();
+        let (buddy_after, colors_after) = k.pool_snapshot();
+        assert_eq!(
+            buddy_after, 1,
+            "the one buddy-served fallback frame went back to buddy"
+        );
+        assert_eq!(
+            colors_after,
+            colors_before + colored,
+            "the colored frames went back to the color lists"
+        );
+        k.check_invariants();
+    }
+
+    // --------------------------------------------------------------
+    // Task lifecycle (sys_exit / destroy_task)
+    // --------------------------------------------------------------
+
+    #[test]
+    fn exit_of_unknown_task_is_esrch() {
+        let mut k = kernel();
+        assert_eq!(k.sys_exit(Tid(42)), Err(Errno::Esrch));
+    }
+
+    #[test]
+    fn exit_restores_pool_baseline() {
+        let mut k = kernel();
+        let baseline = k.pool_snapshot();
+        let tid = colored_task(&mut k, 0, 1, 2);
+        let base = k.sys_mmap(tid, 0, 4096 * 16, 0).unwrap();
+        for p in 0..16u64 {
+            k.translate(tid, base.offset(p * 4096)).unwrap();
+        }
+        assert_ne!(k.pool_snapshot(), baseline, "frames are in use / parked");
+        k.sys_exit(tid).unwrap();
+        assert_eq!(k.task(tid).err(), Some(Errno::Esrch), "TCB removed");
+        assert_eq!(
+            k.pool_snapshot(),
+            baseline,
+            "zero leaked frames, zero pool skew after the last exit"
+        );
+        // check_invariants now also asserts the post-exit baseline itself.
+        k.check_invariants();
+    }
+
+    #[test]
+    fn exit_drains_the_pcp_cache() {
+        let mut k = kernel();
+        let baseline = k.pool_snapshot();
+        let tid = k.create_task(CoreId(0));
+        let base = k.sys_mmap(tid, 0, 4096 * 4, 0).unwrap();
+        for p in 0..4u64 {
+            k.translate(tid, base.offset(p * 4096)).unwrap();
+        }
+        // A 32-frame pcp batch was reserved; only 4 frames are installed.
+        assert_eq!(k.pool_snapshot().0, baseline.0 - 32);
+        k.sys_exit(tid).unwrap();
+        assert_eq!(k.pool_snapshot(), baseline, "pcp remainder drained too");
+        k.check_invariants();
+    }
+
+    #[test]
+    fn exit_bumps_translation_epoch_when_pages_were_resident() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        let base = k.sys_mmap(tid, 0, 4096, 0).unwrap();
+        k.translate(tid, base).unwrap();
+        let epoch = k.translation_epoch();
+        k.sys_exit(tid).unwrap();
+        assert!(k.translation_epoch() > epoch, "stale TLB entries shot down");
+    }
+
+    #[test]
+    fn thread_exit_keeps_the_shared_address_space_alive() {
+        let mut k = kernel();
+        let baseline = k.pool_snapshot();
+        let leader = k.create_task(CoreId(0));
+        let worker = k.create_thread(CoreId(2), leader).unwrap();
+        let base = k.sys_mmap(leader, 0, 4096, 0).unwrap();
+        let t = k.translate(worker, base).unwrap();
+        k.sys_exit(worker).unwrap();
+        // The leader still owns the mapping, same frame, no re-fault.
+        let t2 = k.translate(leader, base).unwrap();
+        assert_eq!(t2.fault_cycles, 0, "page survived the sibling's exit");
+        assert_eq!(t2.phys, t.phys);
+        // The last sharer's exit reclaims everything.
+        k.sys_exit(leader).unwrap();
+        assert_eq!(k.pool_snapshot(), baseline);
+        k.check_invariants();
+    }
+
+    #[test]
+    fn colored_frames_stay_parked_until_the_last_colored_task_exits() {
+        let mut k = kernel();
+        let baseline = k.pool_snapshot();
+        let a = colored_task(&mut k, 0, 0, 0);
+        let b = colored_task(&mut k, 1, 1, 1);
+        for &tid in &[a, b] {
+            let base = k.sys_mmap(tid, 0, 4096 * 4, 0).unwrap();
+            for p in 0..4u64 {
+                k.translate(tid, base.offset(p * 4096)).unwrap();
+            }
+        }
+        k.sys_exit(a).unwrap();
+        assert!(
+            k.pool_snapshot().1 > 0,
+            "a colored task is still live: its supply stays parked"
+        );
+        k.check_invariants();
+        k.sys_exit(b).unwrap();
+        assert_eq!(
+            k.pool_snapshot(),
+            baseline,
+            "last colored exit drains the matrix back to buddy"
+        );
+        k.check_invariants();
+    }
+
+    #[test]
+    fn create_thread_inherits_the_leader_color_set() {
+        let mut k = kernel();
+        let leader = colored_task(&mut k, 0, 3, 1);
+        k.set_exhaustion_policy(leader, ExhaustionPolicy::NearestColor)
+            .unwrap();
+        let worker = k.create_thread(CoreId(2), leader).unwrap();
+        let w = k.task(worker).unwrap();
+        assert!(w.using_bank && w.using_llc, "flags inherited");
+        assert_eq!(w.mem_colors(), &[BankColor(3)]);
+        assert_eq!(w.llc_colors(), &[LlcColor(1)]);
+        assert_eq!(w.exhaustion, ExhaustionPolicy::NearestColor);
+        // And the inherited colors actually drive the worker's faults.
+        let base = k.sys_mmap(worker, 0, 4096, 0).unwrap();
+        let t = k.translate(worker, base).unwrap();
+        let d = k.mapping().decode_frame(t.phys.frame());
+        assert_eq!(d.bank_color, BankColor(3));
+        assert_eq!(d.llc_color, LlcColor(1));
+    }
+
+    #[test]
+    fn exit_under_churn_with_mixed_policies_leaks_nothing() {
+        // A miniature churn loop over all three exhaustion policies; every
+        // generation must leave the pools exactly at the boot baseline.
+        let mut k = kernel();
+        let baseline = k.pool_snapshot();
+        let policies = [
+            ExhaustionPolicy::Strict,
+            ExhaustionPolicy::NearestColor,
+            ExhaustionPolicy::LocalUncolored,
+        ];
+        for gen in 0..6u64 {
+            let tid = colored_task(&mut k, (gen % 4) as usize, (gen % 4) as u16, 0);
+            k.set_exhaustion_policy(tid, policies[gen as usize % 3])
+                .unwrap();
+            let base = k.sys_mmap(tid, 0, 4096 * 8, 0).unwrap();
+            for p in 0..8u64 {
+                k.translate(tid, base.offset(p * 4096)).unwrap();
+            }
+            if gen % 2 == 0 {
+                // Half the generations unmap before exit, half let exit
+                // reclaim — both paths must route identically.
+                k.sys_munmap(tid, base, 4096 * 8).unwrap();
+            }
+            k.sys_exit(tid).unwrap();
+            assert_eq!(k.pool_snapshot(), baseline, "generation {gen} leaked");
+            k.check_invariants();
+        }
     }
 }

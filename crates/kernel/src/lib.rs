@@ -61,7 +61,7 @@ pub use errno::Errno;
 pub use fault::{FaultInjector, FaultPlan, FaultSite};
 pub use kernel::{AllocOutcome, Kernel, KernelCosts, KernelStats};
 pub use task::{ColorOp, ExhaustionPolicy, HeapPolicy, TaskStruct, Tid};
-pub use vm::AddressSpace;
+pub use vm::{AddressSpace, FrameSource, Pte};
 
 /// Largest buddy order (blocks of `2^MAX_ORDER` pages = 8 MiB), mirroring
 /// Linux's historical `MAX_ORDER` of 11.

@@ -181,6 +181,20 @@ impl TaskStruct {
     pub fn coloring_active(&self) -> bool {
         self.using_bank || self.using_llc
     }
+
+    /// Inherit the color configuration of a thread-group leader
+    /// (`create_thread` semantics): owned color sets, both coloring flags,
+    /// the base heap policy, and the exhaustion policy are copied; per-task
+    /// state (counters, cursors, pcp cache) keeps its fresh-task values so
+    /// rotation staggering and statistics stay per-thread.
+    pub fn inherit_from(&mut self, leader: &TaskStruct) {
+        self.mem_colors = leader.mem_colors.clone();
+        self.llc_colors = leader.llc_colors.clone();
+        self.using_bank = leader.using_bank;
+        self.using_llc = leader.using_llc;
+        self.policy = leader.policy;
+        self.exhaustion = leader.exhaustion;
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +242,26 @@ mod tests {
         assert!(!t.using_bank);
         assert!(t.mem_colors().is_empty());
         assert_eq!(t.mem_cursor, 0);
+    }
+
+    #[test]
+    fn inherit_copies_colors_but_not_counters_or_cursors() {
+        let mut leader = TaskStruct::new(Tid(1), CoreId(0), VmId(0));
+        leader.apply(ColorOp::SetMemColor(BankColor(2)));
+        leader.apply(ColorOp::SetLlcColor(LlcColor(1)));
+        leader.policy = HeapPolicy::FirstTouch;
+        leader.exhaustion = ExhaustionPolicy::NearestColor;
+        leader.off_color_allocs = 9;
+        let mut t = TaskStruct::new(Tid(4), CoreId(1), VmId(0));
+        t.inherit_from(&leader);
+        assert_eq!(t.mem_colors(), &[BankColor(2)]);
+        assert_eq!(t.llc_colors(), &[LlcColor(1)]);
+        assert!(t.using_bank && t.using_llc);
+        assert_eq!(t.policy, HeapPolicy::FirstTouch);
+        assert_eq!(t.exhaustion, ExhaustionPolicy::NearestColor);
+        assert_eq!(t.off_color_allocs, 0, "stats stay per-thread");
+        assert_eq!(t.mem_cursor, 4 * 7, "stagger keeps the fresh value");
+        assert_eq!(t.llc_cursor, 4 * 3);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`metrics`] — per-run results: benchmark runtime, per-thread parallel
 //!   runtime, per-thread and total idle time — the paper's four metrics
 //!   (§V.B).
+//! * [`scheduler`] — a time-sliced round-robin scheduler for short-lived
+//!   tasks arriving over simulated time: the multi-tenant churn harness
+//!   that exercises the kernel's task-exit reclamation path.
 
 //! ```
 //! use tint_hw::machine::MachineConfig;
@@ -42,7 +45,9 @@
 pub mod engine;
 pub mod metrics;
 pub mod program;
+pub mod scheduler;
 
 pub use engine::{reference_pipeline, run_section_dynamic, Op, SectionBody, SimThread};
 pub use metrics::{RunMetrics, SectionOutcome};
 pub use program::{Program, Section};
+pub use scheduler::{ChurnOutcome, Job, RoundRobin};

@@ -1,0 +1,339 @@
+//! Time-sliced round-robin scheduling of short-lived tasks.
+//!
+//! The fork-join [`Program`](crate::Program) model runs one immortal team to
+//! completion; multi-tenant churn (ROADMAP item 1) needs the opposite: tasks
+//! that *arrive* over simulated time, share cores, run for a bounded
+//! lifetime, and *exit* — exercising the kernel's full reclamation path on
+//! every completion. This module provides that harness: a deterministic
+//! round-robin scheduler with a fixed time quantum per core.
+//!
+//! Determinism follows the engine's rule: among cores with runnable work,
+//! always advance the one with the smallest local clock (ties by core
+//! index). A core with an empty run queue jumps its clock forward to the
+//! next arrival; simulated time never depends on host scheduling.
+
+use crate::engine::{Op, SectionBody};
+use tint_hw::types::CoreId;
+use tint_kernel::{Errno, Tid};
+use tintmalloc::System;
+
+/// One task arrival: when, where, and how to set the task up.
+///
+/// `setup` runs at admission time on the scheduler's clock: it spawns the
+/// kernel task (colors, policies, heap regions — whatever the tenant needs)
+/// and returns the task id plus its op stream. **Contract:** on `Err` the
+/// closure must not leak a task — anything it spawned it must have
+/// [`System::exit`]ed before returning, so a failed admission leaves the
+/// kernel exactly as it found it.
+pub struct Job<'a> {
+    /// Simulated cycle the task becomes runnable.
+    pub arrival: u64,
+    /// Core the task is pinned to (the paper's static-pinning model).
+    pub core: CoreId,
+    /// Admission-time task construction (see the leak contract above).
+    #[allow(clippy::type_complexity)]
+    pub setup: Box<dyn FnOnce(&mut System) -> Result<(Tid, Box<dyn SectionBody + 'a>), Errno> + 'a>,
+}
+
+/// Scheduler parameters.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    /// Time slice in cycles: a job is preempted (rotated to the back of its
+    /// core's queue) once it has consumed at least this many cycles.
+    pub quantum: u64,
+    /// Panic ceiling on total executed ops — a runaway-body backstop, like
+    /// the engine's per-section budget.
+    pub ops_budget: u64,
+    /// Run [`System::check_invariants`] every this many executed ops
+    /// (`0` = never). O(frames) per check — for tests and smoke runs.
+    pub check_every: u64,
+}
+
+impl Default for RoundRobin {
+    fn default() -> Self {
+        Self {
+            quantum: 10_000,
+            ops_budget: u64::MAX,
+            check_every: 0,
+        }
+    }
+}
+
+/// What a churn run did, in aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChurnOutcome {
+    /// Jobs admitted (setup attempted).
+    pub arrivals: u64,
+    /// Tasks that ran their op stream to completion and exited.
+    pub completed: u64,
+    /// Tasks killed early: failed setup, or a mid-run allocation error
+    /// (e.g. `ENOMEM` under [`ExhaustionPolicy::Strict`]); their frames are
+    /// reclaimed through the same exit path as a normal completion.
+    pub failed: u64,
+    /// Largest core clock at the end — the simulated uptime.
+    pub makespan: u64,
+    /// Ops executed across all tasks.
+    pub total_ops: u64,
+    /// Preemptions that handed the core to a *different* runnable task.
+    pub context_switches: u64,
+}
+
+/// Per-core scheduler state.
+struct CoreState<'a> {
+    clock: u64,
+    /// FIFO run queue of admitted tasks.
+    queue: std::collections::VecDeque<(Tid, Box<dyn SectionBody + 'a>)>,
+    /// This core's arrivals, earliest first; `next` indexes the first
+    /// not-yet-admitted job.
+    arrivals: Vec<Job<'a>>,
+    next: usize,
+}
+
+impl<'a> CoreState<'a> {
+    fn has_work(&self) -> bool {
+        !self.queue.is_empty() || self.next < self.arrivals.len()
+    }
+
+    /// The clock at which this core can next run something.
+    fn ready_at(&self) -> u64 {
+        if self.queue.is_empty() {
+            self.clock.max(self.arrivals[self.next].arrival)
+        } else {
+            self.clock
+        }
+    }
+}
+
+impl RoundRobin {
+    /// Run `jobs` to completion: every job is admitted at its arrival time
+    /// on its core, time-sliced against its core-mates, and exited when its
+    /// op stream ends (or errors). Returns once every queue is empty.
+    pub fn run<'a>(&self, sys: &mut System, jobs: Vec<Job<'a>>) -> ChurnOutcome {
+        let mut out = ChurnOutcome::default();
+        let mut cores: Vec<CoreState<'a>> = Vec::new();
+        for job in jobs {
+            let idx = job.core.0;
+            while cores.len() <= idx {
+                cores.push(CoreState {
+                    clock: 0,
+                    queue: std::collections::VecDeque::new(),
+                    arrivals: Vec::new(),
+                    next: 0,
+                });
+            }
+            cores[idx].arrivals.push(job);
+        }
+        for c in &mut cores {
+            c.arrivals.sort_by_key(|j| j.arrival);
+        }
+
+        // Deterministic pick: smallest ready time, ties by core index.
+        while let Some(ci) = cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.has_work())
+            .min_by_key(|&(i, c)| (c.ready_at(), i))
+            .map(|(i, _)| i)
+        {
+            let core = &mut cores[ci];
+            core.clock = core.ready_at();
+            // Admit everything that has arrived by now, in arrival order.
+            while core.next < core.arrivals.len() && core.arrivals[core.next].arrival <= core.clock
+            {
+                let job = &mut core.arrivals[core.next];
+                let setup = std::mem::replace(&mut job.setup, Box::new(|_| Err(Errno::Einval)));
+                core.next += 1;
+                out.arrivals += 1;
+                match setup(sys) {
+                    Ok((tid, body)) => core.queue.push_back((tid, body)),
+                    Err(_) => out.failed += 1,
+                }
+            }
+            let Some((tid, mut body)) = core.queue.pop_front() else {
+                continue; // admission failed; re-pick
+            };
+
+            // One quantum: ops advance the core clock until the slice is
+            // spent, the body ends, or an op errors out.
+            let mut slice = 0u64;
+            let fate = loop {
+                if slice >= self.quantum {
+                    break Fate::Preempted;
+                }
+                match body.next_op() {
+                    None => break Fate::Completed,
+                    Some(op) => {
+                        out.total_ops += 1;
+                        assert!(
+                            out.total_ops <= self.ops_budget,
+                            "churn run exceeded its operation budget ({})",
+                            self.ops_budget
+                        );
+                        let cost = match op {
+                            Op::Compute(c) => c,
+                            Op::Access { addr, rw } => {
+                                match sys.access(tid, addr, rw, core.clock) {
+                                    Ok(a) => a.latency,
+                                    Err(_) => break Fate::Errored,
+                                }
+                            }
+                        };
+                        // A zero-cost op still consumes a cycle of slice so
+                        // pathological bodies cannot monopolize the core.
+                        core.clock += cost;
+                        slice += cost.max(1);
+                        if self.check_every > 0 && out.total_ops % self.check_every == 0 {
+                            sys.check_invariants();
+                        }
+                    }
+                }
+            };
+            match fate {
+                Fate::Completed => {
+                    sys.exit(tid).expect("completed task exists");
+                    out.completed += 1;
+                }
+                Fate::Errored => {
+                    sys.exit(tid).expect("errored task exists");
+                    out.failed += 1;
+                }
+                Fate::Preempted => {
+                    if !core.queue.is_empty() {
+                        out.context_switches += 1;
+                    }
+                    core.queue.push_back((tid, body));
+                }
+            }
+        }
+        out.makespan = cores.iter().map(|c| c.clock).max().unwrap_or(0);
+        out
+    }
+}
+
+/// How a quantum ended.
+enum Fate {
+    Completed,
+    Errored,
+    Preempted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tint_hw::machine::MachineConfig;
+    use tint_hw::types::{Rw, VirtAddr, PAGE_SIZE};
+
+    fn sys() -> System {
+        System::boot(MachineConfig::tiny())
+    }
+
+    /// A job that mallocs `pages` pages and walks them `ops` times.
+    fn walker(arrival: u64, core: usize, pages: u64, ops: u64) -> Job<'static> {
+        Job {
+            arrival,
+            core: CoreId(core),
+            setup: Box::new(move |sys: &mut System| {
+                let tid = sys.spawn(CoreId(core));
+                let base = match sys.malloc(tid, pages * PAGE_SIZE) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        sys.exit(tid).expect("spawned above");
+                        return Err(e);
+                    }
+                };
+                let body = (0..ops).map(move |i| Op::Access {
+                    addr: VirtAddr(base.0 + (i * 64) % (pages * PAGE_SIZE)),
+                    rw: Rw::Read,
+                });
+                Ok((tid, Box::new(body) as Box<dyn SectionBody>))
+            }),
+        }
+    }
+
+    #[test]
+    fn single_job_completes_and_exits() {
+        let mut s = sys();
+        let baseline = s.kernel().pool_snapshot();
+        let out = RoundRobin::default().run(&mut s, vec![walker(0, 0, 2, 10)]);
+        assert_eq!(out.arrivals, 1);
+        assert_eq!(out.completed, 1);
+        assert_eq!(out.failed, 0);
+        assert_eq!(out.total_ops, 10);
+        assert!(out.makespan > 0);
+        assert_eq!(s.kernel().pool_snapshot(), baseline, "task fully reclaimed");
+        s.check_invariants();
+    }
+
+    #[test]
+    fn same_core_jobs_time_slice() {
+        let mut s = sys();
+        let rr = RoundRobin {
+            quantum: 500,
+            ..RoundRobin::default()
+        };
+        let out = rr.run(&mut s, vec![walker(0, 0, 2, 200), walker(0, 0, 2, 200)]);
+        assert_eq!(out.completed, 2);
+        assert!(
+            out.context_switches > 0,
+            "a 500-cycle quantum must preempt 200-access bodies"
+        );
+        s.check_invariants();
+    }
+
+    #[test]
+    fn idle_core_jumps_to_next_arrival() {
+        let mut s = sys();
+        let out = RoundRobin::default().run(&mut s, vec![walker(1_000_000, 1, 1, 1)]);
+        assert_eq!(out.completed, 1);
+        assert!(out.makespan >= 1_000_000, "clock jumped to the arrival");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let jobs = || {
+            vec![
+                walker(0, 0, 2, 50),
+                walker(100, 0, 3, 80),
+                walker(50, 1, 1, 30),
+                walker(5_000, 1, 2, 60),
+            ]
+        };
+        let mut s1 = sys();
+        let mut s2 = sys();
+        let o1 = RoundRobin::default().run(&mut s1, jobs());
+        let o2 = RoundRobin::default().run(&mut s2, jobs());
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn failed_setup_counts_and_leaks_nothing() {
+        let mut s = sys();
+        let baseline = s.kernel().pool_snapshot();
+        let bad = Job {
+            arrival: 0,
+            core: CoreId(0),
+            setup: Box::new(|sys: &mut System| {
+                let tid = sys.spawn(CoreId(0));
+                sys.exit(tid).expect("spawned above");
+                Err(Errno::Enomem)
+            }),
+        };
+        let out = RoundRobin::default().run(&mut s, vec![bad, walker(0, 0, 1, 5)]);
+        assert_eq!(out.arrivals, 2);
+        assert_eq!(out.failed, 1);
+        assert_eq!(out.completed, 1);
+        assert_eq!(s.kernel().pool_snapshot(), baseline);
+        s.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded its operation budget")]
+    fn ops_budget_trips() {
+        let mut s = sys();
+        let rr = RoundRobin {
+            ops_budget: 5,
+            ..RoundRobin::default()
+        };
+        rr.run(&mut s, vec![walker(0, 0, 1, 100)]);
+    }
+}

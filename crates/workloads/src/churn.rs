@@ -1,0 +1,211 @@
+//! The `churn` workload: a multi-tenant arrival/exit stream.
+//!
+//! Unlike the six paper benchmarks (one immortal OpenMP team on a quiet
+//! machine), `churn` models the long-uptime regime GreenMalloc and
+//! SpeedMalloc argue pathologies emerge in: tasks arrive as a seeded
+//! Poisson process, color themselves, run a mixed read/write lifetime over
+//! a private heap region, and exit — thousands of full create/color/
+//! allocate/exit cycles per run. It is the observability harness for
+//! provenance-correct reclamation: any frame routed to the wrong pool on
+//! any reclamation path accumulates as pool-population skew over uptime.
+//!
+//! `churn` is deliberately **not** in [`crate::all_benchmarks`]: it has no
+//! figure in the paper and no fork-join [`tint_spmd::Program`] shape — it
+//! produces [`tint_spmd::Job`]s for the round-robin scheduler instead.
+
+use tint_hw::machine::MachineConfig;
+use tint_hw::rng::SplitMix64;
+use tint_hw::types::{BankColor, CoreId, LlcColor, Rw, VirtAddr, PAGE_SIZE};
+use tint_kernel::ExhaustionPolicy;
+use tint_spmd::{Job, Op, SectionBody};
+use tintmalloc::System;
+
+/// Parameters of one churn run. All randomness is drawn from `seed`; two
+/// configs with equal fields build identical job streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnConfig {
+    /// Master seed for arrivals, lifetimes, sizes, colors, and op streams.
+    pub seed: u64,
+    /// Task arrivals to generate.
+    pub arrivals: u64,
+    /// Mean inter-arrival gap in cycles (Poisson process: exponential gaps).
+    pub mean_gap: u64,
+    /// Heap region size per task, in pages (inclusive range).
+    pub pages: (u64, u64),
+    /// Ops per task lifetime (inclusive range) — mixed lifetimes.
+    pub ops: (u64, u64),
+    /// Exhaustion policies cycled across arrivals (mixed-policy tenancy).
+    pub policies: Vec<ExhaustionPolicy>,
+}
+
+impl ChurnConfig {
+    /// A light default: short lifetimes, brisk arrivals, all three policies
+    /// mixed.
+    pub fn new(seed: u64, arrivals: u64) -> Self {
+        Self {
+            seed,
+            arrivals,
+            mean_gap: 2_000,
+            pages: (2, 16),
+            ops: (32, 256),
+            policies: vec![
+                ExhaustionPolicy::Strict,
+                ExhaustionPolicy::NearestColor,
+                ExhaustionPolicy::LocalUncolored,
+            ],
+        }
+    }
+
+    /// Generate the job stream for `machine`. Arrivals round-robin across
+    /// all cores; each task owns one bank color and one LLC color drawn
+    /// uniformly, so concurrent tenants contend for the color lists the way
+    /// a real multi-tenant box would.
+    pub fn build_jobs(&self, machine: &MachineConfig) -> Vec<Job<'static>> {
+        assert!(!self.policies.is_empty(), "at least one policy to cycle");
+        let cores = machine.topology.core_count();
+        let banks = machine.mapping.bank_color_count() as u64;
+        let llcs = machine.mapping.llc_color_count() as u64;
+        let mut rng = SplitMix64::new(self.seed);
+        let mut clock = 0u64;
+        let mut jobs = Vec::with_capacity(self.arrivals as usize);
+        for i in 0..self.arrivals {
+            clock += exp_gap(&mut rng, self.mean_gap);
+            let core = CoreId((i as usize) % cores);
+            let bank = BankColor(rng.gen_range(banks) as u16);
+            let llc = LlcColor(rng.gen_range(llcs) as u16);
+            let policy = self.policies[(i as usize) % self.policies.len()];
+            let pages = rng.gen_range_in(self.pages.0, self.pages.1 + 1);
+            let ops = rng.gen_range_in(self.ops.0, self.ops.1 + 1);
+            let body_seed = rng.next_u64();
+            jobs.push(Job {
+                arrival: clock,
+                core,
+                setup: Box::new(move |sys: &mut System| {
+                    let tid = sys.spawn(core);
+                    let fail = |sys: &mut System, e| {
+                        sys.exit(tid).expect("spawned above");
+                        Err(e)
+                    };
+                    if let Err(e) = sys.set_mem_color(tid, bank) {
+                        return fail(sys, e);
+                    }
+                    if let Err(e) = sys.set_llc_color(tid, llc) {
+                        return fail(sys, e);
+                    }
+                    if let Err(e) = sys.set_exhaustion_policy(tid, policy) {
+                        return fail(sys, e);
+                    }
+                    let base = match sys.malloc(tid, pages * PAGE_SIZE) {
+                        Ok(b) => b,
+                        Err(e) => return fail(sys, e),
+                    };
+                    let body = ChurnBody {
+                        base,
+                        bytes: pages * PAGE_SIZE,
+                        remaining: ops,
+                        rng: SplitMix64::new(body_seed),
+                    };
+                    Ok((tid, Box::new(body) as Box<dyn SectionBody>))
+                }),
+            });
+        }
+        jobs
+    }
+}
+
+/// Exponentially distributed inter-arrival gap with the given mean (the
+/// Poisson process), floored at one cycle. Uses the top 53 bits of the
+/// stream for a uniform in `(0, 1]` so `ln` never sees zero.
+fn exp_gap(rng: &mut SplitMix64, mean: u64) -> u64 {
+    let u = ((rng.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64;
+    ((-(mean as f64) * u.ln()).ceil() as u64).max(1)
+}
+
+/// One task's lifetime: a seeded mix of computes, reads, and writes over
+/// its region. Random taps touch pages in arbitrary order, so first-touch
+/// faults (and any exhaustion fallback) interleave with accesses.
+struct ChurnBody {
+    base: VirtAddr,
+    bytes: u64,
+    remaining: u64,
+    rng: SplitMix64,
+}
+
+impl Iterator for ChurnBody {
+    type Item = Op;
+    fn next(&mut self) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let r = self.rng.next_u64();
+        Some(if r.is_multiple_of(8) {
+            Op::Compute(20 + (r >> 8) % 100)
+        } else {
+            Op::Access {
+                addr: self.base.offset(((r >> 16) % self.bytes) & !7),
+                rw: if r.is_multiple_of(3) {
+                    Rw::Write
+                } else {
+                    Rw::Read
+                },
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tint_spmd::RoundRobin;
+
+    #[test]
+    fn jobs_are_poisson_spaced_and_policy_cycled() {
+        let cfg = ChurnConfig::new(42, 30);
+        let jobs = cfg.build_jobs(&MachineConfig::tiny());
+        assert_eq!(jobs.len(), 30);
+        let mut prev = 0;
+        for j in &jobs {
+            assert!(j.arrival > prev, "arrivals strictly increase");
+            prev = j.arrival;
+        }
+        // Identical configs build identically-timed streams.
+        let again = cfg.build_jobs(&MachineConfig::tiny());
+        let t1: Vec<_> = jobs.iter().map(|j| (j.arrival, j.core)).collect();
+        let t2: Vec<_> = again.iter().map(|j| (j.arrival, j.core)).collect();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn churn_run_reclaims_every_frame() {
+        let machine = MachineConfig::tiny();
+        let mut sys = System::boot(machine.clone());
+        let baseline = sys.kernel().pool_snapshot();
+        let cfg = ChurnConfig::new(7, 60);
+        let rr = RoundRobin {
+            quantum: 5_000,
+            check_every: 512,
+            ..RoundRobin::default()
+        };
+        let out = rr.run(&mut sys, cfg.build_jobs(&machine));
+        assert_eq!(out.arrivals, 60);
+        assert_eq!(out.completed + out.failed, 60, "every task exited");
+        assert!(out.completed > 0, "most tasks complete");
+        assert_eq!(
+            sys.kernel().pool_snapshot(),
+            baseline,
+            "zero leaked frames, zero pool skew"
+        );
+        sys.check_invariants();
+    }
+
+    #[test]
+    fn churn_outcome_is_deterministic() {
+        let machine = MachineConfig::tiny();
+        let run = || {
+            let mut sys = System::boot(machine.clone());
+            RoundRobin::default().run(&mut sys, ChurnConfig::new(3, 40).build_jobs(&machine))
+        };
+        assert_eq!(run(), run());
+    }
+}

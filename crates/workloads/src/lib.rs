@@ -18,6 +18,9 @@
 //! * [`synthetic`] — the Fig. 10 microbenchmark.
 //! * [`lbm`], [`art`], [`equake`], [`bodytrack`], [`freqmine`],
 //!   [`blackscholes`] — the six benchmark emulators.
+//! * [`churn`] — the multi-tenant arrival/exit stream for the round-robin
+//!   scheduler (not a paper benchmark; the reclamation observability
+//!   harness of ROADMAP item 1).
 //! * [`traits`] — the [`traits::Workload`] interface and the benchmark
 //!   registry.
 //! * [`fingerprint`] — the in-tree FNV/SplitMix hasher behind
@@ -26,6 +29,7 @@
 pub mod art;
 pub mod blackscholes;
 pub mod bodytrack;
+pub mod churn;
 pub mod config;
 pub mod equake;
 pub mod fingerprint;
@@ -35,6 +39,7 @@ pub mod patterns;
 pub mod synthetic;
 pub mod traits;
 
+pub use churn::ChurnConfig;
 pub use config::PinConfig;
 pub use synthetic::Synthetic;
 pub use traits::{all_benchmarks, Workload};

@@ -125,4 +125,37 @@ if [ -z "$jhits" ] || [ "$jhits" -lt "$replayed" ]; then
     exit 1
 fi
 
+echo "== churn reclamation smoke =="
+# A short seeded multi-tenant churn run: tasks arrive, color themselves,
+# live, and exit under every exhaustion policy with kernel invariants
+# checked throughout. The figure itself hard-asserts the reclamation
+# contract per cell (post-run buddy and color-list populations equal the
+# post-boot baseline), so a leaked or mis-routed frame is a nonzero exit;
+# the leaked_frames/pool_skew columns are re-checked here for belt and
+# braces.
+churn_dir=$(mktemp -d)
+(cd "$churn_dir" && TINT_JOURNAL=0 "$OLDPWD/target/release/repro" --scale 0.1 churn > churn.txt 2> /dev/null)
+if grep -E '"(leaked_frames|pool_skew)": "(-?[1-9])' "$churn_dir/BENCH_repro.json"; then
+    echo "FAIL: churn run leaked frames or skewed pool populations" >&2
+    exit 1
+fi
+if ! grep -q '"policy": "mixed"' "$churn_dir/BENCH_repro.json"; then
+    echo "FAIL: churn figure missing the mixed-policy rows" >&2
+    exit 1
+fi
+rm -rf "$churn_dir"
+
+echo "== figure bit-identity =="
+# The six paper figures are bit-deterministic end to end; their combined
+# stdout hash is the contract every refactor must preserve. Hard assert —
+# any drift means the simulation pipeline changed behaviour.
+md5_dir=$(mktemp -d)
+(cd "$md5_dir" && TINT_JOURNAL=0 "$OLDPWD/target/release/repro" fig10 fig11 fig12 fig13 fig14 latency > figures.txt 2> /dev/null)
+fig_md5=$(md5sum "$md5_dir/figures.txt" | cut -d' ' -f1)
+rm -rf "$md5_dir"
+if [ "$fig_md5" != "ba5e3f618bc062b31250615c57f2cc10" ]; then
+    echo "FAIL: six-figure output md5 $fig_md5 != ba5e3f618bc062b31250615c57f2cc10" >&2
+    exit 1
+fi
+
 echo "CI OK"
