@@ -21,6 +21,8 @@
 //!   ablate-pressure    exhaustion-policy degradation under color pressure (extension)
 //!   churn              multi-tenant task churn: throughput, off-color fraction,
 //!                      pool-population skew vs task count and uptime (extension)
+//!   soak               sustained over-committed pressure: watermarks, backoff,
+//!                      OOM kills, incremental auditing, per-window trace (extension)
 //!   probe:<bench>      per-scheme diagnostics for one benchmark cell
 //!   all                everything above (except probe)
 //! ```
@@ -83,13 +85,13 @@
 use tint_bench::figures::{
     ablate_colorlist, ablate_dynamic, ablate_firsttouch, ablate_migrate, ablate_pagepolicy,
     ablate_part, ablate_pressure, bandwidth, churn, fig10, fig13_14, latency, probe, run_matrix,
-    BenchMatrix, FigOpts,
+    soak, BenchMatrix, FigOpts,
 };
 use tint_bench::hostfault::{self, HostFaultPlan};
 use tint_bench::journal;
 use tint_bench::runner::{
     available_jobs, cell_retries, cell_timeout, install_cancel_handlers, parse_jobs,
-    poisoned_cells, retries_used, set_jobs, set_strict_deadline, simulated_cycles,
+    poisoned_cells, pressure_stats, retries_used, set_jobs, set_strict_deadline, simulated_cycles,
     validate_env_jobs,
 };
 use tint_bench::simcache;
@@ -176,6 +178,8 @@ struct Ctx {
     pressure: Option<Table>,
     /// The churn-figure table, likewise recorded in `BENCH_repro.json`.
     churn: Option<Table>,
+    /// The soak-figure table (per-window pressure trace), likewise recorded.
+    soak: Option<Table>,
 }
 
 impl Ctx {
@@ -284,6 +288,12 @@ fn run_cmd(ctx: &mut Ctx, cmd: &str) {
         print!("{}", ctx.opts.render(&t));
         ctx.churn = Some(t);
     }
+    if all || cmd == "soak" {
+        header("Extension: sustained-pressure soak (watermarks, backoff, OOM kill, auditing)");
+        let t = soak(&ctx.opts);
+        print!("{}", ctx.opts.render(&t));
+        ctx.soak = Some(t);
+    }
 }
 
 /// Minimal JSON string escaping (command names are ASCII, but be correct).
@@ -353,6 +363,7 @@ struct ExistingBench {
     records: Vec<(String, String)>,
     pressure_raw: Option<String>,
     churn_raw: Option<String>,
+    soak_raw: Option<String>,
 }
 
 /// Parse the parts of an existing `BENCH_repro.json` worth preserving.
@@ -364,6 +375,7 @@ fn read_existing(path: &str) -> ExistingBench {
         records: Vec::new(),
         pressure_raw: None,
         churn_raw: None,
+        soak_raw: None,
     };
     let Ok(text) = std::fs::read_to_string(path) else {
         return out;
@@ -389,6 +401,7 @@ fn read_existing(path: &str) -> ExistingBench {
                 let raw = Some(lines.join("\n"));
                 match *key {
                     "pressure" => out.pressure_raw = raw,
+                    "soak" => out.soak_raw = raw,
                     _ => out.churn_raw = raw,
                 }
                 block = None;
@@ -419,6 +432,8 @@ fn read_existing(path: &str) -> ExistingBench {
             block = Some(("pressure", Vec::new()));
         } else if trimmed.starts_with("\"churn\"") {
             block = Some(("churn", Vec::new()));
+        } else if trimmed.starts_with("\"soak\"") {
+            block = Some(("soak", Vec::new()));
         }
     }
     out
@@ -450,6 +465,7 @@ fn write_bench_json(
     configs: &[PinConfig],
     pressure: Option<&Table>,
     churn: Option<&Table>,
+    soak: Option<&Table>,
 ) -> Result<(), String> {
     let path = "BENCH_repro.json";
     let existing = read_existing(path);
@@ -506,14 +522,22 @@ fn write_bench_json(
     } else if let Some(raw) = &existing.churn_raw {
         s.push_str(&format!("  \"churn\": [\n{raw}\n  ],\n"));
     }
+    if let Some(t) = soak {
+        s.push_str(&format!("  \"soak\": {},\n", json_table(t, "  ")));
+    } else if let Some(raw) = &existing.soak_raw {
+        s.push_str(&format!("  \"soak\": [\n{raw}\n  ],\n"));
+    }
     let (journal_hits, journal_appends, journal_replayed) = journal::counters();
+    let (oom_kills, admission_rejects, alloc_retries) = pressure_stats();
     s.push_str(&format!(
         "  \"invocation\": {{\"commands\": [{}], \"jobs\": {}, \"cache_enabled\": {}, \
          \"wall_ms\": {inv_ms:.3}, \"sim_cycles\": {inv_cycles}, \
          \"cache_hits\": {inv_hits}, \"cache_misses\": {inv_misses}, \
          \"journal\": {{\"enabled\": {}, \"replayed\": {journal_replayed}, \
          \"hits\": {journal_hits}, \"appended\": {journal_appends}}}, \
-         \"poisoned_cells\": {}, \"host_faults_injected\": {}, \"retries_used\": {}}},\n",
+         \"poisoned_cells\": {}, \"host_faults_injected\": {}, \"retries_used\": {}, \
+         \"oom_kills\": {oom_kills}, \"admission_rejects\": {admission_rejects}, \
+         \"alloc_retries\": {alloc_retries}}},\n",
         records
             .iter()
             .map(|r| format!("\"{}\"", json_escape(&r.name)))
@@ -640,6 +664,7 @@ fn main() {
         fig13_14: None,
         pressure: None,
         churn: None,
+        soak: None,
     };
     let mut records = Vec::with_capacity(cmds.len());
     for cmd in &cmds {
@@ -675,6 +700,7 @@ fn main() {
         &ctx.configs,
         ctx.pressure.as_ref(),
         ctx.churn.as_ref(),
+        ctx.soak.as_ref(),
     ) {
         eprintln!("error: {e}");
         std::process::exit(1);

@@ -6,9 +6,10 @@ use crate::runner::{
 };
 use crate::table::{norm, norm_err, Table};
 use std::collections::HashMap;
-use tint_spmd::{RoundRobin, SimThread};
+use tint_kernel::VictimPolicy;
+use tint_spmd::{ChurnOutcome, PressureWindow, RoundRobin, SimThread};
 use tint_workloads::traits::Scale;
-use tint_workloads::{all_benchmarks, ChurnConfig, PinConfig, Synthetic, Workload};
+use tint_workloads::{all_benchmarks, ChurnConfig, PinConfig, SoakConfig, Synthetic, Workload};
 use tintmalloc::prelude::*;
 
 /// Common experiment options.
@@ -1073,7 +1074,7 @@ pub fn churn(opts: &FigOpts) -> Table {
             assert_eq!(leaked, 0, "{label}/{arrivals}: frames leaked across churn");
             assert_eq!(skew, 0, "{label}/{arrivals}: color-list population skew");
             assert_eq!(
-                out.completed + out.failed,
+                out.completed + out.failed(),
                 arrivals,
                 "{label}/{arrivals}: every arrival must exit"
             );
@@ -1087,12 +1088,12 @@ pub fn churn(opts: &FigOpts) -> Table {
                 label.to_string(),
                 format!("{arrivals}"),
                 format!("{}", out.completed),
-                format!("{}", out.failed),
+                format!("{}", out.failed()),
                 format!("{uptime:.2}"),
                 format!(
                     "{:.1}",
                     if uptime > 0.0 {
-                        (out.completed + out.failed) as f64 / uptime
+                        (out.completed + out.failed()) as f64 / uptime
                     } else {
                         0.0
                     }
@@ -1104,6 +1105,182 @@ pub fn churn(opts: &FigOpts) -> Table {
                 }),
                 format!("{leaked}"),
                 format!("{skew}"),
+            ]);
+        }
+    }
+    t
+}
+
+/// The soak machine: the tiny preset shrunk to 2,048 frames (`row_bits`
+/// 7), so a few hundred mid-size tenants genuinely over-commit it. The
+/// L3 set-index coverage of the LLC color bits is unchanged (row bits are
+/// the top bits); `validate()` holds.
+pub fn soak_machine() -> MachineConfig {
+    let mut m = MachineConfig::tiny();
+    m.name = "tiny-soak".to_string();
+    m.mapping.row_bits = 7;
+    m.validate();
+    m
+}
+
+/// One soak cell's results: the run outcome, its per-window trace, and
+/// the kernel's pressure counters.
+struct SoakCell {
+    label: &'static str,
+    out: ChurnOutcome,
+    windows: Vec<PressureWindow>,
+    oom_kills: u64,
+    admission_rejects: u64,
+    alloc_retries: u64,
+}
+
+/// Run one soak cell to completion and hard-assert its survival contract.
+fn run_soak_cell(label: &'static str, guarded: bool, arrivals: u64) -> SoakCell {
+    let machine = soak_machine();
+    let mut sys = System::boot(machine.clone());
+    let baseline = sys.kernel().pool_snapshot();
+    let cfg = SoakConfig::new(0x50AC + guarded as u64, arrivals);
+    sys.set_fault_plan(Some(cfg.fault_plan()));
+    let rr = if guarded {
+        RoundRobin {
+            quantum: 5_000,
+            audit_frames: 256,
+            admission_control: true,
+            oom: Some(VictimPolicy::LargestFootprint),
+            ..RoundRobin::default()
+        }
+    } else {
+        // The pre-pressure scheduler: no gate, no killer, no retries, and
+        // only stop-the-world invariant checks.
+        RoundRobin {
+            quantum: 5_000,
+            max_retries: 0,
+            check_every: 16_384,
+            ..RoundRobin::default()
+        }
+    };
+    let window = (arrivals * cfg.mean_gap / 8).max(1);
+    let (out, windows) = rr.run_with_windows(&mut sys, cfg.build_jobs(&machine), window);
+    // The survival contract, asserted per cell: every arrival reaches a
+    // terminal fate, and sustained pressure + faults + kills + rejects
+    // leak nothing and skew no pool.
+    assert!(
+        !out.budget_exceeded,
+        "{label}: soak must not hit the backstop"
+    );
+    assert_eq!(
+        out.completed + out.failed(),
+        arrivals,
+        "{label}: every arrival must reach a terminal fate: {out:?}"
+    );
+    assert_eq!(out.exit_errors, 0, "{label}: no task exited twice");
+    let (buddy, colors) = sys.kernel().pool_snapshot();
+    assert_eq!(
+        baseline.0 + baseline.1,
+        buddy + colors,
+        "{label}: frames leaked across the soak"
+    );
+    assert_eq!(colors, baseline.1, "{label}: color-list population skew");
+    sys.check_invariants();
+    let st = sys.kernel().stats();
+    assert_eq!(st.oom_kills, out.killed_oom, "{label}: kill books disagree");
+    SoakCell {
+        label,
+        out,
+        windows,
+        oom_kills: st.oom_kills,
+        admission_rejects: st.admission_rejects,
+        alloc_retries: st.alloc_retries,
+    }
+}
+
+/// Figure (extension): the sustained-pressure soak — survival and its
+/// price over simulated hours of over-committed churn.
+///
+/// Two cells run the same heavy-tailed, fault-injected [`SoakConfig`]
+/// stream on the 2,048-frame [`soak_machine`]: **guarded** (watermark
+/// admission control, `EAGAIN` backoff, the largest-footprint OOM killer,
+/// and the incremental auditor) and **unguarded** (the pre-pressure
+/// scheduler: every transient failure is terminal). Each row is one
+/// uptime window: cumulative completions/kills/rejections/retries, live
+/// tenants, the two pool populations, the largest free buddy order (the
+/// fragmentation signal), the off-color fraction, and the frames the
+/// incremental auditor has swept. Cells run on separate host threads when
+/// `--jobs` allows; each simulation is single-threaded and deterministic,
+/// so the table is byte-identical at any job count.
+pub fn soak(opts: &FigOpts) -> Table {
+    let mut t = Table::new(vec![
+        "cell",
+        "window",
+        "end_kcycles",
+        "completed",
+        "killed_oom",
+        "rejected",
+        "retries",
+        "live",
+        "buddy_free",
+        "color_pages",
+        "largest_order",
+        "off_color_frac",
+        "audited_frames",
+    ]);
+    let arrivals = ((5_000.0 * opts.scale).ceil() as u64).max(40);
+    let specs: [(&'static str, bool); 2] = [("guarded", true), ("unguarded", false)];
+    let cells: Vec<SoakCell> = if available_jobs() > 1 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = specs
+                .iter()
+                .map(|&(label, guarded)| s.spawn(move || run_soak_cell(label, guarded, arrivals)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("soak cell panicked"))
+                .collect()
+        })
+    } else {
+        specs
+            .iter()
+            .map(|&(label, guarded)| run_soak_cell(label, guarded, arrivals))
+            .collect()
+    };
+    // At figure scale the offered load is ~20× the service rate: the
+    // guarded run must actually have exercised the machinery it exists to
+    // prove out.
+    if arrivals >= 1_000 {
+        let g = &cells[0].out;
+        assert!(g.killed_oom >= 1, "guarded soak never OOM-killed: {g:?}");
+        assert!(
+            g.rejected_admission >= 1,
+            "guarded soak never rejected an admission: {g:?}"
+        );
+        assert!(g.alloc_retries >= 1, "guarded soak never retried: {g:?}");
+    }
+    for cell in &cells {
+        crate::runner::note_pressure_stats(
+            cell.oom_kills,
+            cell.admission_rejects,
+            cell.alloc_retries,
+        );
+        for (wi, w) in cell.windows.iter().enumerate() {
+            let off_total = w.off_color_allocs + w.colored_allocs;
+            t.row(vec![
+                cell.label.to_string(),
+                format!("{wi}"),
+                format!("{}", w.end / 1_000),
+                format!("{}", w.completed),
+                format!("{}", w.killed_oom),
+                format!("{}", w.rejected_admission),
+                format!("{}", w.alloc_retries),
+                format!("{}", w.live_tasks),
+                format!("{}", w.buddy_free),
+                format!("{}", w.color_pages),
+                format!("{}", w.largest_free_order),
+                norm(if off_total == 0 {
+                    0.0
+                } else {
+                    w.off_color_allocs as f64 / off_total as f64
+                }),
+                format!("{}", w.audited_frames),
             ]);
         }
     }
@@ -1154,6 +1331,29 @@ mod tests {
             let done: u64 = row[2].parse().unwrap();
             let failed: u64 = row[3].parse().unwrap();
             assert_eq!(done + failed, tasks);
+        }
+    }
+
+    #[test]
+    fn soak_figure_is_identical_at_any_job_count() {
+        // One test covers both properties (set_jobs is process-global): the
+        // quick-scale soak emits window rows for both cells, and the table
+        // — backoff and OOM schedules included — is byte-identical whether
+        // the cells share one host thread or fan out across four.
+        crate::runner::set_jobs(1);
+        let serial = soak(&quick());
+        crate::runner::set_jobs(4);
+        let parallel = soak(&quick());
+        crate::runner::set_jobs(0);
+        assert_eq!(serial.rows(), parallel.rows());
+        let cells: std::collections::HashSet<_> =
+            serial.rows().iter().map(|r| r[0].clone()).collect();
+        assert_eq!(cells.len(), 2, "guarded and unguarded cells present");
+        for row in serial.rows() {
+            let done: u64 = row[3].parse().unwrap();
+            let killed: u64 = row[4].parse().unwrap();
+            let rejected: u64 = row[5].parse().unwrap();
+            assert!(done + killed + rejected <= 250, "cumulative counters");
         }
     }
 

@@ -212,6 +212,37 @@ pub fn reset_fault_counters() {
     RETRIES_USED.store(0, Ordering::Relaxed);
 }
 
+/// Memory-pressure events observed by figures this process: OOM victim
+/// kills, watermark admission rejections, and `EAGAIN` allocation retries
+/// (fed by the `soak` figure; reported in `BENCH_repro.json`).
+static OOM_KILLS: AtomicU64 = AtomicU64::new(0);
+static ADMISSION_REJECTS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Accumulate one simulated system's pressure counters into the
+/// process-wide totals.
+pub fn note_pressure_stats(oom_kills: u64, admission_rejects: u64, alloc_retries: u64) {
+    OOM_KILLS.fetch_add(oom_kills, Ordering::Relaxed);
+    ADMISSION_REJECTS.fetch_add(admission_rejects, Ordering::Relaxed);
+    ALLOC_RETRIES.fetch_add(alloc_retries, Ordering::Relaxed);
+}
+
+/// `(oom_kills, admission_rejects, alloc_retries)` accumulated so far.
+pub fn pressure_stats() -> (u64, u64, u64) {
+    (
+        OOM_KILLS.load(Ordering::Relaxed),
+        ADMISSION_REJECTS.load(Ordering::Relaxed),
+        ALLOC_RETRIES.load(Ordering::Relaxed),
+    )
+}
+
+/// Zero the pressure counters (tests).
+pub fn reset_pressure_stats() {
+    OOM_KILLS.store(0, Ordering::Relaxed);
+    ADMISSION_REJECTS.store(0, Ordering::Relaxed);
+    ALLOC_RETRIES.store(0, Ordering::Relaxed);
+}
+
 /// Sentinel retry override; `usize::MAX` = unset (fall back to env).
 static RETRIES_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
 

@@ -20,7 +20,10 @@ use tint_hw::pci::PciConfigSpace;
 use tint_hw::profile::{self, Component};
 use tint_hw::types::{BankColor, CoreId, FrameNumber, LlcColor, Rw, VirtAddr};
 use tint_kernel::kernel::{COLOR_ALLOC, SET_LLC_COLOR, SET_MEM_COLOR};
-use tint_kernel::{Errno, ExhaustionPolicy, FaultPlan, HeapPolicy, Kernel, KernelCosts, Tid};
+use tint_kernel::{
+    AuditCursor, Errno, ExhaustionPolicy, FaultPlan, HeapPolicy, Kernel, KernelCosts, MemPressure,
+    OomKill, Tid, VictimPolicy, Watermarks,
+};
 use tint_mem::{AccessResult, MemorySystem};
 
 /// One memory access as seen by the application.
@@ -230,6 +233,47 @@ impl System {
     /// violation). For tests and fuzzing — O(frames).
     pub fn check_invariants(&self) {
         self.kernel.check_invariants();
+    }
+
+    /// One bounded slice of the incremental invariant audit (see
+    /// [`Kernel::audit_step`]): up to `frames` frames from `cursor`, plus
+    /// the O(tasks) conservation check. Returns the frames examined.
+    pub fn audit_step(&self, cursor: &mut AuditCursor, frames: u64) -> u64 {
+        self.kernel.audit_step(cursor, frames)
+    }
+
+    /// The kernel's memory-pressure signal (free frames vs watermarks).
+    pub fn mem_pressure(&self) -> MemPressure {
+        self.kernel.mem_pressure()
+    }
+
+    /// Replace the kernel's free-frame watermarks.
+    pub fn set_watermarks(&mut self, w: Watermarks) {
+        self.kernel.set_watermarks(w);
+    }
+
+    /// Kill one task to relieve memory pressure: deterministic victim
+    /// selection in the kernel, then the same user-level cleanup as
+    /// [`System::exit`] — the victim's heap arena and cached TLB task entry
+    /// die with it, so a later syscall on the dead tid is a clean `ESRCH`.
+    pub fn oom_kill(&mut self, policy: VictimPolicy) -> Result<OomKill, Errno> {
+        let kill = self.kernel.oom_kill(policy)?;
+        self.heaps.remove(&kill.victim);
+        let ti = kill.victim.0 as usize;
+        if ti < self.tlb.tasks.len() {
+            self.tlb.tasks[ti] = None;
+        }
+        Ok(kill)
+    }
+
+    /// Record a pressure-deferred admission in the kernel's ledger.
+    pub fn note_admission_reject(&mut self) {
+        self.kernel.note_admission_reject();
+    }
+
+    /// Record an allocation retried after a transient `EAGAIN`.
+    pub fn note_alloc_retry(&mut self) {
+        self.kernel.note_alloc_retry();
     }
 
     /// Mutable kernel access for kernel-level experiments (raw syscalls,
@@ -645,6 +689,26 @@ mod tests {
     fn exit_unknown_task_is_esrch() {
         let mut s = sys();
         assert_eq!(s.exit(Tid(999)), Err(Errno::Esrch));
+    }
+
+    #[test]
+    fn oom_kill_cleans_up_heap_and_tlb_like_exit() {
+        let mut s = sys();
+        let baseline = s.kernel().pool_snapshot();
+        let t = s.spawn(CoreId(0));
+        s.set_mem_color(t, BankColor(1)).unwrap();
+        let a = s.malloc(t, 4 * 4096).unwrap();
+        // Warm the TLB so the kill has cached state to invalidate.
+        s.access(t, a, Rw::Write, 0).unwrap();
+        let kill = s.oom_kill(VictimPolicy::LargestFootprint).unwrap();
+        assert_eq!(kill.victim, t);
+        assert!(kill.frames_reclaimed >= 1);
+        assert_eq!(s.access(t, a, Rw::Read, 0), Err(Errno::Esrch));
+        assert_eq!(s.malloc(t, 16), Err(Errno::Esrch));
+        assert!(s.heap(t).is_err());
+        assert_eq!(s.kernel().stats().oom_kills, 1);
+        assert_eq!(s.kernel().pool_snapshot(), baseline, "kill reclaims all");
+        s.check_invariants();
     }
 
     #[test]

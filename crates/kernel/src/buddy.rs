@@ -191,6 +191,19 @@ impl BuddyAllocator {
         assert!(inserted, "double free of block {start:#x} at order {order}");
     }
 
+    /// Is `frame` currently free (contained in any free block)? O(orders ×
+    /// log blocks) — cheap enough for the incremental auditor to call per
+    /// frame, without walking whole lists.
+    pub fn contains_frame(&self, frame: FrameNumber) -> bool {
+        if frame.0 >= self.frame_count {
+            return false;
+        }
+        (0..=MAX_ORDER).any(|o| {
+            let start = frame.0 & !((1u64 << o) - 1);
+            self.free_lists[o as usize].contains(&start)
+        })
+    }
+
     /// Check the structural invariants (used by property tests): no overlap,
     /// alignment, and the free-page count matches the lists.
     pub fn check_invariants(&self) {

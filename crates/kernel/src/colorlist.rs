@@ -204,6 +204,14 @@ impl ColorMatrix {
         &self.mapping
     }
 
+    /// Is `frame` currently parked in its color list? Decodes the frame to
+    /// find the one list that could hold it, so the scan is bounded by that
+    /// list's length — the incremental auditor's per-frame membership probe.
+    pub fn contains_frame(&self, frame: FrameNumber) -> bool {
+        let d = self.mapping.decode_frame(frame);
+        self.lists[d.bank_color.index()][d.llc_color.index()].contains(&frame)
+    }
+
     /// Iterate over every frame currently held in any color list (for
     /// whole-kernel frame accounting).
     pub fn iter_frames(&self) -> impl Iterator<Item = FrameNumber> + '_ {

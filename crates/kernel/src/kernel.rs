@@ -30,6 +30,7 @@ use crate::buddy::BuddyAllocator;
 use crate::colorlist::ColorMatrix;
 use crate::errno::Errno;
 use crate::fault::{FaultInjector, FaultPlan, FaultSite};
+use crate::pressure::{AuditCursor, MemPressure, OomKill, VictimPolicy, Watermarks};
 use crate::task::{ColorOp, ExhaustionPolicy, HeapPolicy, TaskStruct, Tid, VmId};
 use crate::vm::{AddressSpace, FrameSource};
 use crate::MAX_ORDER;
@@ -117,6 +118,14 @@ pub struct KernelStats {
     pub exhaustion_fallbacks: u64,
     /// Faults injected by the armed [`FaultPlan`] (0 when injection is off).
     pub injected_faults: u64,
+    /// Tasks destroyed by [`Kernel::oom_kill`].
+    pub oom_kills: u64,
+    /// Admissions deferred or dropped by a scheduler's watermark gate
+    /// (reported via [`Kernel::note_admission_reject`]).
+    pub admission_rejects: u64,
+    /// Allocation attempts retried after a transient `EAGAIN` (reported via
+    /// [`Kernel::note_alloc_retry`]).
+    pub alloc_retries: u64,
 }
 
 /// What a page fault returned: the frame plus the cycles the kernel charged.
@@ -171,7 +180,26 @@ pub struct Kernel {
     /// outstanding [`Kernel::alloc_pages_raw`] blocks. Balances the
     /// whole-memory accounting in [`Kernel::check_invariants`].
     untracked_pages: u64,
+    /// Free-frame watermarks backing [`Kernel::mem_pressure`].
+    watermarks: Watermarks,
+    /// Reverse map: frame number → packed `(vm, page)` of the translation
+    /// it backs, or [`RMAP_NONE`]. Maintained on every install/remap/
+    /// release, it gives [`Kernel::audit_step`] an O(1) "who owns this
+    /// frame" answer — genuine redundancy against the page tables, which is
+    /// what makes the incremental audit able to *catch* drift rather than
+    /// re-derive it.
+    rmap: Vec<u64>,
+    /// Pages currently resident across all address spaces (PTE count).
+    /// Redundant with walking every VM; kept incrementally so the auditor's
+    /// whole-memory conservation check is O(tasks), not O(frames).
+    resident_pages: u64,
 }
+
+/// [`Kernel::rmap`] sentinel: the frame backs no translation.
+const RMAP_NONE: u64 = u64::MAX;
+
+/// Bits of the packed rmap entry reserved for the page number.
+const RMAP_PAGE_BITS: u32 = 44;
 
 impl Kernel {
     /// Boot with a known mapping (tests, presets).
@@ -187,13 +215,16 @@ impl Kernel {
             tasks: HashMap::new(),
             vms: Vec::new(),
             next_tid: 1,
-            mapping,
             topology,
             costs,
             stats: KernelStats::default(),
             translation_epoch: 0,
             fault: None,
             untracked_pages: 0,
+            watermarks: Watermarks::for_frames(mapping.frame_count()),
+            rmap: vec![RMAP_NONE; mapping.frame_count() as usize],
+            resident_pages: 0,
+            mapping,
         }
     }
 
@@ -328,6 +359,35 @@ impl Kernel {
             "frame accounting drifted (untracked: {})",
             self.untracked_pages
         );
+        // The reverse map must agree with the page tables exactly: an rmap
+        // entry on every page-table-owned frame (pointing back at a live
+        // PTE for that frame) and on nothing else, with the resident-page
+        // counter matching the population.
+        let mut rmapped = 0u64;
+        for (fno, &entry) in self.rmap.iter().enumerate() {
+            if entry == RMAP_NONE {
+                assert_ne!(
+                    owner[fno], 3,
+                    "frame {fno} is page-table-owned but has no rmap entry"
+                );
+                continue;
+            }
+            rmapped += 1;
+            assert_eq!(
+                owner[fno], 3,
+                "frame {fno} rmapped but not page-table-owned"
+            );
+            let (vm, page) = Self::rmap_unpack(entry);
+            assert_eq!(
+                self.vms[vm].pte(PageNumber(page)).map(|p| p.frame),
+                Some(FrameNumber(fno as u64)),
+                "rmap of frame {fno} points at vm {vm} page {page}, which maps elsewhere"
+            );
+        }
+        assert_eq!(
+            rmapped, self.resident_pages,
+            "resident-page counter drifted from the rmap population"
+        );
         // Post-exit baseline: once every task is gone there is nothing to
         // hold pages — the color matrix must have drained and the buddy
         // allocator must own every tracked frame again (zero leaked frames,
@@ -350,6 +410,187 @@ impl Kernel {
     /// snapshot churn harnesses compare before/after task lifecycles.
     pub fn pool_snapshot(&self) -> (u64, u64) {
         (self.buddy.free_pages(), self.colors.pages())
+    }
+
+    // ------------------------------------------------------------------
+    // Memory pressure
+    // ------------------------------------------------------------------
+
+    /// The watermarks in force.
+    pub fn watermarks(&self) -> Watermarks {
+        self.watermarks
+    }
+
+    /// Replace the watermarks (harness knobs; defaults come from
+    /// [`Watermarks::for_frames`] at boot).
+    pub fn set_watermarks(&mut self, w: Watermarks) {
+        assert!(w.min <= w.low, "min watermark above low watermark");
+        self.watermarks = w;
+    }
+
+    /// Total allocatable frames: buddy free pages plus pages parked in the
+    /// color lists.
+    pub fn free_frames(&self) -> u64 {
+        self.buddy.free_pages() + self.colors.pages()
+    }
+
+    /// The current pressure signal, from [`Kernel::free_frames`] against
+    /// the watermarks. O(1).
+    pub fn mem_pressure(&self) -> MemPressure {
+        let free = self.free_frames();
+        if free <= self.watermarks.min {
+            MemPressure::Critical
+        } else if free <= self.watermarks.low {
+            MemPressure::Low
+        } else {
+            MemPressure::Normal
+        }
+    }
+
+    /// Live task count (OOM candidates).
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The OOM killer: pick a victim under `policy` (deterministic — equal
+    /// kernel states pick equal victims), destroy it through the ordinary
+    /// provenance-routed [`Kernel::destroy_task`] path, and report what was
+    /// reclaimed. `ESRCH` when no task is left to kill.
+    pub fn oom_kill(&mut self, policy: VictimPolicy) -> Result<OomKill, Errno> {
+        let victim = match policy {
+            VictimPolicy::LargestFootprint => self
+                .tasks
+                .values()
+                .map(|t| {
+                    let footprint = self.vms[t.vm.0].resident_pages() as u64 + t.pcp.len() as u64;
+                    (footprint, t.tid.0)
+                })
+                // Ties by *youngest* (largest tid): kill the newcomer.
+                .max()
+                .map(|(_, tid)| Tid(tid)),
+            VictimPolicy::Youngest => self.tasks.keys().max().copied(),
+        }
+        .ok_or(Errno::Esrch)?;
+        let before = self.free_frames();
+        self.destroy_task(victim)?;
+        self.stats.oom_kills += 1;
+        Ok(OomKill {
+            victim,
+            frames_reclaimed: self.free_frames() - before,
+        })
+    }
+
+    /// Record that a scheduler deferred or dropped an admission because of
+    /// memory pressure. The gate lives in the scheduler (it owns arrival
+    /// time); the counter lives here so every harness shares one ledger.
+    pub fn note_admission_reject(&mut self) {
+        self.stats.admission_rejects += 1;
+    }
+
+    /// Record that a caller retried an allocation after a transient
+    /// `EAGAIN`.
+    pub fn note_alloc_retry(&mut self) {
+        self.stats.alloc_retries += 1;
+    }
+
+    /// One bounded slice of the invariant audit: examine up to `frames`
+    /// physical frames starting at `cursor`, plus an O(tasks) whole-memory
+    /// conservation check. Returns the number of frames examined and
+    /// advances (wrapping) the cursor, so a scheduler can keep auditing
+    /// *continuously* during simulated-hours runs at a bounded per-quantum
+    /// cost instead of stop-the-world [`Kernel::check_invariants`] sweeps.
+    ///
+    /// Per frame, exactly one of these may own it: a buddy free list, a
+    /// color list, a translation (checked *both ways* through the reverse
+    /// map and the page table it claims), or a task's pcp batch. Panics
+    /// with a description on any violation.
+    pub fn audit_step(&self, cursor: &mut AuditCursor, frames: u64) -> u64 {
+        let total = self.mapping.frame_count();
+        // Conservation first: every frame is free, resident, batched, or
+        // deliberately untracked. O(tasks).
+        let pcp_total: u64 = self.tasks.values().map(|t| t.pcp.len() as u64).sum();
+        assert_eq!(
+            self.buddy.free_pages()
+                + self.colors.pages()
+                + self.resident_pages
+                + pcp_total
+                + self.untracked_pages,
+            total,
+            "frame conservation drifted (free {} + colors {} + resident {} + pcp {} + untracked {})",
+            self.buddy.free_pages(),
+            self.colors.pages(),
+            self.resident_pages,
+            pcp_total,
+            self.untracked_pages
+        );
+        let budget = frames.min(total);
+        let pcp: std::collections::HashSet<u64> = self
+            .tasks
+            .values()
+            .flat_map(|t| t.pcp.iter().map(|f| f.0))
+            .collect();
+        for i in 0..budget {
+            let fno = (cursor.next + i) % total;
+            let f = FrameNumber(fno);
+            let mut owners = 0u32;
+            if self.buddy.contains_frame(f) {
+                owners += 1;
+            }
+            if self.colors.contains_frame(f) {
+                owners += 1;
+            }
+            if pcp.contains(&fno) {
+                owners += 1;
+            }
+            let entry = self.rmap[fno as usize];
+            if entry != RMAP_NONE {
+                owners += 1;
+                let (vm, page) = Self::rmap_unpack(entry);
+                let pte = self.vms[vm].pte(PageNumber(page));
+                assert_eq!(
+                    pte.map(|p| p.frame),
+                    Some(f),
+                    "audit: rmap says frame {f} backs vm {vm} page {page}, page table disagrees"
+                );
+            }
+            assert!(owners <= 1, "audit: frame {f} claimed by {owners} owners");
+        }
+        cursor.next = (cursor.next + budget) % total;
+        budget
+    }
+
+    /// Pack an rmap entry.
+    fn rmap_pack(vm: usize, page: u64) -> u64 {
+        assert!(page < 1 << RMAP_PAGE_BITS, "page number beyond rmap range");
+        assert!(
+            (vm as u64) < (1 << (64 - RMAP_PAGE_BITS)) - 1,
+            "vm index beyond rmap range"
+        );
+        ((vm as u64) << RMAP_PAGE_BITS) | page
+    }
+
+    /// Unpack an rmap entry into `(vm index, page number)`.
+    fn rmap_unpack(entry: u64) -> (usize, u64) {
+        (
+            (entry >> RMAP_PAGE_BITS) as usize,
+            entry & ((1 << RMAP_PAGE_BITS) - 1),
+        )
+    }
+
+    /// Record that `frame` now backs `page` of `vm`.
+    fn rmap_set(&mut self, frame: FrameNumber, vm: usize, page: u64) {
+        let slot = &mut self.rmap[frame.0 as usize];
+        debug_assert_eq!(*slot, RMAP_NONE, "frame {frame} rmapped twice");
+        *slot = Self::rmap_pack(vm, page);
+    }
+
+    /// Record that `frame` no longer backs any translation.
+    fn rmap_clear(&mut self, frame: FrameNumber) {
+        debug_assert_ne!(
+            self.rmap[frame.0 as usize], RMAP_NONE,
+            "frame {frame} rmap-cleared while unmapped"
+        );
+        self.rmap[frame.0 as usize] = RMAP_NONE;
     }
 
     // ------------------------------------------------------------------
@@ -409,7 +650,9 @@ impl Kernel {
                 // Existing translations died: caches above must flush.
                 self.translation_epoch += 1;
             }
+            self.resident_pages -= ptes.len() as u64;
             for pte in ptes {
+                self.rmap_clear(pte.frame);
                 self.release_frame(pte.frame, pte.source);
             }
         }
@@ -491,7 +734,9 @@ impl Kernel {
         if !ptes.is_empty() {
             self.translation_epoch += 1;
         }
+        self.resident_pages -= ptes.len() as u64;
         for pte in ptes {
+            self.rmap_clear(pte.frame);
             self.release_frame(pte.frame, pte.source);
         }
         Ok(())
@@ -589,6 +834,8 @@ impl Kernel {
             self.release_frame(out.frame, out.source);
             return Err(e);
         }
+        self.rmap_set(out.frame, vm.0, page.0);
+        self.resident_pages += 1;
         self.stats.page_faults += 1;
         self.stats.fault_cycles += out.cycles;
         Ok(out)
@@ -706,6 +953,8 @@ impl Kernel {
             }
             let prev = self.vms[vm.0].remap(page, out.frame, out.source);
             self.translation_epoch += 1;
+            self.rmap_clear(prev.frame);
+            self.rmap_set(out.frame, vm.0, page.0);
             self.release_frame(prev.frame, prev.source);
             cycles += out.cycles + self.costs.page_copy;
             migrated += 1;
@@ -2156,5 +2405,143 @@ mod tests {
             assert_eq!(k.pool_snapshot(), baseline, "generation {gen} leaked");
             k.check_invariants();
         }
+    }
+
+    #[test]
+    fn pressure_signal_follows_watermarks() {
+        let mut k = kernel();
+        assert_eq!(k.mem_pressure(), MemPressure::Normal);
+        let free = k.free_frames();
+        // Raise the watermarks around the current population and watch the
+        // signal move through the whole band.
+        k.set_watermarks(Watermarks {
+            low: free,
+            min: free / 2,
+        });
+        assert_eq!(k.mem_pressure(), MemPressure::Low);
+        k.set_watermarks(Watermarks {
+            low: free + 1,
+            min: free,
+        });
+        assert_eq!(k.mem_pressure(), MemPressure::Critical);
+        // Consuming frames crosses thresholds the other way round too.
+        k.set_watermarks(Watermarks {
+            low: free - 8,
+            min: free - 16,
+        });
+        assert_eq!(k.mem_pressure(), MemPressure::Normal);
+        k.consume_boot_noise(8);
+        assert_eq!(k.mem_pressure(), MemPressure::Low);
+        k.consume_boot_noise(8);
+        assert_eq!(k.mem_pressure(), MemPressure::Critical);
+    }
+
+    #[test]
+    fn watermark_ordering_is_enforced() {
+        let mut k = kernel();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            k.set_watermarks(Watermarks { low: 1, min: 2 })
+        }));
+        assert!(r.is_err(), "min above low must be rejected");
+    }
+
+    #[test]
+    fn oom_kill_picks_largest_footprint_then_youngest() {
+        let mut k = kernel();
+        let baseline = k.pool_snapshot();
+        // Colored tasks: no pcp batch, so the footprint is exactly the
+        // resident page count.
+        let small = colored_task(&mut k, 0, 0, 0);
+        let big = colored_task(&mut k, 1, 1, 1);
+        let late = colored_task(&mut k, 2, 2, 2);
+        for (tid, pages) in [(small, 2u64), (big, 6), (late, 2)] {
+            let base = k.sys_mmap(tid, 0, pages * PAGE_SIZE, 0).unwrap();
+            for p in 0..pages {
+                k.translate(tid, base.offset(p * PAGE_SIZE)).unwrap();
+            }
+        }
+        // Largest footprint wins outright...
+        let kill = k.oom_kill(VictimPolicy::LargestFootprint).unwrap();
+        assert_eq!(kill.victim, big);
+        assert!(kill.frames_reclaimed >= 6, "the victim's frames came back");
+        // ...and equal footprints break towards the youngest (largest tid).
+        let kill = k.oom_kill(VictimPolicy::LargestFootprint).unwrap();
+        assert_eq!(kill.victim, late);
+        let kill = k.oom_kill(VictimPolicy::Youngest).unwrap();
+        assert_eq!(kill.victim, small);
+        assert_eq!(k.stats().oom_kills, 3);
+        assert_eq!(k.pool_snapshot(), baseline, "kills reclaim like exits");
+        k.check_invariants();
+        // An empty machine has nobody left to kill.
+        assert_eq!(
+            k.oom_kill(VictimPolicy::LargestFootprint),
+            Err(Errno::Esrch)
+        );
+    }
+
+    #[test]
+    fn audit_step_sweeps_cleanly_and_wraps() {
+        let mut k = kernel();
+        let tid = colored_task(&mut k, 0, 1, 2);
+        let base = k.sys_mmap(tid, 0, 16 * PAGE_SIZE, 0).unwrap();
+        for p in 0..16u64 {
+            k.translate(tid, base.offset(p * PAGE_SIZE)).unwrap();
+        }
+        let total = k.mapping().frame_count();
+        let mut cursor = AuditCursor::default();
+        let mut audited = 0;
+        while audited < 2 * total {
+            audited += k.audit_step(&mut cursor, 1024);
+        }
+        assert_eq!(cursor.next, 0, "two full wraps land back at frame 0");
+        k.sys_exit(tid).unwrap();
+        k.audit_step(&mut cursor, total);
+    }
+
+    #[test]
+    #[should_panic(expected = "page table disagrees")]
+    fn audit_step_catches_a_corrupted_rmap() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        let base = k.sys_mmap(tid, 0, 4 * PAGE_SIZE, 0).unwrap();
+        let frame = k.translate(tid, base).unwrap().phys.frame();
+        // Corrupt the reverse map behind the kernel's back: point the
+        // frame's entry at a page that was never mapped.
+        k.rmap[frame.0 as usize] = Kernel::rmap_pack(0, 1);
+        let mut cursor = AuditCursor::default();
+        k.audit_step(&mut cursor, k.mapping().frame_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "frame conservation drifted")]
+    fn audit_step_catches_a_lost_frame() {
+        let mut k = kernel();
+        let tid = k.create_task(CoreId(0));
+        let base = k.sys_mmap(tid, 0, PAGE_SIZE, 0).unwrap();
+        k.translate(tid, base).unwrap();
+        // Simulate a leak: the resident counter says one fewer page than
+        // the page tables actually hold.
+        k.resident_pages -= 1;
+        k.audit_step(&mut AuditCursor::default(), 1);
+    }
+
+    #[test]
+    fn rmap_survives_recolor_and_munmap() {
+        let mut k = kernel();
+        let tid = colored_task(&mut k, 0, 0, 0);
+        let base = k.sys_mmap(tid, 0, 8 * PAGE_SIZE, 0).unwrap();
+        for p in 0..8u64 {
+            k.translate(tid, base.offset(p * PAGE_SIZE)).unwrap();
+        }
+        // Switch colors and migrate: every remap must move the rmap entry.
+        k.sys_mmap(tid, CLEAR_MEM_COLOR, 0, COLOR_ALLOC).unwrap();
+        k.sys_mmap(tid, SET_MEM_COLOR | 2, 0, COLOR_ALLOC).unwrap();
+        let (migrated, _) = k.recolor_task(tid).unwrap();
+        assert!(migrated > 0, "color change must migrate pages");
+        k.check_invariants();
+        k.audit_step(&mut AuditCursor::default(), k.mapping().frame_count());
+        k.sys_munmap(tid, base, 8 * PAGE_SIZE).unwrap();
+        k.sys_exit(tid).unwrap();
+        k.check_invariants();
     }
 }

@@ -52,6 +52,7 @@ pub mod colorlist;
 pub mod errno;
 pub mod fault;
 pub mod kernel;
+pub mod pressure;
 pub mod task;
 pub mod vm;
 
@@ -60,6 +61,7 @@ pub use colorlist::ColorMatrix;
 pub use errno::Errno;
 pub use fault::{FaultInjector, FaultPlan, FaultSite};
 pub use kernel::{AllocOutcome, Kernel, KernelCosts, KernelStats};
+pub use pressure::{AuditCursor, MemPressure, OomKill, VictimPolicy, Watermarks};
 pub use task::{ColorOp, ExhaustionPolicy, HeapPolicy, TaskStruct, Tid};
 pub use vm::{AddressSpace, FrameSource, Pte};
 

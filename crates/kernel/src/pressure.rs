@@ -1,0 +1,91 @@
+//! Memory-pressure machinery: watermarks, the pressure signal, and the OOM
+//! victim policy.
+//!
+//! Stock Linux degrades gracefully when free frames run dry: `kswapd` wakes
+//! below the *low* watermark, direct reclaim kicks in below *min*, and the
+//! OOM killer picks a victim when reclaim cannot keep up. This simulated
+//! kernel has no swap and no page cache to reclaim from, so the analogous
+//! regime is simpler but the shape is the same: a [`Watermarks`] pair over
+//! the free-frame population yields a [`MemPressure`] signal callers can
+//! read cheaply, and [`crate::Kernel::oom_kill`] is the last resort —
+//! deterministic victim selection feeding the existing provenance-routed
+//! task teardown.
+//!
+//! Everything here is driven by *simulated* state only: the pressure signal
+//! and victim choice are pure functions of kernel data structures, so runs
+//! remain bit-deterministic regardless of host scheduling.
+
+use crate::task::Tid;
+
+/// Free-frame watermarks over the combined free pool (buddy free pages plus
+/// pages parked in the color lists — both are allocatable, the latter only
+/// to matching colors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watermarks {
+    /// Below this many free frames the kernel reports [`MemPressure::Low`]:
+    /// new tenants should be deferred (admission control), but running
+    /// tasks still allocate.
+    pub low: u64,
+    /// Below this many free frames the kernel reports
+    /// [`MemPressure::Critical`]: allocation failures are expected and the
+    /// OOM killer is a legitimate response.
+    pub min: u64,
+}
+
+impl Watermarks {
+    /// Linux-flavoured defaults for a machine with `frames` physical
+    /// frames: `low` at 1/16 of memory, `min` at 1/64, floored so tiny
+    /// test machines still get a meaningful band.
+    pub fn for_frames(frames: u64) -> Self {
+        Self {
+            low: (frames / 16).max(8),
+            min: (frames / 64).max(2),
+        }
+    }
+}
+
+/// The kernel's memory-pressure signal, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MemPressure {
+    /// Free frames above the low watermark: business as usual.
+    Normal,
+    /// Free frames at or below the low watermark: defer new tenants.
+    Low,
+    /// Free frames at or below the min watermark: allocations may fail;
+    /// killing a victim is on the table.
+    Critical,
+}
+
+/// How [`crate::Kernel::oom_kill`] picks its victim. All policies are
+/// deterministic: equal kernel states choose equal victims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// Linux's `oom_badness` spirit: the task with the largest resident
+    /// footprint (resident pages of its address space plus its pcp batch),
+    /// ties broken by the *youngest* task (largest tid) — killing the
+    /// newcomer over the established tenant.
+    LargestFootprint,
+    /// Always the youngest task (largest tid) — the cheap "undo the most
+    /// recent admission" policy.
+    Youngest,
+}
+
+/// What an OOM kill did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OomKill {
+    /// The task that was destroyed.
+    pub victim: Tid,
+    /// Free frames gained by the kill (buddy + color pools, after the
+    /// victim's address space and pcp batch were reclaimed).
+    pub frames_reclaimed: u64,
+}
+
+/// Resumable position of the incremental invariant auditor
+/// ([`crate::Kernel::audit_step`]): the next physical frame to examine.
+/// The cursor wraps at the frame count, so a long-running harness sweeps
+/// the whole machine over and over in bounded slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AuditCursor {
+    /// Next frame number to audit.
+    pub next: u64,
+}

@@ -50,4 +50,4 @@ pub mod scheduler;
 pub use engine::{reference_pipeline, run_section_dynamic, Op, SectionBody, SimThread};
 pub use metrics::{RunMetrics, SectionOutcome};
 pub use program::{Program, Section};
-pub use scheduler::{ChurnOutcome, Job, RoundRobin};
+pub use scheduler::{ChurnOutcome, Job, PressureWindow, RoundRobin};

@@ -21,6 +21,9 @@
 //! * [`churn`] — the multi-tenant arrival/exit stream for the round-robin
 //!   scheduler (not a paper benchmark; the reclamation observability
 //!   harness of ROADMAP item 1).
+//! * [`soak`] — `churn`'s over-committed sibling: sustained pressure,
+//!   heavy-tailed lifetimes, armed fault injection — the survival harness
+//!   for watermarks, backoff, and the OOM killer.
 //! * [`traits`] — the [`traits::Workload`] interface and the benchmark
 //!   registry.
 //! * [`fingerprint`] — the in-tree FNV/SplitMix hasher behind
@@ -36,10 +39,12 @@ pub mod fingerprint;
 pub mod freqmine;
 pub mod lbm;
 pub mod patterns;
+pub mod soak;
 pub mod synthetic;
 pub mod traits;
 
 pub use churn::ChurnConfig;
 pub use config::PinConfig;
+pub use soak::SoakConfig;
 pub use synthetic::Synthetic;
 pub use traits::{all_benchmarks, Workload};

@@ -1,0 +1,285 @@
+//! The `soak` workload: sustained over-committed pressure for simulated hours.
+//!
+//! [`crate::churn`] established the reclamation harness on a machine with
+//! headroom; `soak` removes the headroom. Arrivals come several times
+//! faster than cores can retire them, lifetimes are heavy-tailed (most
+//! tenants are brief, a few are enormous — the hoarders that make OOM
+//! victim selection interesting), and the kernel's fault injector is armed
+//! with low per-mille rates on the replenish paths so transient `EAGAIN`s
+//! pepper the whole run. A machine driven this way *must* reject or kill
+//! work to survive; the workload exists to prove the scheduler's
+//! watermark/backoff/OOM machinery keeps the kernel leak-free while it
+//! happens, and to measure what that survival costs (throughput,
+//! off-color fraction, fragmentation, audit overhead).
+//!
+//! Like `churn`, `soak` is not a paper benchmark and not in
+//! [`crate::all_benchmarks`]; it produces [`tint_spmd::Job`]s for the
+//! round-robin scheduler.
+
+use tint_hw::machine::MachineConfig;
+use tint_hw::rng::SplitMix64;
+use tint_hw::types::{BankColor, CoreId, LlcColor, Rw, VirtAddr, PAGE_SIZE};
+use tint_kernel::{ExhaustionPolicy, FaultPlan, FaultSite};
+use tint_spmd::{Job, Op, SectionBody};
+use tintmalloc::System;
+
+/// Parameters of one soak run. All randomness derives from `seed`; equal
+/// configs build identical job streams and identical fault plans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakConfig {
+    /// Master seed for arrivals, lifetimes, sizes, colors, op streams, and
+    /// the derived fault plan.
+    pub seed: u64,
+    /// Task arrivals to generate.
+    pub arrivals: u64,
+    /// Mean inter-arrival gap in cycles. The default (600) is far below
+    /// the per-task service time, so the offered load over-commits a
+    /// four-core machine many times over.
+    pub mean_gap: u64,
+    /// Heap region size per task, in pages (inclusive range).
+    pub pages: (u64, u64),
+    /// Minimum ops per lifetime — the Pareto scale parameter.
+    pub ops_min: u64,
+    /// Lifetime ceiling: the heavy tail is capped here so no single tenant
+    /// outlives the whole run.
+    pub ops_cap: u64,
+    /// Pareto shape (`alpha`). Values just above 1 give the classic
+    /// "many mice, few elephants" lifetime mix; 1.3 by default.
+    pub tail: f64,
+    /// Exhaustion policies cycled across arrivals.
+    pub policies: Vec<ExhaustionPolicy>,
+}
+
+impl SoakConfig {
+    /// The sustained-pressure default: brisk arrivals, mid-size regions,
+    /// heavy-tailed lifetimes, all three policies mixed.
+    pub fn new(seed: u64, arrivals: u64) -> Self {
+        Self {
+            seed,
+            arrivals,
+            mean_gap: 600,
+            pages: (8, 48),
+            ops_min: 64,
+            ops_cap: 8_192,
+            tail: 1.3,
+            policies: vec![
+                ExhaustionPolicy::Strict,
+                ExhaustionPolicy::NearestColor,
+                ExhaustionPolicy::LocalUncolored,
+            ],
+        }
+    }
+
+    /// The fault plan a soak run arms: low per-mille rates on the
+    /// replenish paths (transient `EAGAIN`, retryable) and on `sys_mmap`
+    /// (`ENOMEM` at setup). Seeded from the config seed, so the whole
+    /// scenario — arrivals *and* weather — replays from one number.
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::new(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x50AC)
+            .with_rate(FaultSite::BuddyReplenish, 6)
+            .with_rate(FaultSite::CreateColorList, 4)
+            .with_rate(FaultSite::SysMmap, 2)
+    }
+
+    /// Generate the job stream for `machine`. Same structure as
+    /// [`crate::ChurnConfig::build_jobs`] — Poisson arrivals round-robined
+    /// across cores, uniform colors, cycled policies — but with Pareto
+    /// lifetimes in place of uniform ones.
+    pub fn build_jobs(&self, machine: &MachineConfig) -> Vec<Job<'static>> {
+        assert!(!self.policies.is_empty(), "at least one policy to cycle");
+        assert!(self.tail > 0.0, "Pareto shape must be positive");
+        let cores = machine.topology.core_count();
+        let banks = machine.mapping.bank_color_count() as u64;
+        let llcs = machine.mapping.llc_color_count() as u64;
+        let mut rng = SplitMix64::new(self.seed);
+        let mut clock = 0u64;
+        let mut jobs = Vec::with_capacity(self.arrivals as usize);
+        for i in 0..self.arrivals {
+            clock += exp_gap(&mut rng, self.mean_gap);
+            let core = CoreId((i as usize) % cores);
+            let bank = BankColor(rng.gen_range(banks) as u16);
+            let llc = LlcColor(rng.gen_range(llcs) as u16);
+            let policy = self.policies[(i as usize) % self.policies.len()];
+            let pages = rng.gen_range_in(self.pages.0, self.pages.1 + 1);
+            let ops = pareto_ops(&mut rng, self.ops_min, self.ops_cap, self.tail);
+            let body_seed = rng.next_u64();
+            jobs.push(Job {
+                arrival: clock,
+                core,
+                setup: Box::new(move |sys: &mut System| {
+                    let tid = sys.spawn(core);
+                    let fail = |sys: &mut System, e| {
+                        let _ = sys.exit(tid);
+                        Err(e)
+                    };
+                    if let Err(e) = sys.set_mem_color(tid, bank) {
+                        return fail(sys, e);
+                    }
+                    if let Err(e) = sys.set_llc_color(tid, llc) {
+                        return fail(sys, e);
+                    }
+                    if let Err(e) = sys.set_exhaustion_policy(tid, policy) {
+                        return fail(sys, e);
+                    }
+                    let base = match sys.malloc(tid, pages * PAGE_SIZE) {
+                        Ok(b) => b,
+                        Err(e) => return fail(sys, e),
+                    };
+                    let body = SoakBody {
+                        base,
+                        bytes: pages * PAGE_SIZE,
+                        remaining: ops,
+                        rng: SplitMix64::new(body_seed),
+                    };
+                    Ok((tid, Box::new(body) as Box<dyn SectionBody>))
+                }),
+            });
+        }
+        jobs
+    }
+}
+
+/// Exponentially distributed inter-arrival gap (Poisson process), floored
+/// at one cycle. Same construction as `churn`'s.
+fn exp_gap(rng: &mut SplitMix64, mean: u64) -> u64 {
+    let u = ((rng.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64;
+    ((-(mean as f64) * u.ln()).ceil() as u64).max(1)
+}
+
+/// A Pareto(`alpha`)-distributed lifetime: `ops_min * u^(-1/alpha)`, capped
+/// at `cap`. Heavy-tailed — the median sits near `ops_min`, but a few
+/// draws land orders of magnitude above it.
+fn pareto_ops(rng: &mut SplitMix64, ops_min: u64, cap: u64, alpha: f64) -> u64 {
+    let u = ((rng.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64;
+    let ops = ops_min as f64 * u.powf(-1.0 / alpha);
+    (ops.ceil() as u64).clamp(ops_min, cap)
+}
+
+/// One tenant's lifetime: the same seeded compute/read/write mix as
+/// `churn`'s body, over a region big enough that first-touch faults keep
+/// arriving deep into the lifetime.
+struct SoakBody {
+    base: VirtAddr,
+    bytes: u64,
+    remaining: u64,
+    rng: SplitMix64,
+}
+
+impl Iterator for SoakBody {
+    type Item = Op;
+    fn next(&mut self) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let r = self.rng.next_u64();
+        Some(if r.is_multiple_of(8) {
+            Op::Compute(20 + (r >> 8) % 100)
+        } else {
+            Op::Access {
+                addr: self.base.offset(((r >> 16) % self.bytes) & !7),
+                rw: if r.is_multiple_of(3) {
+                    Rw::Write
+                } else {
+                    Rw::Read
+                },
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tint_kernel::{VictimPolicy, Watermarks};
+    use tint_spmd::RoundRobin;
+
+    /// The guarded scheduler a soak run uses: admission control, OOM
+    /// killer, retries, and the incremental auditor all on.
+    fn guarded() -> RoundRobin {
+        RoundRobin {
+            quantum: 5_000,
+            audit_frames: 256,
+            admission_control: true,
+            oom: Some(VictimPolicy::LargestFootprint),
+            ..RoundRobin::default()
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_heavy_tailed_and_streams_deterministic() {
+        let cfg = SoakConfig::new(11, 200);
+        let machine = MachineConfig::tiny();
+        let jobs = cfg.build_jobs(&machine);
+        assert_eq!(jobs.len(), 200);
+        let mut prev = 0;
+        for j in &jobs {
+            assert!(j.arrival > prev, "arrivals strictly increase");
+            prev = j.arrival;
+        }
+        let again = cfg.build_jobs(&machine);
+        let t1: Vec<_> = jobs.iter().map(|j| (j.arrival, j.core)).collect();
+        let t2: Vec<_> = again.iter().map(|j| (j.arrival, j.core)).collect();
+        assert_eq!(t1, t2);
+        // The Pareto draw itself: mostly mice, at least one elephant.
+        let mut rng = SplitMix64::new(cfg.seed);
+        let draws: Vec<u64> = (0..500)
+            .map(|_| pareto_ops(&mut rng, cfg.ops_min, cfg.ops_cap, cfg.tail))
+            .collect();
+        let mice = draws.iter().filter(|&&o| o < 4 * cfg.ops_min).count();
+        let elephants = draws.iter().filter(|&&o| o >= 16 * cfg.ops_min).count();
+        assert!(mice > draws.len() / 2, "most lifetimes are short: {mice}");
+        assert!(elephants > 0, "the tail produces hoarders");
+        assert!(draws.iter().all(|&o| o <= cfg.ops_cap), "cap respected");
+    }
+
+    #[test]
+    fn soak_under_pressure_reclaims_every_frame() {
+        let machine = MachineConfig::tiny();
+        let mut sys = System::boot(machine.clone());
+        // Shrink the machine: leave a few hundred frames so 60 arrivals of
+        // 8–48 pages genuinely over-commit it.
+        let frames = machine.mapping.frame_count();
+        sys.kernel_mut().consume_boot_noise(frames - 384);
+        sys.set_watermarks(Watermarks::for_frames(384));
+        let baseline = sys.kernel().pool_snapshot();
+        let cfg = SoakConfig::new(7, 60);
+        sys.set_fault_plan(Some(cfg.fault_plan()));
+        let out = guarded().run(&mut sys, cfg.build_jobs(&machine));
+        assert_eq!(out.arrivals, 60);
+        assert_eq!(
+            out.completed + out.failed(),
+            60,
+            "every arrival reached a terminal fate: {out:?}"
+        );
+        assert!(out.completed > 0, "the machine still retires work");
+        assert!(!out.budget_exceeded);
+        assert_eq!(
+            sys.kernel().pool_snapshot(),
+            baseline,
+            "zero leaked frames under pressure, faults, kills, and rejects"
+        );
+        sys.check_invariants();
+    }
+
+    #[test]
+    fn armed_zero_rate_plan_is_bit_identical_to_unarmed() {
+        // The injector's zero-rate checks must not consume RNG or cycles:
+        // a run with an armed all-zero plan is indistinguishable from an
+        // unarmed run, windows included.
+        let machine = MachineConfig::tiny();
+        let cfg = SoakConfig::new(13, 40);
+        let run = |plan: Option<FaultPlan>| {
+            let mut sys = System::boot(machine.clone());
+            let frames = machine.mapping.frame_count();
+            sys.kernel_mut().consume_boot_noise(frames - 384);
+            sys.set_watermarks(Watermarks::for_frames(384));
+            sys.set_fault_plan(plan);
+            guarded().run_with_windows(&mut sys, cfg.build_jobs(&machine), 100_000)
+        };
+        let unarmed = run(None);
+        let zeroed = run(Some(FaultPlan::new(99)));
+        assert_eq!(unarmed.0, zeroed.0);
+        assert_eq!(unarmed.1, zeroed.1);
+    }
+}

@@ -145,6 +145,42 @@ if ! grep -q '"policy": "mixed"' "$churn_dir/BENCH_repro.json"; then
 fi
 rm -rf "$churn_dir"
 
+echo "== soak survival smoke =="
+# A short seeded soak: sustained over-committed arrivals with the kernel
+# fault injector armed, watermark admission control, OOM victim kills, and
+# the incremental invariant auditor all on. The figure hard-asserts the
+# survival contract per cell (every arrival reaches a terminal fate; the
+# post-run pool populations equal the baseline — zero leaked frames), so
+# any violation is a nonzero exit; the window trace is re-checked here for
+# belt and braces.
+soak_dir=$(mktemp -d)
+(cd "$soak_dir" && TINT_JOURNAL=0 "$OLDPWD/target/release/repro" --scale 0.1 soak > soak.txt 2> /dev/null)
+if ! grep -q '"cell": "guarded"' "$soak_dir/BENCH_repro.json"; then
+    echo "FAIL: soak figure missing the guarded cell" >&2
+    exit 1
+fi
+if ! grep -q '"cell": "unguarded"' "$soak_dir/BENCH_repro.json"; then
+    echo "FAIL: soak figure missing the unguarded cell" >&2
+    exit 1
+fi
+# The final guarded window must show the incremental auditor actually ran.
+audited=$(sed -n 's/.*"cell": "guarded".*"audited_frames": "\([0-9]*\)".*/\1/p' "$soak_dir/BENCH_repro.json" | tail -1)
+if [ -z "$audited" ] || [ "$audited" = "0" ]; then
+    echo "FAIL: soak guarded cell reported no audited frames (audited=$audited)" >&2
+    exit 1
+fi
+# Zero-leak, re-checked from the trace: each cell's final window must show
+# no live tenants and every one of the soak machine's 2,048 frames back in
+# the buddy allocator.
+for cell in guarded unguarded; do
+    final=$(grep "\"cell\": \"$cell\"" "$soak_dir/BENCH_repro.json" | tail -1)
+    if ! echo "$final" | grep -q '"live": "0", "buddy_free": "2048", "color_pages": "0"'; then
+        echo "FAIL: soak $cell cell did not reclaim every frame: $final" >&2
+        exit 1
+    fi
+done
+rm -rf "$soak_dir"
+
 echo "== figure bit-identity =="
 # The six paper figures are bit-deterministic end to end; their combined
 # stdout hash is the contract every refactor must preserve. Hard assert —
