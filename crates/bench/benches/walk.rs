@@ -1,0 +1,228 @@
+//! Microbenchmark for the dependent-load wall in the cache walk.
+//!
+//! Two regimes over the same seeded address stream:
+//!
+//! - `*_hot`: a tight lookup loop. The host's out-of-order window already
+//!   overlaps consecutive walks here, so the layouts should be close —
+//!   this pair is the control, not the motivation.
+//! - `*_interleaved`: each lookup is followed by a slug of unrelated work
+//!   (a streaming write burst, standing in for the engine's decode / DRAM
+//!   / scheduler code between walks) that pushes tag strides out of the
+//!   host's near caches. This is the regime the engine actually runs in,
+//!   and where `soa_prefetch_interleaved` — software-pipelined
+//!   [`SetAssocCache::prefetch_set`] hints issued [`LOOKAHEAD`] ops ahead
+//!   — overlaps the tag fetches with the unrelated work. The AoS layout
+//!   cannot express this: the tag stride's address is behind the per-set
+//!   pointer, so a hint needs the dependent load it was meant to hide.
+//!
+//! The AoS baseline is a bench-local replica of the old array-of-structs
+//! layout (one heap `Vec` of `{tag, owner}` lines per set) doing the same
+//! per-op work (LRU rotate, hit/miss counters, eviction reporting).
+
+use tint_bench::microbench::Harness;
+use tint_cache::SetAssocCache;
+use tint_hw::types::{CoreId, PhysAddr};
+
+/// L3-shaped geometry: big enough that the tag array misses host L1/L2,
+/// which is where the layout difference shows.
+const SETS: usize = 4096;
+const ASSOC: usize = 16;
+const LINE_SHIFT: u32 = 6;
+/// Working set ~4× the cache, so the stream mixes hits and misses.
+const FOOTPRINT_LINES: u64 = (SETS * ASSOC * 4) as u64;
+const STREAM_LEN: usize = 1 << 15;
+/// Prefetch lookahead for the software-pipelined variant: far enough that
+/// the stride arrives, near enough that the slug traffic has not yet
+/// evicted it again.
+const LOOKAHEAD: usize = 8;
+/// Streaming-write slug per op in the interleaved regime (bytes).
+const SLUG: usize = 512;
+/// Pollution ring, sized past the host L2 so slugs keep evicting tags.
+const RING: usize = 8 << 20;
+
+/// SplitMix64 — the same generator the engine's sampling schedule uses.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn stream(seed: u64) -> Vec<PhysAddr> {
+    let mut s = seed;
+    (0..STREAM_LEN)
+        .map(|_| PhysAddr((splitmix64(&mut s) % FOOTPRINT_LINES) << LINE_SHIFT))
+        .collect()
+}
+
+/// The stand-in for engine work between walks: stream `SLUG` bytes of
+/// writes through a ring that does not fit the host's near caches.
+#[inline]
+fn slug(ring: &mut [u64], pos: &mut usize) -> u64 {
+    let words = SLUG / 8;
+    let start = *pos;
+    *pos = (*pos + words) % (ring.len() - words);
+    let mut acc = 0u64;
+    for w in &mut ring[start..start + words] {
+        *w = w.wrapping_add(1);
+        acc = acc.wrapping_add(*w);
+    }
+    acc
+}
+
+/// The pre-refactor layout: one separately allocated line vector per set.
+/// Kept semantically identical to [`SetAssocCache`] (LRU rotate on hit,
+/// LRU evict on full-set fill, hit/miss counters, eviction reporting) so
+/// the two walks do the same work per op and only the layout differs.
+struct AosCache {
+    sets: Vec<Vec<AosLine>>,
+    assoc: usize,
+    set_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Clone, Copy)]
+struct AosLine {
+    tag: u64,
+    owner: u8,
+}
+
+impl AosCache {
+    fn new(sets: usize, assoc: usize) -> Self {
+        Self {
+            sets: (0..sets).map(|_| Vec::with_capacity(assoc)).collect(),
+            assoc,
+            set_mask: (sets - 1) as u64,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn access(&mut self, core: CoreId, addr: PhysAddr) -> (bool, Option<(u64, u8)>) {
+        let la = addr.0 >> LINE_SHIFT;
+        let set = &mut self.sets[(la & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|l| l.tag == la) {
+            set[pos..].rotate_left(1);
+            let len = set.len();
+            set[len - 1].owner = core.index() as u8;
+            self.hits += 1;
+            return (true, None);
+        }
+        self.misses += 1;
+        let line = AosLine {
+            tag: la,
+            owner: core.index() as u8,
+        };
+        if set.len() == self.assoc {
+            let victim = set[0];
+            set.rotate_left(1);
+            let len = set.len();
+            set[len - 1] = line;
+            (false, Some((victim.tag, victim.owner)))
+        } else {
+            set.push(line);
+            (false, None)
+        }
+    }
+}
+
+fn bench(c: &mut Harness) {
+    let addrs = stream(0x5A3D);
+    let mut g = c.benchmark_group("walk");
+
+    // --- control: tight loops ---------------------------------------------
+
+    let mut aos = AosCache::new(SETS, ASSOC);
+    for &a in &addrs {
+        aos.access(CoreId(0), a); // warm: steady-state occupancy
+    }
+    g.bench_function("aos_hot", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &a in &addrs {
+                hits += aos.access(CoreId(0), a).0 as u64;
+            }
+            hits
+        })
+    });
+
+    let mut soa = SetAssocCache::new(SETS, ASSOC, LINE_SHIFT);
+    for &a in &addrs {
+        soa.access(CoreId(0), a);
+    }
+    g.bench_function("soa_hot", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &a in &addrs {
+                hits += soa.access(CoreId(0), a).0 as u64;
+            }
+            hits
+        })
+    });
+
+    // --- the engine regime: walks interleaved with unrelated work ---------
+
+    let mut ring = vec![0u64; RING / 8];
+    let mut pos = 0usize;
+
+    let mut aos_i = AosCache::new(SETS, ASSOC);
+    for &a in &addrs {
+        aos_i.access(CoreId(0), a);
+    }
+    g.bench_function("aos_interleaved", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                acc += aos_i.access(CoreId(0), a).0 as u64;
+                acc = acc.wrapping_add(slug(&mut ring, &mut pos));
+            }
+            acc
+        })
+    });
+
+    let mut soa_i = SetAssocCache::new(SETS, ASSOC, LINE_SHIFT);
+    for &a in &addrs {
+        soa_i.access(CoreId(0), a);
+    }
+    g.bench_function("soa_interleaved", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                acc += soa_i.access(CoreId(0), a).0 as u64;
+                acc = acc.wrapping_add(slug(&mut ring, &mut pos));
+            }
+            acc
+        })
+    });
+
+    let mut soa_p = SetAssocCache::new(SETS, ASSOC, LINE_SHIFT);
+    for &a in &addrs {
+        soa_p.access(CoreId(0), a);
+    }
+    g.bench_function("soa_prefetch_interleaved", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..addrs.len() {
+                // Software-pipelined: hint the stride a few ops ahead, so
+                // the fetch overlaps the interleaved work instead of the
+                // walk stalling on it. Only possible because the stride's
+                // address is pure arithmetic on the target address.
+                if let Some(&ahead) = addrs.get(i + LOOKAHEAD) {
+                    soa_p.prefetch_set(soa_p.set_index(ahead));
+                }
+                acc += soa_p.access(CoreId(0), addrs[i]).0 as u64;
+                acc = acc.wrapping_add(slug(&mut ring, &mut pos));
+            }
+            acc
+        })
+    });
+
+    g.finish();
+}
+
+fn main() {
+    bench(&mut Harness::new());
+}

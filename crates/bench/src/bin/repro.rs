@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--reps N] [--scale F] [--csv] [--profile] [--jobs N]
-//!       [--strict-deadline] [--configs 16t4n,8t4n,...] <command>...
+//!       [--engine exact|sampled] [--strict-deadline]
+//!       [--configs 16t4n,8t4n,...] <command>...
 //!
 //! commands:
 //!   fig10              synthetic benchmark by coloring policy
@@ -24,8 +25,22 @@
 //!   soak               sustained over-committed pressure: watermarks, backoff,
 //!                      OOM kills, incremental auditing, per-window trace (extension)
 //!   probe:<bench>      per-scheme diagnostics for one benchmark cell
-//!   all                everything above (except probe)
+//!   validate-sampled   exact-vs-sampled engine differential: interleaved A/B
+//!                      wall-clock + figure-ratio error table, FAIL above bound
+//!   all                everything above (except probe and validate-sampled)
 //! ```
+//!
+//! `--engine sampled` (equivalently `TINT_ENGINE=sampled`; the flag wins)
+//! runs the sampling engine: short detailed windows through the exact
+//! pipeline interleaved with functional warm-up whose cycles come from a
+//! running per-thread DRAM-latency estimate (see `tint_spmd::engine`).
+//! Sampled results are estimates — they are cached and journaled under
+//! distinct cell keys and recorded with `"engine": "sampled"` in
+//! `BENCH_repro.json`, so they can never be served for an exact request.
+//! `validate-sampled` quantifies the trade: it runs the fig11/fig12 matrix
+//! in both modes (cell cache off, passes interleaved A/B) and reports the
+//! speedup plus the worst relative error across the buddy-normalized
+//! figure ratios, exiting 1 if any error exceeds the bound.
 //!
 //! Multiple commands run in sequence within one process. Two layers keep
 //! the sequence from repeating work: the `BenchMatrix` behind fig11/fig12
@@ -85,7 +100,7 @@
 use tint_bench::figures::{
     ablate_colorlist, ablate_dynamic, ablate_firsttouch, ablate_migrate, ablate_pagepolicy,
     ablate_part, ablate_pressure, bandwidth, churn, fig10, fig13_14, latency, probe, run_matrix,
-    soak, BenchMatrix, FigOpts,
+    soak, validate_sampled, BenchMatrix, FigOpts, SAMPLED_ERR_BOUND_PCT,
 };
 use tint_bench::hostfault::{self, HostFaultPlan};
 use tint_bench::journal;
@@ -97,6 +112,7 @@ use tint_bench::runner::{
 use tint_bench::simcache;
 use tint_bench::table::Table;
 use tint_hw::profile::{self, Component, COMPONENT_COUNT};
+use tint_spmd::{engine_mode, set_engine_mode, EngineMode};
 use tint_workloads::PinConfig;
 
 /// Exit with a one-line usage/config error (exit code 2: bad invocation).
@@ -128,6 +144,9 @@ struct CmdRecord {
     cache_hits: u64,
     /// Cells this command actually simulated.
     cache_misses: u64,
+    /// Engine mode the command ran under (`"exact"` or `"sampled"`), so a
+    /// wall_ms from a sampled run is never compared against an exact one.
+    engine: &'static str,
     /// Per-component nanoseconds when `--profile` was on.
     profile: Option<[u64; COMPONENT_COUNT]>,
 }
@@ -138,7 +157,10 @@ struct CmdRecord {
 fn profile_table(nanos: &[u64; COMPONENT_COUNT], wall_ms: f64) -> Table {
     let ms = |c: Component| nanos[c as usize] as f64 / 1e6;
     let engine = ms(Component::Engine);
+    let presort = ms(Component::Presort);
     let access = ms(Component::Access);
+    let warmup = ms(Component::Warmup);
+    let detailed = ms(Component::Detailed);
     let leaves =
         ms(Component::Tlb) + ms(Component::Hierarchy) + ms(Component::Dram) + ms(Component::Decode);
     let mut t = Table::new(vec!["component", "ms", "share_of_engine"]);
@@ -151,8 +173,20 @@ fn profile_table(nanos: &[u64; COMPONENT_COUNT], wall_ms: f64) -> Table {
     };
     let mut row = |name: &str, v: f64| t.row(vec![name.to_string(), format!("{v:.1}"), share(v)]);
     row("engine (sections total)", engine);
-    row("  scheduler (engine - access)", engine - access);
+    row(
+        "  scheduler (engine - presort - access)",
+        engine - presort - access,
+    );
+    row("  presort (batch sort + prefetch)", presort);
     row("  access (System::access)", access);
+    // Sampled mode splits Access into warm-up (estimated) and detailed
+    // (exact) windows — an alternative decomposition of the same span: the
+    // leaf components below are nested *inside* these two. In exact mode
+    // both are zero and the rows are suppressed.
+    if warmup > 0.0 || detailed > 0.0 {
+        row("    warm-up (estimated)", warmup);
+        row("    detailed windows (exact)", detailed);
+    }
     row("    tlb + translate", ms(Component::Tlb));
     row("    cache hierarchy", ms(Component::Hierarchy));
     row("    dram timing", ms(Component::Dram));
@@ -180,6 +214,9 @@ struct Ctx {
     churn: Option<Table>,
     /// The soak-figure table (per-window pressure trace), likewise recorded.
     soak: Option<Table>,
+    /// Set when `validate-sampled` exceeded its error bound; the run still
+    /// writes `BENCH_repro.json` and then exits 1.
+    validation_failed: bool,
 }
 
 impl Ctx {
@@ -212,6 +249,24 @@ fn run_cmd(ctx: &mut Ctx, cmd: &str) {
             "{}",
             ctx.opts.render(&probe(&ctx.opts, bench, ctx.configs[0]))
         );
+        return;
+    }
+    if cmd == "validate-sampled" {
+        header("Sampled-engine validation: exact vs sampled figure ratios");
+        let v = validate_sampled(&ctx.opts, &ctx.configs);
+        print!("{}", ctx.opts.render(&v.table));
+        println!(
+            "wall: exact {:.0} ms, sampled {:.0} ms, speedup {:.1}x; \
+             max ratio error {:.3}% (bound {SAMPLED_ERR_BOUND_PCT:.1}%): {}",
+            v.exact_ms,
+            v.sampled_ms,
+            v.speedup,
+            v.max_err_pct,
+            if v.passed { "PASS" } else { "FAIL" },
+        );
+        if !v.passed {
+            ctx.validation_failed = true;
+        }
         return;
     }
     if all || cmd == "fig10" {
@@ -334,7 +389,7 @@ fn json_table(t: &Table, indent: &str) -> String {
 fn record_json(r: &CmdRecord) -> String {
     let mut s = format!(
         "{{\"name\": \"{}\", \"wall_ms\": {:.3}, \"sim_cycles\": {}, \"reps\": {}, \"scale\": {}, \
-         \"cache_hits\": {}, \"cache_misses\": {}",
+         \"cache_hits\": {}, \"cache_misses\": {}, \"engine\": \"{}\"",
         json_escape(&r.name),
         r.wall_ms,
         r.sim_cycles,
@@ -342,6 +397,7 @@ fn record_json(r: &CmdRecord) -> String {
         r.scale,
         r.cache_hits,
         r.cache_misses,
+        r.engine,
     );
     if let Some(nanos) = &r.profile {
         let fields: Vec<String> = profile::COMPONENT_NAMES
@@ -593,6 +649,13 @@ fn main() {
             }
             "--csv" => opts.csv = true,
             "--profile" => profile::set_enabled(true),
+            "--engine" => match arg(&mut it, "--engine").as_str() {
+                "exact" => set_engine_mode(EngineMode::Exact),
+                "sampled" => set_engine_mode(EngineMode::Sampled),
+                other => fail(&format!(
+                    "--engine wants 'exact' or 'sampled', got {other:?}"
+                )),
+            },
             "--strict-deadline" => set_strict_deadline(true),
             "--jobs" => match parse_jobs(arg(&mut it, "--jobs")) {
                 Ok(n) => set_jobs(n),
@@ -665,6 +728,7 @@ fn main() {
         pressure: None,
         churn: None,
         soak: None,
+        validation_failed: false,
     };
     let mut records = Vec::with_capacity(cmds.len());
     for cmd in &cmds {
@@ -690,6 +754,11 @@ fn main() {
             scale: ctx.opts.scale,
             cache_hits,
             cache_misses,
+            engine: if engine_mode() == EngineMode::Sampled {
+                "sampled"
+            } else {
+                "exact"
+            },
             profile: prof,
         });
     }
@@ -703,6 +772,13 @@ fn main() {
         ctx.soak.as_ref(),
     ) {
         eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    if ctx.validation_failed {
+        eprintln!(
+            "error: validate-sampled exceeded the {SAMPLED_ERR_BOUND_PCT:.1}% ratio error bound \
+             (see table above)"
+        );
         std::process::exit(1);
     }
     if poisoned_cells() > 0 {

@@ -221,7 +221,14 @@ fn encode(key: &CellKey, r: &ExpResult) -> Vec<u8> {
     e.u64(key.fingerprint);
     e.u8(scheme_code(key.scheme));
     e.u8(pin_code(key.pin));
-    e.u8(key.reference_pipeline as u8);
+    // Engine-mode byte: 0 = exact batched, 1 = reference pipeline,
+    // 2 = sampled. Values 0/1 predate sampled mode, so old v1 journals
+    // decode unchanged.
+    e.u8(if key.sampled {
+        2
+    } else {
+        key.reference_pipeline as u8
+    });
     e.u64(key.seed);
     let m = &r.metrics;
     e.u32(m.threads as u32);
@@ -249,15 +256,19 @@ fn decode(payload: &[u8]) -> Option<(CellKey, ExpResult)> {
         buf: payload,
         at: 0,
     };
+    let (fingerprint, scheme, pin) = (d.u64()?, scheme_from(d.u8()?)?, pin_from(d.u8()?)?);
+    let (reference_pipeline, sampled) = match d.u8()? {
+        0 => (false, false),
+        1 => (true, false),
+        2 => (false, true),
+        _ => return None,
+    };
     let key = CellKey {
-        fingerprint: d.u64()?,
-        scheme: scheme_from(d.u8()?)?,
-        pin: pin_from(d.u8()?)?,
-        reference_pipeline: match d.u8()? {
-            0 => false,
-            1 => true,
-            _ => return None,
-        },
+        fingerprint,
+        scheme,
+        pin,
+        reference_pipeline,
+        sampled,
         seed: d.u64()?,
     };
     let threads = d.u32()? as usize;
@@ -611,6 +622,7 @@ mod tests {
             pin: PinConfig::T8N2,
             seed: 7,
             reference_pipeline: true,
+            sampled: false,
         };
         let r = ExpResult {
             metrics: RunMetrics {
@@ -635,6 +647,23 @@ mod tests {
         let (k2, r2) = decode(&encode(&key, &r)).expect("roundtrip decodes");
         assert_eq!(k2, key);
         assert_eq!(r2, r);
+
+        // The mode byte also distinguishes sampled cells, and an exact-mode
+        // record (code 0) never decodes as sampled.
+        let sampled_key = CellKey {
+            reference_pipeline: false,
+            sampled: true,
+            ..key
+        };
+        let (k3, _) = decode(&encode(&sampled_key, &r)).expect("sampled roundtrip decodes");
+        assert_eq!(k3, sampled_key);
+        let exact_key = CellKey {
+            reference_pipeline: false,
+            sampled: false,
+            ..key
+        };
+        let (k4, _) = decode(&encode(&exact_key, &r)).expect("exact roundtrip decodes");
+        assert!(!k4.sampled && !k4.reference_pipeline);
     }
 
     #[test]
@@ -645,6 +674,7 @@ mod tests {
             pin: PinConfig::T4N1,
             seed: 1,
             reference_pipeline: false,
+            sampled: false,
         };
         let r = ExpResult {
             metrics: RunMetrics::new(2),

@@ -51,6 +51,10 @@ pub struct CellKey {
     /// reference heap loop — a different executable path that must never
     /// share cells with the batched pipeline.
     pub reference_pipeline: bool,
+    /// True when the engine runs in sampled mode
+    /// ([`tint_spmd::EngineMode::Sampled`]): its results are estimates and
+    /// must never be served for an exact-mode request (or vice versa).
+    pub sampled: bool,
 }
 
 impl CellKey {
@@ -63,6 +67,7 @@ impl CellKey {
             pin,
             seed,
             reference_pipeline: tint_spmd::reference_pipeline(),
+            sampled: tint_spmd::engine_mode() == tint_spmd::EngineMode::Sampled,
         }
     }
 }

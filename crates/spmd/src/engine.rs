@@ -129,6 +129,113 @@ pub fn reference_pipeline() -> bool {
     std::env::var_os("TINT_REFERENCE_PIPELINE").is_some_and(|v| v == "1")
 }
 
+/// How parallel sections execute memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Every access runs the full timing model (the default; figure
+    /// output in this mode is bit-identical to the reference pipeline).
+    Exact,
+    /// Functional warm-up (TLB + cache state updated, latency estimated
+    /// from a running per-core mean) interleaved with exact detailed
+    /// measurement windows on a seeded deterministic schedule. Roughly an
+    /// order of magnitude faster; validated against exact mode by
+    /// `repro validate-sampled`. `TINT_REFERENCE_PIPELINE=1` overrides it
+    /// (the reference pipeline is always exact), and serial and dynamic
+    /// sections always run exact.
+    Sampled,
+}
+
+/// Process-global engine mode, initialized from `TINT_ENGINE` on first
+/// read (`exact`/unset or `sampled`) and overridable programmatically —
+/// the `validate-sampled` differential needs to flip modes mid-process.
+static ENGINE_MODE: std::sync::OnceLock<std::sync::atomic::AtomicU8> = std::sync::OnceLock::new();
+
+fn engine_mode_cell() -> &'static std::sync::atomic::AtomicU8 {
+    ENGINE_MODE.get_or_init(|| {
+        std::sync::atomic::AtomicU8::new(match std::env::var_os("TINT_ENGINE") {
+            None => 0,
+            Some(v) if v == "exact" => 0,
+            Some(v) if v == "sampled" => 1,
+            Some(v) => panic!("TINT_ENGINE must be `exact` or `sampled`, got {v:?}"),
+        })
+    })
+}
+
+/// The current engine mode. Checked once per section; also folded into the
+/// `tint-bench` cell-cache key so sampled and exact results never mix.
+pub fn engine_mode() -> EngineMode {
+    if engine_mode_cell().load(std::sync::atomic::Ordering::Relaxed) == 1 {
+        EngineMode::Sampled
+    } else {
+        EngineMode::Exact
+    }
+}
+
+/// Override the engine mode for this process (wins over `TINT_ENGINE`).
+pub fn set_engine_mode(mode: EngineMode) {
+    engine_mode_cell().store(
+        match mode {
+            EngineMode::Exact => 0,
+            EngineMode::Sampled => 1,
+        },
+        std::sync::atomic::Ordering::Relaxed,
+    );
+}
+
+/// Sampled-mode schedule knobs: detailed-window length and period (both in
+/// accesses per core), the schedule seed, and the warm-touch stride (one
+/// in this many warm-up accesses walks the hierarchy; `1` = every one),
+/// from `TINT_SAMPLE_WINDOW` / `TINT_SAMPLE_PERIOD` / `TINT_SAMPLE_SEED` /
+/// `TINT_SAMPLE_WARM_TOUCH`. Read once per section.
+fn sampling_knobs() -> (u64, u64, u64, u64) {
+    let parse = |name: &str, default: u64| -> u64 {
+        match std::env::var(name) {
+            Ok(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}")),
+            Err(_) => default,
+        }
+    };
+    let window = parse("TINT_SAMPLE_WINDOW", 256).max(1);
+    let period = parse("TINT_SAMPLE_PERIOD", 8_192).max(window);
+    let seed = parse("TINT_SAMPLE_SEED", 0x5A3D);
+    // Default stride 1: every warm-up access walks the hierarchy for real
+    // (exact state and latency; only bookkeeping is skipped). Strides > 1
+    // replay ring latencies for TLB-resident repeats — faster, but skipped
+    // walks starve cache/DRAM state and the figure-ratio error grows
+    // quickly; `repro validate-sampled` measures exactly that drift.
+    let warm_touch = parse("TINT_SAMPLE_WARM_TOUCH", 1).max(1);
+    (window, period, seed, warm_touch)
+}
+
+/// Host-side MLP presort of one freshly refilled batch: for every Access
+/// op whose translation is already TLB-resident, collect the packed
+/// `(level, core, set)` keys of the tag strides its walk will touch, sort
+/// them so same-level/same-set strides group, and issue the prefetches in
+/// that order — many independent loads in flight instead of one dependent
+/// chain per op. Read-only by construction (the TLB peek never faults or
+/// fills, prefetching touches no simulated state), and execution replays
+/// the batch in original order, so results are bit-identical with or
+/// without it.
+#[inline]
+fn presort_prefetch(sys: &System, tid: Tid, batch: &[Op], keys: &mut Vec<u64>) {
+    let tp = profile::start();
+    keys.clear();
+    let hier = sys.mem().hierarchy();
+    for op in batch {
+        if let Op::Access { addr, .. } = *op {
+            if let Some((core, phys)) = sys.peek_translate(tid, addr) {
+                hier.prefetch_keys(core, phys, keys);
+            }
+        }
+    }
+    keys.sort_unstable();
+    for &k in keys.iter() {
+        hier.prefetch_key(k);
+    }
+    profile::stop(Component::Presort, tp);
+}
+
 /// Per-thread batch cursor over a section body.
 struct BodyCursor {
     buf: [Op; BATCH_OPS],
@@ -204,6 +311,8 @@ pub fn run_section(
     let t0 = profile::start();
     let r = if reference_pipeline() {
         run_section_reference(sys, threads, bodies, ops_budget)
+    } else if engine_mode() == EngineMode::Sampled {
+        run_section_sampled(sys, threads, bodies, ops_budget)
     } else {
         run_section_batched(sys, threads, bodies, ops_budget)
     };
@@ -226,6 +335,7 @@ fn run_section_batched(
     let mut keys: Vec<u64> = (0..n).map(|i| pack_key(threads[i].clock, i)).collect();
     let mut live = n;
     let mut cursors: Vec<BodyCursor> = (0..n).map(|_| BodyCursor::new()).collect();
+    let mut sort_keys: Vec<u64> = Vec::with_capacity(3 * BATCH_OPS);
     let mut ops = 0u64;
     while live > 0 {
         let (m1, runner_up) = min2_scan(&keys);
@@ -236,17 +346,20 @@ fn run_section_batched(
         let body = bodies[i].as_mut();
         // Drain thread i while it remains the min-clock thread.
         loop {
-            if cur.cur == cur.len && (cur.exhausted || !cur.refill(body)) {
-                // The reference loop's final `None` pop.
-                ops += 1;
-                assert!(
-                    ops <= ops_budget,
-                    "section exceeded its operation budget ({ops_budget}); runaway body?"
-                );
-                end[i] = clock;
-                keys[i] = u64::MAX;
-                live -= 1;
-                break;
+            if cur.cur == cur.len {
+                if cur.exhausted || !cur.refill(body) {
+                    // The reference loop's final `None` pop.
+                    ops += 1;
+                    assert!(
+                        ops <= ops_budget,
+                        "section exceeded its operation budget ({ops_budget}); runaway body?"
+                    );
+                    end[i] = clock;
+                    keys[i] = u64::MAX;
+                    live -= 1;
+                    break;
+                }
+                presort_prefetch(sys, tid, &cur.buf[..cur.len], &mut sort_keys);
             }
             let batch = &cur.buf[..cur.len];
             match batch[cur.cur] {
@@ -295,6 +408,118 @@ fn run_section_batched(
         threads[i].clock = clock;
     }
     // The implicit barrier: every thread resumes at the latest end time.
+    let barrier = end.iter().copied().max().unwrap_or(0);
+    for t in threads.iter_mut() {
+        t.clock = barrier;
+    }
+    Ok(end)
+}
+
+/// The sampled parallel-section driver: the batched scheduler, but each
+/// access first consults the per-core sampling schedule — inside a
+/// detailed window it runs the exact pipeline ([`System::access`], which
+/// also feeds the latency estimator), outside it runs the functional
+/// warm-up ([`System::access_estimated`]: real TLB and cache state, DRAM
+/// latency replaced by the running per-core mean). Deterministic for a
+/// given seed/window/period regardless of host job count — the schedule is
+/// pure per-core counter state inside the `System`. Teams wider than the
+/// flat scheduler fall back to the (exact) reference pipeline.
+fn run_section_sampled(
+    sys: &mut System,
+    threads: &mut [SimThread],
+    bodies: &mut [Box<dyn SectionBody + '_>],
+    ops_budget: u64,
+) -> Result<Vec<u64>, Errno> {
+    assert_eq!(threads.len(), bodies.len(), "one body per thread");
+    let n = threads.len();
+    if n > MAX_FLAT_THREADS {
+        return run_section_reference(sys, threads, bodies, ops_budget);
+    }
+    let (window, period, seed, warm_touch) = sampling_knobs();
+    sys.configure_sampling(window, period, seed, warm_touch);
+    let mut end = vec![0u64; n];
+    let mut keys: Vec<u64> = (0..n).map(|i| pack_key(threads[i].clock, i)).collect();
+    let mut live = n;
+    let mut cursors: Vec<BodyCursor> = (0..n).map(|_| BodyCursor::new()).collect();
+    let mut ops = 0u64;
+    while live > 0 {
+        let (m1, runner_up) = min2_scan(&keys);
+        let i = (m1 & 0xF) as usize;
+        let tid = threads[i].tid;
+        let core = threads[i].core;
+        let mut clock = threads[i].clock;
+        let cur = &mut cursors[i];
+        let body = bodies[i].as_mut();
+        loop {
+            // No presort on refill here: measured on the full fig11 matrix,
+            // the per-batch sort costs more host time than its prefetches
+            // save in this loop, eating the margin the skipped bookkeeping
+            // buys (4.95 s vs 4.24 s sampled wall with/without it).
+            if cur.cur == cur.len && (cur.exhausted || !cur.refill(body)) {
+                ops += 1;
+                assert!(
+                    ops <= ops_budget,
+                    "section exceeded its operation budget ({ops_budget}); runaway body?"
+                );
+                end[i] = clock;
+                keys[i] = u64::MAX;
+                live -= 1;
+                break;
+            }
+            let batch = &cur.buf[..cur.len];
+            match batch[cur.cur] {
+                Op::Compute(c) => {
+                    cur.cur += 1;
+                    ops += 1;
+                    let mut add = c;
+                    while cur.cur < cur.len {
+                        let Op::Compute(c2) = batch[cur.cur] else {
+                            break;
+                        };
+                        add += c2;
+                        cur.cur += 1;
+                        ops += 1;
+                    }
+                    clock += add;
+                }
+                Op::Access { addr, rw } => {
+                    cur.cur += 1;
+                    ops += 1;
+                    let ta = profile::start();
+                    let r = if sys.sample_is_detailed(core) {
+                        let td = profile::start();
+                        let r = sys.access(tid, addr, rw, clock);
+                        profile::stop(Component::Detailed, td);
+                        r
+                    } else {
+                        let tw = profile::start();
+                        let r = sys.access_estimated(tid, addr, rw, clock);
+                        profile::stop(Component::Warmup, tw);
+                        r
+                    };
+                    let acc = match r {
+                        Ok(a) => a,
+                        Err(e) => {
+                            threads[i].clock = clock;
+                            return Err(e);
+                        }
+                    };
+                    profile::stop(Component::Access, ta);
+                    clock += acc.latency;
+                }
+            }
+            assert!(
+                ops <= ops_budget,
+                "section exceeded its operation budget ({ops_budget}); runaway body?"
+            );
+            let key = pack_key(clock, i);
+            if key >= runner_up {
+                keys[i] = key;
+                break;
+            }
+        }
+        threads[i].clock = clock;
+    }
     let barrier = end.iter().copied().max().unwrap_or(0);
     for t in threads.iter_mut() {
         t.clock = barrier;
@@ -385,6 +610,7 @@ fn run_section_dynamic_batched<'b>(
     let mut end = vec![0u64; n];
     let mut current: Vec<Option<Box<dyn SectionBody + 'b>>> = (0..n).map(|_| None).collect();
     let mut cursors: Vec<BodyCursor> = (0..n).map(|_| BodyCursor::new()).collect();
+    let mut sort_keys: Vec<u64> = Vec::with_capacity(3 * BATCH_OPS);
     let mut keys: Vec<u64> = (0..n).map(|i| pack_key(threads[i].clock, i)).collect();
     let mut live = n;
     let mut ops = 0u64;
@@ -433,6 +659,7 @@ fn run_section_dynamic_batched<'b>(
                     // `cur.exhausted` is set, so loop to charge its None op
                     // and pull the next chunk.
                 }
+                presort_prefetch(sys, tid, &cur.buf[..cur.len], &mut sort_keys);
             }
             let batch = &cur.buf[..cur.len];
             match batch[cur.cur] {
@@ -560,9 +787,11 @@ fn run_serial_batched(
     let tid = threads[0].tid;
     let mut clock = threads[0].clock;
     let mut buf = [Op::Compute(0); BATCH_OPS];
+    let mut sort_keys: Vec<u64> = Vec::with_capacity(3 * BATCH_OPS);
     let mut ops = 0u64;
     loop {
         let len = body.fill(&mut buf);
+        presort_prefetch(sys, tid, &buf[..len], &mut sort_keys);
         let mut k = 0;
         while k < len {
             match buf[k] {

@@ -47,7 +47,10 @@ pub mod metrics;
 pub mod program;
 pub mod scheduler;
 
-pub use engine::{reference_pipeline, run_section_dynamic, Op, SectionBody, SimThread};
+pub use engine::{
+    engine_mode, reference_pipeline, run_section_dynamic, set_engine_mode, EngineMode, Op,
+    SectionBody, SimThread,
+};
 pub use metrics::{RunMetrics, SectionOutcome};
 pub use program::{Program, Section};
 pub use scheduler::{ChurnOutcome, Job, PressureWindow, RoundRobin};

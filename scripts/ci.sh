@@ -194,4 +194,25 @@ if [ "$fig_md5" != "ba5e3f618bc062b31250615c57f2cc10" ]; then
     exit 1
 fi
 
+echo "== sampled-engine smoke =="
+# Exact-vs-sampled differential on a reduced fig11/fig12 matrix: repro
+# runs both engines interleaved, compares every per-scheme figure ratio,
+# and exits nonzero if any relative error exceeds the bound compiled into
+# validate-sampled. Hard assert — the shipped sampled defaults must hold
+# the bound; the knob that trades accuracy for speed (TINT_SAMPLE_
+# WARM_TOUCH) is deliberately left at its default here.
+sampled_dir=$(mktemp -d)
+if ! (cd "$sampled_dir" && TINT_JOURNAL=0 "$OLDPWD/target/release/repro" \
+        --reps 1 --scale 0.2 --configs 16t4n validate-sampled > validate.txt 2>&1); then
+    cat "$sampled_dir/validate.txt" >&2
+    echo "FAIL: validate-sampled exceeded its error bound" >&2
+    exit 1
+fi
+if ! grep -q "PASS" "$sampled_dir/validate.txt"; then
+    cat "$sampled_dir/validate.txt" >&2
+    echo "FAIL: validate-sampled did not report PASS" >&2
+    exit 1
+fi
+rm -rf "$sampled_dir"
+
 echo "CI OK"
