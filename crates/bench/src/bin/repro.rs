@@ -27,7 +27,9 @@
 //!   probe:<bench>      per-scheme diagnostics for one benchmark cell
 //!   validate-sampled   exact-vs-sampled engine differential: interleaved A/B
 //!                      wall-clock + figure-ratio error table, FAIL above bound
-//!   all                everything above (except probe and validate-sampled)
+//!   gc-journal         compact the cell-farm journal into a fresh generation
+//!   all                everything above (except probe, validate-sampled, and
+//!                      gc-journal)
 //! ```
 //!
 //! `--engine sampled` (equivalently `TINT_ENGINE=sampled`; the flag wins)
@@ -59,7 +61,7 @@
 //! silently clamped. Output is byte-identical at any job count — cells are
 //! merged in canonical order.
 //!
-//! ## Crash safety and resume
+//! ## Crash safety, resume, and the cell farm
 //!
 //! Every completed simulation cell is appended to a crash-safe on-disk
 //! journal (`.tint-journal/` by default; `TINT_JOURNAL=<dir>` relocates
@@ -67,6 +69,19 @@
 //! startup, so re-running the same command after a crash, OOM kill, or
 //! Ctrl-C simulates only the missing cells. Figure output is byte-identical
 //! with the journal on, off, or after a kill-and-resume.
+//!
+//! The journal is a multi-process *cell farm* (see `tint_bench::journal`):
+//! each `repro` process appends to its own `O_EXCL`-created shard inside
+//! the current store generation, so any number of concurrent processes can
+//! share one journal directory with no locks on the append path; replay
+//! merges every shard. `repro gc-journal` compacts the store — live
+//! deduped cells are rewritten into a fresh generation and committed with
+//! one atomic rename (guarded by an `O_EXCL` lockfile with stale-lock
+//! takeover), so a crash mid-GC leaves the old or new generation fully
+//! intact. On persistent I/O failure (disk full, I/O errors — or the
+//! seeded `TINT_HOST_FAULT=io:<permille>:<seed>` harness) the journal
+//! warns once, disarms itself, and the run completes journal-less with
+//! byte-identical figures.
 //!
 //! Workers are panic-isolated: a panicking cell is retried up to
 //! `TINT_CELL_RETRIES` times (default 2), then recorded as a poisoned cell
@@ -97,6 +112,7 @@
 //! The timing probes themselves cost time, so wall_ms measured under
 //! `--profile` is inflated; figure *tables* are unaffected.
 
+use tint_bench::benchjson::{write_bench_json, CmdRecord, InvocationMeta};
 use tint_bench::figures::{
     ablate_colorlist, ablate_dynamic, ablate_firsttouch, ablate_migrate, ablate_pagepolicy,
     ablate_part, ablate_pressure, bandwidth, churn, fig10, fig13_14, latency, probe, run_matrix,
@@ -130,25 +146,6 @@ fn parse_config(s: &str) -> Option<PinConfig> {
         "4t1n" => Some(PinConfig::T4N1),
         _ => None,
     }
-}
-
-/// One executed command's measurements for `BENCH_repro.json`.
-struct CmdRecord {
-    name: String,
-    wall_ms: f64,
-    sim_cycles: u64,
-    reps: u32,
-    scale: f64,
-    /// Cells served without simulation while this command ran (cell cache
-    /// or in-batch dedup).
-    cache_hits: u64,
-    /// Cells this command actually simulated.
-    cache_misses: u64,
-    /// Engine mode the command ran under (`"exact"` or `"sampled"`), so a
-    /// wall_ms from a sampled run is never compared against an exact one.
-    engine: &'static str,
-    /// Per-component nanoseconds when `--profile` was on.
-    profile: Option<[u64; COMPONENT_COUNT]>,
 }
 
 /// Render one command's component profile as a table with derived rows.
@@ -217,6 +214,9 @@ struct Ctx {
     /// Set when `validate-sampled` exceeded its error bound; the run still
     /// writes `BENCH_repro.json` and then exits 1.
     validation_failed: bool,
+    /// Set when `gc-journal` failed (lock held, io fault before commit);
+    /// the store is unchanged and the run exits 1.
+    gc_failed: bool,
 }
 
 impl Ctx {
@@ -249,6 +249,36 @@ fn run_cmd(ctx: &mut Ctx, cmd: &str) {
             "{}",
             ctx.opts.render(&probe(&ctx.opts, bench, ctx.configs[0]))
         );
+        return;
+    }
+    if cmd == "gc-journal" {
+        header("Journal GC: compact the cell farm into a fresh generation");
+        match journal::gc() {
+            Ok(g) => {
+                let mut t = Table::new(vec!["metric", "value"]);
+                let mut row = |name: &str, v: String| t.row(vec![name.to_string(), v]);
+                row("live cells", g.live_cells.to_string());
+                row("shards merged", g.shards_merged.to_string());
+                row("shards quarantined", g.quarantined.to_string());
+                row("v1 cells absorbed", g.v1_absorbed.to_string());
+                row("bytes before", g.bytes_before.to_string());
+                row("bytes after", g.bytes_after.to_string());
+                row(
+                    "compaction ratio",
+                    if g.bytes_after > 0 {
+                        format!("{:.2}x", g.bytes_before as f64 / g.bytes_after as f64)
+                    } else {
+                        "-".to_string()
+                    },
+                );
+                row("committed generation", g.generation.to_string());
+                print!("{}", ctx.opts.render(&t));
+            }
+            Err(e) => {
+                eprintln!("repro: gc-journal: {e}");
+                ctx.gc_failed = true;
+            }
+        }
         return;
     }
     if cmd == "validate-sampled" {
@@ -351,278 +381,6 @@ fn run_cmd(ctx: &mut Ctx, cmd: &str) {
     }
 }
 
-/// Minimal JSON string escaping (command names are ASCII, but be correct).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Serialize a table as a JSON array of objects keyed by column name.
-fn json_table(t: &Table, indent: &str) -> String {
-    let mut s = String::from("[\n");
-    for (i, row) in t.rows().iter().enumerate() {
-        let cells: Vec<String> = t
-            .columns()
-            .iter()
-            .zip(row)
-            .map(|(c, v)| format!("\"{}\": \"{}\"", json_escape(c), json_escape(v)))
-            .collect();
-        s.push_str(&format!(
-            "{indent}  {{{}}}{}\n",
-            cells.join(", "),
-            if i + 1 < t.rows().len() { "," } else { "" }
-        ));
-    }
-    s.push_str(&format!("{indent}]"));
-    s
-}
-
-/// Serialize one command record as a single JSON object line (no indent).
-fn record_json(r: &CmdRecord) -> String {
-    let mut s = format!(
-        "{{\"name\": \"{}\", \"wall_ms\": {:.3}, \"sim_cycles\": {}, \"reps\": {}, \"scale\": {}, \
-         \"cache_hits\": {}, \"cache_misses\": {}, \"engine\": \"{}\"",
-        json_escape(&r.name),
-        r.wall_ms,
-        r.sim_cycles,
-        r.reps,
-        r.scale,
-        r.cache_hits,
-        r.cache_misses,
-        r.engine,
-    );
-    if let Some(nanos) = &r.profile {
-        let fields: Vec<String> = profile::COMPONENT_NAMES
-            .iter()
-            .zip(nanos)
-            .map(|(n, &v)| format!("\"{}_ms\": {:.3}", n, v as f64 / 1e6))
-            .collect();
-        s.push_str(&format!(", \"profile\": {{{}}}", fields.join(", ")));
-    }
-    s.push('}');
-    s
-}
-
-/// What survives from an existing `BENCH_repro.json`: the per-command
-/// records as `(name, raw JSON object)` pairs and the raw `"pressure"` and
-/// `"churn"` table blocks. Only files this tool wrote are parsed (one
-/// record per line); an unrecognizable file is treated as absent.
-struct ExistingBench {
-    records: Vec<(String, String)>,
-    pressure_raw: Option<String>,
-    churn_raw: Option<String>,
-    soak_raw: Option<String>,
-}
-
-/// Parse the parts of an existing `BENCH_repro.json` worth preserving.
-/// A truncated or otherwise corrupt file (a crash mid-write predating the
-/// atomic-rename scheme, a disk error) is renamed to `<path>.corrupt` and
-/// treated as absent — a bad perf log must never take the run down.
-fn read_existing(path: &str) -> ExistingBench {
-    let mut out = ExistingBench {
-        records: Vec::new(),
-        pressure_raw: None,
-        churn_raw: None,
-        soak_raw: None,
-    };
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return out;
-    };
-    let intact = text.trim_start().starts_with('{') && text.trim_end().ends_with('}');
-    if !intact {
-        let quarantine = format!("{path}.corrupt");
-        match std::fs::rename(path, &quarantine) {
-            Ok(()) => eprintln!(
-                "warning: {path} is truncated/corrupt; moved to {quarantine} and starting fresh"
-            ),
-            Err(e) => eprintln!("warning: {path} is corrupt and could not be quarantined ({e})"),
-        }
-        return out;
-    }
-    let mut in_commands = false;
-    // `(key, lines)` of the table block currently being collected.
-    let mut block: Option<(&str, Vec<String>)> = None;
-    for line in text.lines() {
-        let trimmed = line.trim();
-        if let Some((key, lines)) = block.as_mut() {
-            if trimmed == "]" || trimmed == "]," {
-                let raw = Some(lines.join("\n"));
-                match *key {
-                    "pressure" => out.pressure_raw = raw,
-                    "soak" => out.soak_raw = raw,
-                    _ => out.churn_raw = raw,
-                }
-                block = None;
-            } else {
-                lines.push(line.to_string());
-            }
-            continue;
-        }
-        if trimmed.starts_with("\"commands\"") {
-            in_commands = true;
-            continue;
-        }
-        if in_commands {
-            if trimmed == "]" || trimmed == "]," {
-                in_commands = false;
-                continue;
-            }
-            let raw = trimmed.trim_end_matches(',');
-            // `{"name": "X", ...}` — extract X.
-            if let Some(rest) = raw.strip_prefix("{\"name\": \"") {
-                if let Some(end) = rest.find('"') {
-                    out.records.push((rest[..end].to_string(), raw.to_string()));
-                }
-            }
-            continue;
-        }
-        if trimmed.starts_with("\"pressure\"") {
-            block = Some(("pressure", Vec::new()));
-        } else if trimmed.starts_with("\"churn\"") {
-            block = Some(("churn", Vec::new()));
-        } else if trimmed.starts_with("\"soak\"") {
-            block = Some(("soak", Vec::new()));
-        }
-    }
-    out
-}
-
-/// Extract a numeric field from a single-line JSON record this tool wrote
-/// (`"field": 12.3,` or `"field": 45}` — terminated by `,` or `}`).
-fn json_field_num(line: &str, field: &str) -> Option<f64> {
-    let pat = format!("\"{field}\": ");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    let end = rest.find([',', '}'])?;
-    rest[..end].trim().parse().ok()
-}
-
-/// Serialize the measurement records as `BENCH_repro.json`, merging with an
-/// existing file: records are upserted by command name (an earlier `repro
-/// all` is not clobbered by a later `repro probe:lbm`), and a previously
-/// recorded pressure table survives unless this run regenerated it.
-///
-/// Two summary blocks follow the records. `invocation` covers only the
-/// commands *this run* executed — its `sim_cycles` and cache counters are
-/// what prove (or disprove) cross-figure cell reuse. `total` is recomputed
-/// as the sum over every merged record, so it describes the whole file
-/// rather than, misleadingly, whichever subset of commands ran last.
-fn write_bench_json(
-    records: &[CmdRecord],
-    opts: &FigOpts,
-    configs: &[PinConfig],
-    pressure: Option<&Table>,
-    churn: Option<&Table>,
-    soak: Option<&Table>,
-) -> Result<(), String> {
-    let path = "BENCH_repro.json";
-    let existing = read_existing(path);
-    // Upsert: existing records keep their position, new commands append.
-    let mut merged: Vec<(String, String)> = existing.records;
-    for r in records {
-        let line = record_json(r);
-        match merged.iter_mut().find(|(n, _)| *n == r.name) {
-            Some(slot) => slot.1 = line,
-            None => merged.push((r.name.clone(), line)),
-        }
-    }
-    let inv_ms: f64 = records.iter().map(|r| r.wall_ms).sum();
-    let inv_cycles: u64 = records.iter().map(|r| r.sim_cycles).sum();
-    let inv_hits: u64 = records.iter().map(|r| r.cache_hits).sum();
-    let inv_misses: u64 = records.iter().map(|r| r.cache_misses).sum();
-    let total_ms: f64 = merged
-        .iter()
-        .filter_map(|(_, l)| json_field_num(l, "wall_ms"))
-        .sum();
-    let total_cycles: u64 = merged
-        .iter()
-        .filter_map(|(_, l)| json_field_num(l, "sim_cycles"))
-        .map(|v| v as u64)
-        .sum();
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"bench\": \"repro\",\n");
-    s.push_str(&format!("  \"reps\": {},\n", opts.reps));
-    s.push_str(&format!("  \"scale\": {},\n", opts.scale));
-    s.push_str(&format!(
-        "  \"configs\": [{}],\n",
-        configs
-            .iter()
-            .map(|c| format!("\"{}\"", json_escape(&c.to_string())))
-            .collect::<Vec<_>>()
-            .join(", ")
-    ));
-    s.push_str("  \"commands\": [\n");
-    for (i, (_, line)) in merged.iter().enumerate() {
-        s.push_str(&format!(
-            "    {line}{}\n",
-            if i + 1 < merged.len() { "," } else { "" }
-        ));
-    }
-    s.push_str("  ],\n");
-    if let Some(t) = pressure {
-        s.push_str(&format!("  \"pressure\": {},\n", json_table(t, "  ")));
-    } else if let Some(raw) = &existing.pressure_raw {
-        s.push_str(&format!("  \"pressure\": [\n{raw}\n  ],\n"));
-    }
-    if let Some(t) = churn {
-        s.push_str(&format!("  \"churn\": {},\n", json_table(t, "  ")));
-    } else if let Some(raw) = &existing.churn_raw {
-        s.push_str(&format!("  \"churn\": [\n{raw}\n  ],\n"));
-    }
-    if let Some(t) = soak {
-        s.push_str(&format!("  \"soak\": {},\n", json_table(t, "  ")));
-    } else if let Some(raw) = &existing.soak_raw {
-        s.push_str(&format!("  \"soak\": [\n{raw}\n  ],\n"));
-    }
-    let (journal_hits, journal_appends, journal_replayed) = journal::counters();
-    let (oom_kills, admission_rejects, alloc_retries) = pressure_stats();
-    s.push_str(&format!(
-        "  \"invocation\": {{\"commands\": [{}], \"jobs\": {}, \"cache_enabled\": {}, \
-         \"wall_ms\": {inv_ms:.3}, \"sim_cycles\": {inv_cycles}, \
-         \"cache_hits\": {inv_hits}, \"cache_misses\": {inv_misses}, \
-         \"journal\": {{\"enabled\": {}, \"replayed\": {journal_replayed}, \
-         \"hits\": {journal_hits}, \"appended\": {journal_appends}}}, \
-         \"poisoned_cells\": {}, \"host_faults_injected\": {}, \"retries_used\": {}, \
-         \"oom_kills\": {oom_kills}, \"admission_rejects\": {admission_rejects}, \
-         \"alloc_retries\": {alloc_retries}}},\n",
-        records
-            .iter()
-            .map(|r| format!("\"{}\"", json_escape(&r.name)))
-            .collect::<Vec<_>>()
-            .join(", "),
-        available_jobs(),
-        simcache::enabled(),
-        journal::enabled(),
-        poisoned_cells(),
-        hostfault::injected(),
-        retries_used(),
-    ));
-    s.push_str(&format!(
-        "  \"total\": {{\"wall_ms\": {total_ms:.3}, \"sim_cycles\": {total_cycles}}}\n"
-    ));
-    s.push_str("}\n");
-    // Crash-safe: write a temp file in the same directory, then atomically
-    // rename over the target — a kill mid-write can no longer leave a
-    // half-written perf trajectory behind.
-    let tmp = format!("{path}.tmp.{}", std::process::id());
-    std::fs::write(&tmp, &s).map_err(|e| format!("cannot write {tmp}: {e}"))?;
-    std::fs::rename(&tmp, path).map_err(|e| {
-        let _ = std::fs::remove_file(&tmp);
-        format!("cannot rename {tmp} over {path}: {e}")
-    })?;
-    eprintln!("wrote {path}");
-    Ok(())
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = FigOpts::default();
@@ -703,19 +461,25 @@ fn main() {
     install_cancel_handlers();
     journal::configure_default();
     let replay = journal::replay();
-    if replay.replayed > 0 || replay.quarantined {
+    if replay.replayed > 0 || replay.quarantined > 0 {
         eprintln!(
-            "journal: replayed {} completed cells{}{}",
+            "journal: replayed {} completed cells from {} shard(s){}{}{}",
             replay.replayed,
+            replay.shards,
+            if replay.v1_absorbed > 0 {
+                format!(" ({} absorbed from a v1 journal)", replay.v1_absorbed)
+            } else {
+                String::new()
+            },
             if replay.torn_dropped > 0 {
                 " (dropped a torn final write)"
             } else {
                 ""
             },
-            if replay.quarantined {
-                " (corrupt journal quarantined)"
+            if replay.quarantined > 0 {
+                format!(" ({} corrupt journal(s) quarantined)", replay.quarantined)
             } else {
-                ""
+                String::new()
             },
         );
     }
@@ -729,6 +493,7 @@ fn main() {
         churn: None,
         soak: None,
         validation_failed: false,
+        gc_failed: false,
     };
     let mut records = Vec::with_capacity(cmds.len());
     for cmd in &cmds {
@@ -763,15 +528,39 @@ fn main() {
         });
     }
     journal::flush();
+    let (journal_hits, journal_appends, journal_replayed) = journal::counters();
+    let (oom_kills, admission_rejects, alloc_retries) = pressure_stats();
+    let meta = InvocationMeta {
+        jobs: available_jobs(),
+        cache_enabled: simcache::enabled(),
+        journal_enabled: journal::enabled(),
+        journal_replayed,
+        journal_hits,
+        journal_appends,
+        journal_io_disarmed: journal::io_disarmed(),
+        poisoned_cells: poisoned_cells(),
+        host_faults_injected: hostfault::injected(),
+        retries_used: retries_used(),
+        oom_kills,
+        admission_rejects,
+        alloc_retries,
+    };
+    let config_names: Vec<String> = ctx.configs.iter().map(|c| c.to_string()).collect();
     if let Err(e) = write_bench_json(
+        "BENCH_repro.json",
         &records,
-        &ctx.opts,
-        &ctx.configs,
+        ctx.opts.reps,
+        ctx.opts.scale,
+        &config_names,
         ctx.pressure.as_ref(),
         ctx.churn.as_ref(),
         ctx.soak.as_ref(),
+        &meta,
     ) {
         eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    if ctx.gc_failed {
         std::process::exit(1);
     }
     if ctx.validation_failed {

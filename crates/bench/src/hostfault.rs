@@ -1,20 +1,37 @@
 //! Deterministic *host*-fault harness.
 //!
 //! PR 2 gave the simulated kernel a seeded `FaultPlan`; this is the same
-//! idea one layer up: make the *harness's own worker threads* panic on a
-//! deterministic schedule so every recovery path in [`crate::runner`]
-//! (catch_unwind isolation, seeded requeue, poisoned-cell accounting) is
-//! exercised by ordinary tests instead of waiting for a real crash.
+//! idea one layer up: make the *harness's own* failure paths fire on a
+//! deterministic schedule so every recovery path is exercised by ordinary
+//! tests instead of waiting for a real crash. Two fault modes exist:
 //!
-//! Armed via `TINT_HOST_FAULT=panic:<permille>:<seed>` (the `repro` binary
-//! validates and applies it at startup) or programmatically with
-//! [`set_plan`]. Each cell *attempt* draws from a global attempt counter:
-//! attempt `n` panics iff `SplitMix64(seed ⊕ mix(n))` lands below
-//! `permille`/1000. Retries are new attempts with fresh draws, so at
-//! moderate rates a retried cell almost always succeeds, while
-//! `permille=1000` defeats every retry and forces the poisoned-cell path.
-//! With `--jobs 1` the attempt order — hence the entire fault schedule —
-//! is fully deterministic, which is what the CI smoke hard-asserts on.
+//! * **`panic:<permille>:<seed>`** — worker threads panic at the top of a
+//!   cell attempt, exercising the [`crate::runner`] recovery paths
+//!   (catch_unwind isolation, seeded requeue, poisoned-cell accounting).
+//!   Each cell *attempt* draws from a global attempt counter: attempt `n`
+//!   panics iff `SplitMix64(seed ⊕ mix(n))` lands below `permille`/1000.
+//!   Retries are new attempts with fresh draws, so at moderate rates a
+//!   retried cell almost always succeeds, while `permille=1000` defeats
+//!   every retry and forces the poisoned-cell path.
+//!
+//! * **`io:<permille>:<seed>`** — the [`crate::journal`]'s filesystem
+//!   operations (create, append, truncate, sync, rename) fail on a seeded
+//!   schedule with ENOSPC/EIO-shaped errors and *short writes* (the entry
+//!   prefix lands on disk, then the write "fails"), exercising the
+//!   journal's degradation contract: repair the entry boundary when
+//!   possible, and on persistent failure warn once, disarm, and finish the
+//!   run journal-less. Worker threads never panic in this mode. The io
+//!   schedule draws from its own global operation counter, so with
+//!   `--jobs 1` (one appender) it is fully deterministic.
+//!
+//! Armed via `TINT_HOST_FAULT=<mode>:<permille>:<seed>` (the `repro`
+//! binary validates and applies it at startup) or programmatically with
+//! [`set_plan`].
+//!
+//! For crash-atomicity fuzzing there is additionally a kill-point hook,
+//! [`set_io_abort_at`]: the `n`-th journal io operation panics with
+//! [`IO_ABORT_MARKER`], simulating SIGKILL at that exact filesystem step —
+//! the GC atomicity test sweeps `n` over every operation of a compaction.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -24,25 +41,45 @@ use tint_hw::rng::SplitMix64;
 /// tests key off it to distinguish injected faults from real bugs.
 pub const PANIC_MARKER: &str = "injected host fault";
 
+/// Marker embedded in the panic simulating a kill at an io operation
+/// (see [`set_io_abort_at`]).
+pub const IO_ABORT_MARKER: &str = "injected io kill point";
+
+/// Which harness layer a fault plan targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Worker threads panic at the top of cell attempts.
+    Panic,
+    /// Journal filesystem operations fail (errors + short writes).
+    Io,
+}
+
 /// One armed fault schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HostFaultPlan {
-    /// Per-mille panic probability per cell attempt (0..=1000).
+    /// The targeted layer.
+    pub mode: FaultMode,
+    /// Per-mille fault probability per attempt/operation (0..=1000).
     pub per_mille: u16,
     /// Seed of the attempt-indexed SplitMix64 schedule.
     pub seed: u64,
 }
 
 impl HostFaultPlan {
-    /// Parse `panic:<permille>:<seed>` (the `TINT_HOST_FAULT` syntax).
+    /// Parse `panic:<permille>:<seed>` or `io:<permille>:<seed>` (the
+    /// `TINT_HOST_FAULT` syntax).
     pub fn parse(s: &str) -> Result<Self, String> {
         let mut parts = s.split(':');
-        let mode = parts.next().unwrap_or_default();
-        if mode != "panic" {
-            return Err(format!(
-                "unknown host-fault mode {mode:?} (expected panic:<permille>:<seed>)"
-            ));
-        }
+        let mode = match parts.next().unwrap_or_default() {
+            "panic" => FaultMode::Panic,
+            "io" => FaultMode::Io,
+            other => {
+                return Err(format!(
+                    "unknown host-fault mode {other:?} \
+                     (expected panic:<permille>:<seed> or io:<permille>:<seed>)"
+                ))
+            }
+        };
         let per_mille: u16 = parts
             .next()
             .ok_or("missing <permille> in TINT_HOST_FAULT")?
@@ -59,20 +96,31 @@ impl HostFaultPlan {
         if parts.next().is_some() {
             return Err("TINT_HOST_FAULT has trailing fields".to_string());
         }
-        Ok(Self { per_mille, seed })
+        Ok(Self {
+            mode,
+            per_mille,
+            seed,
+        })
     }
 }
 
 static PLAN: Mutex<Option<HostFaultPlan>> = Mutex::new(None);
 static ATTEMPT: AtomicU64 = AtomicU64::new(0);
 static INJECTED: AtomicU64 = AtomicU64::new(0);
+static IO_OPS: AtomicU64 = AtomicU64::new(0);
+static IO_INJECTED: AtomicU64 = AtomicU64::new(0);
+/// Kill-point hook: the io operation with this 1-based ordinal panics.
+/// `u64::MAX` = unarmed.
+static IO_ABORT_AT: AtomicU64 = AtomicU64::new(u64::MAX);
 
-/// Arm (or with `None` disarm) the plan; resets the attempt counter so a
-/// given `(plan, jobs=1)` run always sees the same schedule.
+/// Arm (or with `None` disarm) the plan; resets the attempt/op counters so
+/// a given `(plan, jobs=1)` run always sees the same schedule.
 pub fn set_plan(plan: Option<HostFaultPlan>) {
     *PLAN.lock().unwrap_or_else(|e| e.into_inner()) = plan;
     ATTEMPT.store(0, Ordering::Relaxed);
     INJECTED.store(0, Ordering::Relaxed);
+    IO_OPS.store(0, Ordering::Relaxed);
+    IO_INJECTED.store(0, Ordering::Relaxed);
 }
 
 /// The armed plan, if any.
@@ -80,17 +128,22 @@ pub fn plan() -> Option<HostFaultPlan> {
     *PLAN.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Faults injected so far this process.
+/// Worker panics injected so far this process.
 pub fn injected() -> u64 {
     INJECTED.load(Ordering::Relaxed)
 }
 
-/// Called by the runner at the top of every cell attempt: panics when the
-/// schedule says this attempt fails. No-op (one relaxed load + mutex-free?
-/// no — one mutex lock, but only cell-granular) when disarmed.
+/// Journal io faults injected so far this process.
+pub fn io_injected() -> u64 {
+    IO_INJECTED.load(Ordering::Relaxed)
+}
+
+/// Called by the runner at the top of every cell attempt: panics when a
+/// `panic:` schedule says this attempt fails. An `io:` plan never panics
+/// workers. No-op when disarmed.
 pub fn maybe_inject() {
     let Some(p) = plan() else { return };
-    if p.per_mille == 0 {
+    if p.mode != FaultMode::Panic || p.per_mille == 0 {
         return;
     }
     let n = ATTEMPT.fetch_add(1, Ordering::Relaxed);
@@ -103,6 +156,67 @@ pub fn maybe_inject() {
     }
 }
 
+/// What an injected io fault looks like to the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Write a prefix of the buffer, then report failure (torn entry).
+    ShortWrite,
+    /// `ENOSPC` — the disk is full.
+    NoSpace,
+    /// `EIO` — a host I/O error.
+    Io,
+}
+
+impl IoFault {
+    /// The `std::io::Error` this fault presents as (`ShortWrite` callers
+    /// report the error *after* writing the prefix).
+    pub fn as_error(self) -> std::io::Error {
+        match self {
+            // Raw errnos (Linux): 28 = ENOSPC, 5 = EIO. ShortWrite is
+            // surfaced as ENOSPC — the classic torn-append cause.
+            IoFault::ShortWrite | IoFault::NoSpace => std::io::Error::from_raw_os_error(28),
+            IoFault::Io => std::io::Error::from_raw_os_error(5),
+        }
+    }
+}
+
+/// Arm (or with `None` disarm) the io kill-point hook: the `n`-th
+/// (1-based) subsequent journal io operation panics with
+/// [`IO_ABORT_MARKER`], simulating a SIGKILL at that exact filesystem
+/// step. Resets the io operation counter so `n` is relative to now.
+/// Crash-atomicity tests run the operation under `catch_unwind` and then
+/// assert the on-disk state is still consistent.
+pub fn set_io_abort_at(n: Option<u64>) {
+    IO_OPS.store(0, Ordering::Relaxed);
+    IO_ABORT_AT.store(n.unwrap_or(u64::MAX), Ordering::Relaxed);
+}
+
+/// Called by the journal before every filesystem operation on its write
+/// path. Counts the operation, honors the kill-point hook, and — when an
+/// `io:` plan is armed — returns the fault scheduled for this operation,
+/// if any. The draw is indexed by a global operation counter, so a
+/// single-appender run (`--jobs 1`) sees a fully deterministic schedule.
+pub fn io_fault() -> Option<IoFault> {
+    let n = IO_OPS.fetch_add(1, Ordering::Relaxed);
+    if n + 1 == IO_ABORT_AT.load(Ordering::Relaxed) {
+        panic!("{IO_ABORT_MARKER} (io op {n})");
+    }
+    let p = plan()?;
+    if p.mode != FaultMode::Io || p.per_mille == 0 {
+        return None;
+    }
+    let mut rng = SplitMix64::new(p.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    if rng.gen_range(1000) >= p.per_mille as u64 {
+        return None;
+    }
+    IO_INJECTED.fetch_add(1, Ordering::Relaxed);
+    Some(match rng.gen_range(3) {
+        0 => IoFault::ShortWrite,
+        1 => IoFault::NoSpace,
+        _ => IoFault::Io,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,8 +226,25 @@ mod tests {
         assert_eq!(
             HostFaultPlan::parse("panic:250:42"),
             Ok(HostFaultPlan {
+                mode: FaultMode::Panic,
                 per_mille: 250,
                 seed: 42
+            })
+        );
+        assert_eq!(
+            HostFaultPlan::parse("io:1000:7"),
+            Ok(HostFaultPlan {
+                mode: FaultMode::Io,
+                per_mille: 1000,
+                seed: 7
+            })
+        );
+        assert_eq!(
+            HostFaultPlan::parse("io:0:0"),
+            Ok(HostFaultPlan {
+                mode: FaultMode::Io,
+                per_mille: 0,
+                seed: 0
             })
         );
     }
@@ -121,15 +252,66 @@ mod tests {
     #[test]
     fn parse_rejects_garbage() {
         for bad in [
+            // Unknown modes (and the empty string, whose mode is "").
             "oom:1:2",
+            "",
+            ":1:2",
+            "IO:1:2",
+            "panic ",
+            // Missing fields.
             "panic",
             "panic:1",
+            "io",
+            "io:500",
+            // Malformed permille.
             "panic:x:1",
+            "io::1",
+            "panic:-1:1",
+            "io:1.5:1",
+            // Out-of-range permille.
             "panic:1001:1",
+            "io:99999:1",
+            // Malformed seed and trailing fields.
             "panic:1:x",
+            "io:1:",
             "panic:1:2:3",
+            "io:1:2:extra",
         ] {
-            assert!(HostFaultPlan::parse(bad).is_err(), "{bad} must be rejected");
+            assert!(
+                HostFaultPlan::parse(bad).is_err(),
+                "{bad:?} must be rejected"
+            );
         }
+    }
+
+    #[test]
+    fn io_schedule_is_deterministic_and_mode_scoped() {
+        // Two identical passes over the op counter draw identical faults.
+        let plan = HostFaultPlan {
+            mode: FaultMode::Io,
+            per_mille: 500,
+            seed: 99,
+        };
+        set_plan(Some(plan));
+        let a: Vec<Option<IoFault>> = (0..64).map(|_| io_fault()).collect();
+        set_plan(Some(plan));
+        let b: Vec<Option<IoFault>> = (0..64).map(|_| io_fault()).collect();
+        assert_eq!(a, b, "the io schedule must be seed-deterministic");
+        assert!(a.iter().any(|f| f.is_some()), "permille=500 must fire");
+        assert!(a.iter().any(|f| f.is_none()), "permille=500 must also pass");
+
+        // An io plan never panics workers, and a panic plan never faults io.
+        set_plan(Some(plan));
+        for _ in 0..64 {
+            maybe_inject(); // must not panic
+        }
+        assert_eq!(injected(), 0);
+        set_plan(Some(HostFaultPlan {
+            mode: FaultMode::Panic,
+            per_mille: 1000,
+            seed: 1,
+        }));
+        assert_eq!(io_fault(), None, "a panic plan must not inject io faults");
+        set_plan(None);
     }
 }

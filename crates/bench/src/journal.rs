@@ -1,37 +1,91 @@
-//! Persistent, crash-safe cell journal.
+//! Persistent, crash-safe, multi-process **cell farm**.
 //!
 //! The simcache ([`crate::simcache`]) makes cells free to reuse *within* a
-//! process; this module makes completed cells survive the process. Every
-//! simulated cell is appended to an on-disk journal as a self-delimiting,
-//! CRC-protected record of its content key ([`CellKey`]) plus the full
-//! [`ExpResult`]. On startup the journal is replayed into the simcache, so
-//! a killed `repro` run resumes by simulating only the cells it never
-//! finished — cells are bit-deterministic per content key, which is what
-//! makes serving a journaled result indistinguishable from re-simulating.
+//! process; this module makes completed cells survive the process — and,
+//! since v2, survive *concurrent* processes. Every simulated cell is
+//! appended to an on-disk journal as a self-delimiting, CRC-protected
+//! record of its content key ([`CellKey`]) plus the full [`ExpResult`]. On
+//! startup the store is replayed into the simcache, so a killed `repro`
+//! run resumes by simulating only the cells it never finished, and a fleet
+//! of `repro` processes sharing one journal directory collectively only
+//! ever simulates new cells — cells are bit-deterministic per content key,
+//! which is what makes serving a journaled result indistinguishable from
+//! re-simulating.
 //!
-//! ## On-disk format (version 1)
-//!
-//! One file, `cells.v1.jnl`, inside the journal directory:
+//! ## On-disk layout (version 2)
 //!
 //! ```text
-//! magic "TINTJNL1" (8 bytes)
+//! <journal dir>/
+//!   cells.v1.jnl              legacy single-file journal (read-once; see below)
+//!   cells.v1.jnl.migrated     marker: the v1 file has been absorbed
+//!   cells.v2/                 the store root
+//!     gc.lock                 O_EXCL GC lockfile (only while GC runs)
+//!     gen-00000001/           a *generation*: a directory of shards
+//!       <pid>-<nonce>.jnl     one append-only shard per writer process
+//!     gen-00000002.tmp.<pid>  an uncommitted GC build (ignored by replay)
+//!     <shard>.corrupt.<n>     quarantined corrupt shards (kept as evidence)
+//! ```
+//!
+//! Each **shard** is owned by exactly one writer process: it is created
+//! `O_CREAT|O_EXCL` under a pid+seeded-nonce name, so concurrent writers
+//! never share a file and the append path needs no locks. A shard starts
+//! with the magic `TINTJNL2` followed by framed entries:
+//!
+//! ```text
 //! entry*:
 //!   len:   u32 LE   payload length in bytes
 //!   crc:   u32 LE   CRC-32 (IEEE) of the payload
 //!   payload: len bytes — CellKey then ExpResult, little-endian fields
 //! ```
 //!
-//! Each entry is appended with a single `write_all`, so a crash can only
-//! tear the *final* entry. Replay distinguishes the two failure shapes:
+//! Replay scans every shard of the **current generation** (the
+//! highest-numbered `gen-*` directory), merges them, and dedupes by
+//! [`CellKey`]. Failure isolation is per shard, so one bad shard never
+//! poisons its siblings:
 //!
-//! * **torn final write** — the file ends before the last entry's declared
-//!   length: the fragment is dropped silently and the file truncated back
-//!   to the last good entry (the normal SIGKILL case);
+//! * **torn final write** — a shard ends before the last entry's declared
+//!   length: the fragment is dropped *in memory only*. Foreign shards are
+//!   never truncated or rewritten — a "torn tail" may be a live sibling's
+//!   in-flight append. Dead tails are compacted away by GC.
 //! * **mid-stream corruption** — a CRC mismatch, an insane length, or an
-//!   undecodable payload with more data after it: the whole file is
-//!   quarantined (renamed to `cells.v1.jnl.corrupt`), the good prefix is
-//!   kept — replayed and rewritten into a fresh journal — and the run
-//!   continues; the journal never panics the harness.
+//!   undecodable payload with more data after it: that shard is
+//!   quarantined (renamed to a unique `<name>.corrupt.<n>` in the store
+//!   root, never clobbering a previous quarantine), its good prefix is
+//!   rescued into this process's own shard, and replay continues with the
+//!   other shards; the journal never panics the harness.
+//!
+//! ## Generations and GC
+//!
+//! Appends accumulate dead weight: superseded duplicates, dead torn
+//! tails, shards of exited writers. [`gc`] (the `repro gc-journal`
+//! command) compacts the store: it merges the current generation exactly
+//! like replay, writes the live deduped cells into one fresh shard inside
+//! a `gen-<N+1>.tmp.<pid>` build directory, fsyncs, and commits with a
+//! **single atomic rename** to `gen-<N+1>` — so a crash at any point
+//! leaves either the old or the new generation fully intact, and
+//! concurrent readers of the old generation are unaffected. A `gc.lock`
+//! `O_EXCL` lockfile (with stale-lock takeover, see [`crate::lockfile`])
+//! keeps two GCs from racing. Old generations are removed only after the
+//! commit rename.
+//!
+//! ## Fault tolerance (degradation contract)
+//!
+//! All journal write-path filesystem operations run under the seeded
+//! [`crate::hostfault`] io shim (`TINT_HOST_FAULT=io:<permille>:<seed>`).
+//! The journal **degrades gracefully**: a failed append repairs the entry
+//! boundary (truncating its *own* shard back to the last good entry);
+//! persistent failure (or an unusable journal directory) warns **once**,
+//! disarms journaling, and the run completes correctly journal-less —
+//! never a panic, never a corrupted good prefix. Figures are computed
+//! from in-memory results and are unaffected.
+//!
+//! ## v1 migration
+//!
+//! A legacy `cells.v1.jnl` (magic `TINTJNL1`, same framing) is read once
+//! on first v2 replay, absorbed into this process's shard, and a
+//! `cells.v1.jnl.migrated` marker is dropped so later replays skip it;
+//! the v1 file itself is left untouched (a corrupt v1 is quarantined to
+//! `cells.v1.jnl.corrupt.<n>` like any shard).
 //!
 //! ## Activation
 //!
@@ -46,28 +100,46 @@
 //! Poisoned cells (worker panics, deadline kills — see
 //! [`crate::runner`]) are never journaled: a resume retries them.
 
+use crate::hostfault::{self, IoFault};
+use crate::lockfile::Lockfile;
 use crate::runner::ExpResult;
 use crate::simcache::{self, CellKey};
 use std::collections::{HashMap, HashSet};
-use std::fs::{File, OpenOptions};
+use std::fs::File;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+use tint_hw::rng::SplitMix64;
 use tint_spmd::RunMetrics;
 use tint_workloads::PinConfig;
 use tintmalloc::colors::ColorScheme;
 
-/// Journal file name inside the journal directory (the `v1` is the format
-/// version: readers reject other magics rather than guessing).
-pub const FILE_NAME: &str = "cells.v1.jnl";
+/// Legacy (v1) single-file journal name inside the journal directory.
+pub const V1_FILE_NAME: &str = "cells.v1.jnl";
 
-/// 8-byte file magic; the trailing `1` is the format version.
-const MAGIC: &[u8; 8] = b"TINTJNL1";
+/// Marker dropped next to a v1 file once its cells have been absorbed
+/// into the v2 store; later replays skip the v1 file when it exists.
+pub const V1_MIGRATED_MARKER: &str = "cells.v1.jnl.migrated";
+
+/// The v2 store root inside the journal directory.
+pub const STORE_DIR: &str = "cells.v2";
+
+/// The GC lockfile name inside the store root.
+pub const GC_LOCK: &str = "gc.lock";
+
+/// 8-byte v1 file magic; the trailing digit is the format version.
+const V1_MAGIC: &[u8; 8] = b"TINTJNL1";
+
+/// 8-byte v2 shard magic.
+const SHARD_MAGIC: &[u8; 8] = b"TINTJNL2";
 
 /// Upper bound on one entry's payload (a cell record is ~200 bytes; a
 /// length beyond this is corruption, not a big record).
 const MAX_ENTRY: u32 = 1 << 20;
+
+/// Consecutive append failures before the journal disarms itself.
+const MAX_IO_FAILURES: u8 = 3;
 
 // ---------------------------------------------------------------------------
 // CRC-32 (IEEE 802.3), table-driven, in-tree (offline build: no crates)
@@ -315,44 +387,196 @@ fn frame(payload: &[u8]) -> Vec<u8> {
 }
 
 // ---------------------------------------------------------------------------
+// Fault-shimmed filesystem primitives (write path only)
+// ---------------------------------------------------------------------------
+//
+// Every state-changing filesystem operation the journal performs goes
+// through one of these, which first consults the host-fault io schedule
+// ([`hostfault::io_fault`]). Read-side operations are deliberately
+// unshimmed: the degradation contract is about never *writing* badly.
+
+fn fio_gate() -> std::io::Result<()> {
+    match hostfault::io_fault() {
+        Some(f) => Err(f.as_error()),
+        None => Ok(()),
+    }
+}
+
+fn fio_create_dir_all(p: &Path) -> std::io::Result<()> {
+    fio_gate()?;
+    std::fs::create_dir_all(p)
+}
+
+fn fio_open_excl(p: &Path) -> std::io::Result<File> {
+    fio_gate()?;
+    std::fs::OpenOptions::new()
+        .create_new(true)
+        .write(true)
+        .open(p)
+}
+
+/// Shimmed `write_all`. An injected [`IoFault::ShortWrite`] writes the
+/// first half of `buf` for real and then reports failure — the torn-entry
+/// shape a crash mid-`write` leaves behind.
+fn fio_write_all(f: &mut File, buf: &[u8]) -> std::io::Result<()> {
+    match hostfault::io_fault() {
+        Some(IoFault::ShortWrite) => {
+            let _ = f.write_all(&buf[..buf.len() / 2]);
+            Err(IoFault::ShortWrite.as_error())
+        }
+        Some(fault) => Err(fault.as_error()),
+        None => f.write_all(buf),
+    }
+}
+
+fn fio_set_len(f: &File, len: u64) -> std::io::Result<()> {
+    fio_gate()?;
+    f.set_len(len)
+}
+
+fn fio_sync(f: &File) -> std::io::Result<()> {
+    fio_gate()?;
+    f.sync_data()
+}
+
+fn fio_rename(from: &Path, to: &Path) -> std::io::Result<()> {
+    fio_gate()?;
+    std::fs::rename(from, to)
+}
+
+// ---------------------------------------------------------------------------
+// Store geometry
+// ---------------------------------------------------------------------------
+
+/// The v2 store root under a journal directory.
+pub fn v2_root(dir: &Path) -> PathBuf {
+    dir.join(STORE_DIR)
+}
+
+/// Directory name of generation `n`.
+fn gen_name(n: u64) -> String {
+    format!("gen-{n:08}")
+}
+
+/// The current (highest-numbered, committed) generation under `dir`'s
+/// store root, if any. Uncommitted GC builds (`gen-*.tmp.<pid>`) and any
+/// other stray names are ignored: only `gen-` followed by pure digits
+/// counts, which is exactly what the atomic commit rename produces.
+pub fn current_generation(dir: &Path) -> Option<(u64, PathBuf)> {
+    let root = v2_root(dir);
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(&root).ok()?.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(digits) = name.strip_prefix("gen-") else {
+            continue;
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            continue;
+        }
+        let Ok(n) = digits.parse::<u64>() else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(b, _)| n > *b) {
+            best = Some((n, entry.path()));
+        }
+    }
+    best
+}
+
+/// First free `<file>.corrupt.<n>` (n = 1, 2, …) next to `root` for the
+/// quarantine rename — never clobbers an earlier quarantine.
+fn unique_corrupt_path(root: &Path, original: &Path) -> PathBuf {
+    let base = original
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("shard.jnl")
+        .to_string();
+    for n in 1u64.. {
+        let candidate = root.join(format!("{base}.corrupt.{n}"));
+        if !candidate.exists() {
+            return candidate;
+        }
+    }
+    unreachable!("u64 quarantine slots exhausted");
+}
+
+// ---------------------------------------------------------------------------
 // Journal state
 // ---------------------------------------------------------------------------
 
 /// What replay found on disk.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReplayStats {
-    /// Cell records replayed into the simcache.
+    /// Distinct cell records replayed into the simcache.
     pub replayed: u64,
-    /// Trailing bytes dropped as a torn final write.
+    /// Trailing bytes dropped (in memory) as torn final writes.
     pub torn_dropped: u64,
-    /// True when mid-stream corruption quarantined the file.
-    pub quarantined: bool,
+    /// Corrupt shards (or a corrupt v1 file) quarantined this replay.
+    pub quarantined: u64,
+    /// Healthy v2 shards merged.
+    pub shards: u64,
+    /// Cells absorbed from a legacy v1 journal.
+    pub v1_absorbed: u64,
+}
+
+/// What a GC compaction did (the `repro gc-journal` report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Live deduped cells written into the new generation.
+    pub live_cells: u64,
+    /// Shards merged from the old generation.
+    pub shards_merged: u64,
+    /// Corrupt shards quarantined during the merge.
+    pub quarantined: u64,
+    /// Cells absorbed from a legacy v1 journal.
+    pub v1_absorbed: u64,
+    /// Store bytes before compaction (old generation + v1).
+    pub bytes_before: u64,
+    /// Store bytes after compaction (the new generation).
+    pub bytes_after: u64,
+    /// The committed generation number.
+    pub generation: u64,
 }
 
 struct State {
     /// `None` = disabled/unarmed; `Some(dir)` = armed.
     dir: Option<PathBuf>,
-    /// Open journal file, positioned at its (validated) end.
-    file: Option<File>,
+    /// This process's own append shard, positioned at `shard_len`.
+    shard: Option<File>,
+    /// Validated length of the own shard (the repair boundary).
+    shard_len: u64,
     /// Keys loaded from disk this process — the set behind the
     /// journal-hit counter that proves a resume reused prior work.
     replayed: HashSet<CellKey>,
     /// Replay already ran for the current `dir`.
     replay_done: bool,
+    /// The journal disarmed itself after persistent io failure.
+    io_disarmed: bool,
+    /// Consecutive failed appends (reset by any success).
+    io_fail_streak: u8,
     stats: ReplayStats,
 }
 
 static STATE: Mutex<Option<State>> = Mutex::new(None);
 static HITS: AtomicU64 = AtomicU64::new(0);
 static APPENDS: AtomicU64 = AtomicU64::new(0);
+/// Mirror of `State::io_disarmed` readable without the lock (repro's
+/// invocation JSON reads it after the run).
+static IO_DISARMED: AtomicBool = AtomicBool::new(false);
+/// Per-process shard-name nonce counter (mixed with pid + clock).
+static NONCE: AtomicU64 = AtomicU64::new(0);
 
 fn with_state<T>(f: impl FnOnce(&mut State) -> T) -> T {
     let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
     let state = guard.get_or_insert_with(|| State {
         dir: None,
-        file: None,
+        shard: None,
+        shard_len: 0,
         replayed: HashSet::new(),
         replay_done: false,
+        io_disarmed: false,
+        io_fail_streak: 0,
         stats: ReplayStats::default(),
     });
     f(state)
@@ -371,24 +595,36 @@ pub fn configure_default() {
 }
 
 /// Arm the journal at `dir` (or disarm with `None`), resetting all journal
-/// state: the open file, the replayed-key set, and the counters. Tests use
-/// this to simulate process death — `set_dir` to the same directory again
-/// behaves exactly like a fresh process finding the file on disk.
+/// state: the open shard, the replayed-key set, the disarm latch, and the
+/// counters. Tests use this to simulate process death — `set_dir` to the
+/// same directory again behaves exactly like a fresh process finding the
+/// store on disk (including opening a *new* own shard, as a fresh process
+/// would).
 pub fn set_dir(dir: Option<&Path>) {
     with_state(|s| {
         s.dir = dir.map(Path::to_path_buf);
-        s.file = None;
+        s.shard = None;
+        s.shard_len = 0;
         s.replayed.clear();
         s.replay_done = false;
+        s.io_disarmed = false;
+        s.io_fail_streak = 0;
         s.stats = ReplayStats::default();
     });
     HITS.store(0, Ordering::Relaxed);
     APPENDS.store(0, Ordering::Relaxed);
+    IO_DISARMED.store(false, Ordering::Relaxed);
 }
 
 /// Is the journal armed (a directory configured)?
 pub fn enabled() -> bool {
     with_state(|s| s.dir.is_some())
+}
+
+/// Did the journal disarm itself after persistent io failure? (The run
+/// still completes correctly; its new cells just aren't persisted.)
+pub fn io_disarmed() -> bool {
+    IO_DISARMED.load(Ordering::Relaxed)
 }
 
 /// `(journal hits, cells appended, cells replayed)` so far. A *journal
@@ -412,7 +648,7 @@ pub fn note_replayed_hit(key: &CellKey) {
     }
 }
 
-/// Replay the journal into the simcache (idempotent; also called lazily by
+/// Replay the store into the simcache (idempotent; also called lazily by
 /// [`append`]). Returns what was found. Disabled/unarmed → all-zero stats.
 pub fn replay() -> ReplayStats {
     with_state(|s| {
@@ -425,151 +661,366 @@ pub fn replay() -> ReplayStats {
     })
 }
 
-/// The replay body; `s.dir` is `Some`. Opens (creating if needed) the
-/// journal file, validates every entry, loads the good prefix, repairs the
-/// file (truncate a torn tail; quarantine mid-stream corruption) and
-/// leaves `s.file` open at the end for appends.
+/// One scanned byte stream (a shard or a v1 file).
+struct Scan {
+    cells: Vec<(CellKey, ExpResult)>,
+    /// Trailing bytes after the last whole good entry (torn write).
+    torn: u64,
+    /// Mid-stream corruption: bad magic, bad CRC, insane length, or an
+    /// undecodable payload. `cells` still holds the good prefix.
+    corrupt: bool,
+}
+
+/// Validate `bytes` against the framing format under `magic`. Never
+/// touches the filesystem — callers decide what to do about tears and
+/// corruption (the per-shard isolation policy lives in the callers).
+fn scan_bytes(bytes: &[u8], magic: &[u8; 8]) -> Scan {
+    let mut scan = Scan {
+        cells: Vec::new(),
+        torn: 0,
+        corrupt: false,
+    };
+    if bytes.len() < magic.len() {
+        // Sub-magic fragment: a torn first write, not corruption.
+        scan.torn = bytes.len() as u64;
+        return scan;
+    }
+    if &bytes[..magic.len()] != magic {
+        scan.corrupt = true;
+        return scan;
+    }
+    let mut at = magic.len();
+    loop {
+        let remaining = bytes.len() - at;
+        if remaining == 0 {
+            break;
+        }
+        if remaining < 8 {
+            scan.torn = remaining as u64; // torn header
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        if len > MAX_ENTRY {
+            scan.corrupt = true; // insane length: corruption, not a tear
+            break;
+        }
+        if remaining < 8 + len as usize {
+            scan.torn = remaining as u64; // torn payload
+            break;
+        }
+        let payload = &bytes[at + 8..at + 8 + len as usize];
+        if crc32(payload) != crc {
+            scan.corrupt = true;
+            break;
+        }
+        match decode(payload) {
+            Some(kv) => scan.cells.push(kv),
+            None => {
+                scan.corrupt = true;
+                break;
+            }
+        }
+        at += 8 + len as usize;
+    }
+    scan
+}
+
+/// The merged content of one generation directory.
+struct GenScan {
+    /// Deduped live cells across all shards (healthy + salvaged).
+    merged: HashMap<CellKey, ExpResult>,
+    /// Keys durably held by a *healthy* shard (no need to re-persist).
+    healthy_keys: HashSet<CellKey>,
+    shards: u64,
+    torn: u64,
+    quarantined: u64,
+    /// Total bytes of the shards scanned (GC's before-size).
+    bytes: u64,
+}
+
+/// Scan every `*.jnl` shard in `gen_dir`, merging healthy shards and
+/// quarantining corrupt ones to `root` (the store root, so a later GC's
+/// old-generation removal keeps the evidence). Corrupt shards' good
+/// prefixes land in `merged` but not `healthy_keys` — the caller rescues
+/// them into durable storage. Foreign torn tails are dropped in memory
+/// only (they may be a live sibling's in-flight append).
+fn scan_generation(root: &Path, gen_dir: &Path) -> GenScan {
+    let mut g = GenScan {
+        merged: HashMap::new(),
+        healthy_keys: HashSet::new(),
+        shards: 0,
+        torn: 0,
+        quarantined: 0,
+        bytes: 0,
+    };
+    let mut shard_paths: Vec<PathBuf> = match std::fs::read_dir(gen_dir) {
+        Ok(rd) => rd
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "jnl"))
+            .collect(),
+        Err(_) => return g,
+    };
+    shard_paths.sort(); // deterministic merge order
+    for path in shard_paths {
+        let bytes = std::fs::read(&path).unwrap_or_default();
+        g.bytes += bytes.len() as u64;
+        let scan = scan_bytes(&bytes, SHARD_MAGIC);
+        g.torn += scan.torn;
+        if scan.corrupt {
+            g.quarantined += 1;
+            let q = unique_corrupt_path(root, &path);
+            match fio_rename(&path, &q) {
+                Ok(()) => eprintln!(
+                    "journal: shard {} is corrupt mid-stream; quarantined to {} \
+                     ({} good cells rescued)",
+                    path.display(),
+                    q.display(),
+                    scan.cells.len()
+                ),
+                Err(e) => eprintln!(
+                    "journal: shard {} is corrupt and could not be quarantined ({e}); \
+                     {} good cells rescued, shard left in place",
+                    path.display(),
+                    scan.cells.len()
+                ),
+            }
+            for (k, v) in scan.cells {
+                g.merged.insert(k, v);
+            }
+        } else {
+            g.shards += 1;
+            for (k, v) in scan.cells {
+                g.healthy_keys.insert(k);
+                g.merged.insert(k, v);
+            }
+        }
+    }
+    g
+}
+
+/// A scanned legacy v1 journal.
+struct V1Scan {
+    cells: Vec<(CellKey, ExpResult)>,
+    corrupt: bool,
+    bytes: u64,
+    torn: u64,
+}
+
+/// Read the legacy v1 file if it exists and has not been migrated yet.
+fn scan_v1(dir: &Path) -> Option<V1Scan> {
+    if dir.join(V1_MIGRATED_MARKER).exists() {
+        return None;
+    }
+    let path = dir.join(V1_FILE_NAME);
+    let bytes = std::fs::read(&path).ok()?;
+    let scan = scan_bytes(&bytes, V1_MAGIC);
+    Some(V1Scan {
+        cells: scan.cells,
+        corrupt: scan.corrupt,
+        bytes: bytes.len() as u64,
+        torn: scan.torn,
+    })
+}
+
+/// Handle a corrupt v1 file: quarantine it under a unique name (satellite
+/// fix: never clobber a previous quarantine) so it is not re-read forever.
+fn quarantine_v1(dir: &Path) {
+    let path = dir.join(V1_FILE_NAME);
+    let q = unique_corrupt_path(dir, &path);
+    match fio_rename(&path, &q) {
+        Ok(()) => eprintln!(
+            "journal: {} is corrupt mid-stream; quarantined to {}",
+            path.display(),
+            q.display()
+        ),
+        Err(e) => eprintln!(
+            "journal: {} is corrupt and could not be quarantined ({e})",
+            path.display()
+        ),
+    }
+}
+
+/// The replay body; `s.dir` is `Some`. Merges the current generation's
+/// shards plus an unmigrated v1 file into the simcache, rescues
+/// non-durable cells (corrupt-shard salvage, v1 absorption) into this
+/// process's own shard, and drops the v1 migration marker once its cells
+/// are durably in v2.
 fn replay_locked(s: &mut State) -> ReplayStats {
     let dir = s.dir.clone().expect("replay_locked requires an armed dir");
     let mut stats = ReplayStats::default();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
+    let root = v2_root(&dir);
+    if let Err(e) = fio_create_dir_all(&root) {
         eprintln!(
             "journal: cannot create {} ({e}); journaling disabled for this run",
-            dir.display()
+            root.display()
         );
         s.dir = None;
+        s.io_disarmed = true; // the single warning for this run
+        IO_DISARMED.store(true, Ordering::Relaxed);
         return stats;
     }
-    let path = dir.join(FILE_NAME);
-    let bytes = std::fs::read(&path).unwrap_or_default();
 
-    // Decide how much of the file is trustworthy.
-    let mut good: Vec<(CellKey, ExpResult)> = Vec::new();
-    let mut good_end = 0usize; // byte offset after the last good entry
-    let mut quarantine = false;
-    if bytes.len() < MAGIC.len() {
-        // Empty or sub-magic fragment: start fresh (a torn first write).
-        stats.torn_dropped = bytes.len() as u64;
-    } else if &bytes[..MAGIC.len()] != MAGIC {
-        quarantine = true;
-    } else {
-        good_end = MAGIC.len();
-        let mut at = MAGIC.len();
-        loop {
-            let remaining = bytes.len() - at;
-            if remaining == 0 {
-                break;
-            }
-            if remaining < 8 {
-                stats.torn_dropped += remaining as u64; // torn header
-                break;
-            }
-            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
-            let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
-            if len > MAX_ENTRY {
-                quarantine = true; // insane length: corruption, not a tear
-                break;
-            }
-            if remaining < 8 + len as usize {
-                stats.torn_dropped += remaining as u64; // torn payload
-                break;
-            }
-            let payload = &bytes[at + 8..at + 8 + len as usize];
-            if crc32(payload) != crc {
-                quarantine = true;
-                break;
-            }
-            match decode(payload) {
-                Some(kv) => good.push(kv),
-                None => {
-                    quarantine = true;
-                    break;
-                }
-            }
-            at += 8 + len as usize;
-            good_end = at;
-        }
-    }
+    let gen = current_generation(&dir).map(|(_, p)| scan_generation(&root, &p));
+    let v1 = scan_v1(&dir);
 
-    // Load the good prefix into the simcache (the serving path) and the
-    // replayed-key set (the journal-hit accounting).
-    let mut dedup: HashMap<CellKey, ExpResult> = HashMap::new();
-    for (k, v) in good {
-        dedup.insert(k, v);
+    let mut merged: HashMap<CellKey, ExpResult> = HashMap::new();
+    let mut healthy_keys: HashSet<CellKey> = HashSet::new();
+    if let Some(g) = gen {
+        stats.shards = g.shards;
+        stats.torn_dropped += g.torn;
+        stats.quarantined += g.quarantined;
+        merged.extend(g.merged);
+        healthy_keys.extend(g.healthy_keys);
     }
-    stats.replayed = dedup.len() as u64;
-    for (k, v) in &dedup {
-        if simcache::enabled() {
-            simcache::insert(*k, v);
-        }
-        s.replayed.insert(*k);
-    }
-
-    let file = if quarantine {
-        stats.quarantined = true;
-        let corrupt = dir.join(format!("{FILE_NAME}.corrupt"));
-        if let Err(e) = std::fs::rename(&path, &corrupt) {
-            eprintln!("journal: quarantine rename failed ({e}); rewriting in place");
+    let mut v1_healthy = false;
+    if let Some(v) = v1 {
+        stats.torn_dropped += v.torn;
+        if v.corrupt {
+            stats.quarantined += 1;
+            quarantine_v1(&dir);
         } else {
-            eprintln!(
-                "journal: {} is corrupt mid-stream; quarantined to {} \
-                 ({} good cells kept)",
-                path.display(),
-                corrupt.display(),
-                stats.replayed
-            );
+            v1_healthy = true;
         }
-        // Fresh journal carrying the good prefix so it stays durable.
-        fresh_file(&path, &dedup)
-    } else {
-        match OpenOptions::new().create(true).append(true).open(&path) {
-            Ok(f) => {
-                if good_end == 0 {
-                    // New or sub-magic file: (re)write the magic.
-                    f.set_len(0).ok();
-                    let mut f = f;
-                    if f.write_all(MAGIC).is_err() {
-                        None
-                    } else {
-                        Some(f)
-                    }
-                } else {
-                    // Drop any torn tail so appends restart on a boundary.
-                    if (good_end as u64) < bytes.len() as u64 {
-                        f.set_len(good_end as u64).ok();
-                    }
-                    Some(f)
-                }
-            }
-            Err(e) => {
-                eprintln!(
-                    "journal: cannot open {} ({e}); journaling disabled",
-                    path.display()
-                );
-                None
-            }
+        stats.v1_absorbed = v.cells.len() as u64;
+        merged.extend(v.cells);
+    }
+
+    stats.replayed = merged.len() as u64;
+    if simcache::enabled() {
+        simcache::insert_many(merged.iter().map(|(k, v)| (*k, v)));
+    }
+    s.replayed.extend(merged.keys().copied());
+
+    // Rescue cells that no healthy shard holds (corrupt-shard salvage and
+    // v1 absorption) into our own shard so they stay durable. These are
+    // not *new* work, so they do not count toward the append counter.
+    let mut all_rescued = true;
+    for (k, v) in merged.iter().filter(|(k, _)| !healthy_keys.contains(k)) {
+        if !append_locked(s, k, v, false) {
+            all_rescued = false;
         }
-    };
-    match file {
-        Some(f) => s.file = Some(f),
-        None => s.dir = None, // unusable: disable for this run
+    }
+    // The v1 file is migrated only once its cells are durable in v2.
+    if v1_healthy && all_rescued && !s.io_disarmed {
+        let _ = std::fs::write(dir.join(V1_MIGRATED_MARKER), b"absorbed\n");
     }
     stats
 }
 
-/// Write a brand-new journal file containing `cells` (quarantine path).
-fn fresh_file(path: &Path, cells: &HashMap<CellKey, ExpResult>) -> Option<File> {
-    let mut f = OpenOptions::new()
-        .create(true)
-        .write(true)
-        .truncate(true)
-        .open(path)
-        .ok()?;
-    f.write_all(MAGIC).ok()?;
-    for (k, v) in cells {
-        f.write_all(&frame(&encode(k, v))).ok()?;
+/// A fresh shard file name: `<pid>-<nonce>.jnl`. The nonce mixes a
+/// process-local counter, the pid, and the clock through SplitMix64, so
+/// concurrent writers (and successive `set_dir` "processes" in one test
+/// binary) get distinct names; `O_EXCL` turns any residual collision into
+/// a retry instead of silent sharing.
+fn shard_file_name() -> String {
+    let count = NONCE.fetch_add(1, Ordering::Relaxed);
+    let clock = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    let pid = std::process::id() as u64;
+    let nonce = SplitMix64::new(count ^ clock.rotate_left(17) ^ pid.rotate_left(43)).next_u64();
+    format!("{}-{nonce:016x}.jnl", std::process::id())
+}
+
+/// Create this process's own append shard in the current generation
+/// (creating `gen-00000001` on a virgin store). `false` = the journal
+/// disarmed itself.
+fn open_own_shard(s: &mut State) -> bool {
+    let Some(dir) = s.dir.clone() else {
+        return false;
+    };
+    let gen_dir = match current_generation(&dir) {
+        Some((_, p)) => p,
+        None => {
+            let p = v2_root(&dir).join(gen_name(1));
+            if let Err(e) = fio_create_dir_all(&p) {
+                disarm_io(s, "create generation", &e);
+                return false;
+            }
+            p
+        }
+    };
+    for _ in 0..16 {
+        let path = gen_dir.join(shard_file_name());
+        match fio_open_excl(&path) {
+            Ok(mut f) => {
+                if let Err(e) = fio_write_all(&mut f, SHARD_MAGIC) {
+                    // A magic-less fragment replays as a torn first write;
+                    // harmless, and GC compacts it away.
+                    disarm_io(s, "initialize shard", &e);
+                    return false;
+                }
+                s.shard = Some(f);
+                s.shard_len = SHARD_MAGIC.len() as u64;
+                return true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => {
+                disarm_io(s, "create shard", &e);
+                return false;
+            }
+        }
     }
-    Some(f)
+    disarm_io(
+        s,
+        "create shard",
+        &std::io::Error::other("16 O_EXCL name collisions"),
+    );
+    false
+}
+
+/// Disarm journaling for the rest of the run, warning exactly once. The
+/// run itself is unaffected — figures come from in-memory results; only
+/// persistence of *new* cells stops.
+fn disarm_io(s: &mut State, ctx: &str, e: &std::io::Error) {
+    if !s.io_disarmed {
+        eprintln!(
+            "journal: {ctx} failed ({e}); journaling disabled for the rest of this run \
+             (figures are unaffected; unjournaled cells will be re-simulated next time)"
+        );
+        s.io_disarmed = true;
+        IO_DISARMED.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Append one `(key, result)` record to the own shard. On write failure
+/// the entry boundary is repaired (own-shard truncate back to the last
+/// good entry — never a foreign shard); persistent failure disarms.
+/// `count` is false for rescue re-persists, which are not new work.
+fn append_locked(s: &mut State, key: &CellKey, r: &ExpResult, count: bool) -> bool {
+    if s.dir.is_none() || s.io_disarmed {
+        return false;
+    }
+    if s.shard.is_none() && !open_own_shard(s) {
+        return false;
+    }
+    let entry = frame(&encode(key, r));
+    let pre = s.shard_len;
+    let f = s.shard.as_mut().expect("own shard is open");
+    match fio_write_all(f, &entry) {
+        Ok(()) => {
+            s.shard_len = pre + entry.len() as u64;
+            s.io_fail_streak = 0;
+            if count {
+                APPENDS.fetch_add(1, Ordering::Relaxed);
+            }
+            true
+        }
+        Err(e) => {
+            s.io_fail_streak = s.io_fail_streak.saturating_add(1);
+            let repaired = fio_set_len(f, pre).is_ok();
+            if !repaired || s.io_fail_streak >= MAX_IO_FAILURES {
+                // Unrepairable boundary (the shard now ends in a torn
+                // fragment — which replay tolerates) or a persistent
+                // failure streak: stop writing.
+                disarm_io(s, "append", &e);
+            }
+            false
+        }
+    }
 }
 
 /// Append one completed cell. Lazily replays first (so tests that only
@@ -581,26 +1032,160 @@ pub fn append(key: &CellKey, r: &ExpResult) {
         return;
     }
     replay();
-    let entry = frame(&encode(key, r));
-    let ok = with_state(|s| match s.file.as_mut() {
-        Some(f) => f.write_all(&entry).is_ok(),
-        None => false,
-    });
-    if ok {
-        APPENDS.fetch_add(1, Ordering::Relaxed);
-    }
+    with_state(|s| append_locked(s, key, r, true));
 }
 
-/// Flush journal appends to the OS (graceful-shutdown path). Appends are
+/// Flush shard appends to the OS (graceful-shutdown path). Appends are
 /// unbuffered single `write_all`s, so this is a best-effort `sync_data`
 /// for the power-loss case; a SIGKILL already cannot tear more than the
 /// final entry.
 pub fn flush() {
     with_state(|s| {
-        if let Some(f) = s.file.as_mut() {
-            f.sync_data().ok();
+        if s.io_disarmed {
+            return;
+        }
+        if let Some(f) = s.shard.take() {
+            if let Err(e) = fio_sync(&f) {
+                disarm_io(s, "sync", &e);
+            } else {
+                s.shard = Some(f);
+            }
         }
     });
+}
+
+/// Compact the store: merge the current generation (and any unmigrated v1
+/// file) exactly like replay, write the live deduped cells into one fresh
+/// shard in a new generation, and commit it with a single atomic rename.
+/// Guarded by the `gc.lock` `O_EXCL` lockfile with stale-lock takeover;
+/// a second live GC fails fast. A crash at *any* point leaves either the
+/// old or the new generation fully intact (the commit is one rename), and
+/// concurrent readers of the old generation are unaffected. Old
+/// generations and stray GC build directories are removed only after the
+/// commit.
+pub fn gc() -> Result<GcStats, String> {
+    with_state(gc_locked)
+}
+
+fn gc_locked(s: &mut State) -> Result<GcStats, String> {
+    let dir = s
+        .dir
+        .clone()
+        .ok_or_else(|| "journal is disabled (TINT_JOURNAL=0?)".to_string())?;
+    if s.io_disarmed {
+        return Err("journal is disarmed after io failures; not compacting".to_string());
+    }
+    let root = v2_root(&dir);
+    fio_create_dir_all(&root).map_err(|e| format!("cannot create {}: {e}", root.display()))?;
+    let _lock = Lockfile::acquire(&root.join(GC_LOCK))
+        .map_err(|e| format!("gc lock: {e} (is another gc-journal running?)"))?;
+
+    let old = current_generation(&dir);
+    let old_n = old.as_ref().map(|(n, _)| *n).unwrap_or(0);
+    let mut stats = GcStats::default();
+    let mut merged: HashMap<CellKey, ExpResult> = HashMap::new();
+    if let Some((_, gen_dir)) = &old {
+        let g = scan_generation(&root, gen_dir);
+        stats.shards_merged = g.shards;
+        stats.quarantined += g.quarantined;
+        stats.bytes_before += g.bytes;
+        merged.extend(g.merged);
+    }
+    let mut v1_healthy = false;
+    if let Some(v) = scan_v1(&dir) {
+        if v.corrupt {
+            stats.quarantined += 1;
+            quarantine_v1(&dir);
+        } else {
+            v1_healthy = true;
+        }
+        stats.v1_absorbed = v.cells.len() as u64;
+        stats.bytes_before += v.bytes;
+        merged.extend(v.cells);
+    }
+    stats.live_cells = merged.len() as u64;
+
+    // Deterministic shard content: sort by encoded key fields.
+    let mut cells: Vec<(&CellKey, &ExpResult)> = merged.iter().collect();
+    cells.sort_by_key(|(k, _)| {
+        (
+            k.fingerprint,
+            scheme_code(k.scheme),
+            pin_code(k.pin),
+            k.seed,
+            k.reference_pipeline,
+            k.sampled,
+        )
+    });
+
+    let new_n = old_n + 1;
+    let tmp = root.join(format!("{}.tmp.{}", gen_name(new_n), std::process::id()));
+    let committed = root.join(gen_name(new_n));
+    // A previous killed attempt may have left this very tmp dir (same
+    // pid is possible across boots); a stale partial shard must not ride
+    // into the committed generation.
+    let _ = std::fs::remove_dir_all(&tmp);
+    let build = |tmp: &Path| -> std::io::Result<u64> {
+        fio_create_dir_all(tmp)?;
+        let mut f = fio_open_excl(&tmp.join(shard_file_name()))?;
+        fio_write_all(&mut f, SHARD_MAGIC)?;
+        let mut bytes = SHARD_MAGIC.len() as u64;
+        for (k, v) in &cells {
+            let entry = frame(&encode(k, v));
+            fio_write_all(&mut f, &entry)?;
+            bytes += entry.len() as u64;
+        }
+        fio_sync(&f)?;
+        fio_rename(tmp, &committed)?; // the commit point: one atomic rename
+        Ok(bytes)
+    };
+    match build(&tmp) {
+        Err(e) => {
+            let _ = std::fs::remove_dir_all(&tmp);
+            Err(format!("gc failed before commit: {e} (store unchanged)"))
+        }
+        Ok(bytes_after) => {
+            stats.bytes_after = bytes_after;
+            stats.generation = new_n;
+            // Post-commit, best-effort cleanup: the new generation is
+            // durable regardless of anything below.
+            if v1_healthy {
+                let _ = std::fs::write(dir.join(V1_MIGRATED_MARKER), b"absorbed\n");
+            }
+            if let Ok(rd) = std::fs::read_dir(&root) {
+                for entry in rd.flatten() {
+                    let name = entry.file_name();
+                    let Some(name) = name.to_str() else { continue };
+                    let is_old_gen = name
+                        .strip_prefix("gen-")
+                        .filter(|d| !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()))
+                        .and_then(|d| d.parse::<u64>().ok())
+                        .is_some_and(|n| n <= old_n);
+                    let is_stale_tmp = name.starts_with("gen-") && name.contains(".tmp.");
+                    if is_old_gen || is_stale_tmp {
+                        let _ = std::fs::remove_dir_all(entry.path());
+                    }
+                }
+            }
+            // Our own shard (if any) lived in the old generation; future
+            // appends must open a fresh shard in the new one.
+            s.shard = None;
+            s.shard_len = 0;
+            Ok(stats)
+        }
+    }
+}
+
+/// Test fixture: write a legacy v1 journal file at `path` (migration
+/// tests need real v1 bytes without keeping the v1 writer alive).
+#[doc(hidden)]
+pub fn write_legacy_v1(path: &Path, cells: &[(CellKey, ExpResult)]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(V1_MAGIC)?;
+    for (k, v) in cells {
+        f.write_all(&frame(&encode(k, v)))?;
+    }
+    f.sync_data()
 }
 
 #[cfg(test)]
@@ -706,5 +1291,35 @@ mod tests {
         }
         assert_eq!(scheme_from(200), None);
         assert_eq!(pin_from(200), None);
+    }
+
+    #[test]
+    fn unique_corrupt_paths_never_clobber() {
+        let root = std::env::temp_dir().join(format!("tint-jnl-ucp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        let victim = root.join("a.jnl");
+        let q1 = unique_corrupt_path(&root, &victim);
+        assert_eq!(q1, root.join("a.jnl.corrupt.1"));
+        std::fs::write(&q1, b"x").unwrap();
+        let q2 = unique_corrupt_path(&root, &victim);
+        assert_eq!(q2, root.join("a.jnl.corrupt.2"));
+        assert_ne!(q1, q2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn generation_names_parse_and_tmp_dirs_are_ignored() {
+        let dir = std::env::temp_dir().join(format!("tint-jnl-gen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let root = v2_root(&dir);
+        std::fs::create_dir_all(root.join("gen-00000001")).unwrap();
+        std::fs::create_dir_all(root.join("gen-00000003")).unwrap();
+        std::fs::create_dir_all(root.join("gen-00000004.tmp.1234")).unwrap();
+        std::fs::create_dir_all(root.join("gen-bogus")).unwrap();
+        let (n, p) = current_generation(&dir).expect("a committed generation exists");
+        assert_eq!(n, 3);
+        assert_eq!(p, root.join("gen-00000003"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -11,14 +11,17 @@
 //!
 //! All simulation flows through three shared layers: the content-addressed
 //! cell cache ([`simcache`], dedup across figures within one process), the
-//! crash-safe on-disk cell journal ([`journal`], exact resume of a killed
-//! run), and the flattened matrix executor ([`runner::run_cells`],
+//! multi-process cell farm ([`journal`], sharded crash-safe on-disk store:
+//! exact resume of a killed run, lock-free concurrent writers, generation
+//! GC), and the flattened matrix executor ([`runner::run_cells`],
 //! `--jobs`-way work queue with panic-isolated workers). Figure output is
 //! byte-identical with the cache/journal on or off and at any job count.
 
+pub mod benchjson;
 pub mod figures;
 pub mod hostfault;
 pub mod journal;
+pub mod lockfile;
 pub mod microbench;
 pub mod runner;
 pub mod simcache;

@@ -6,10 +6,15 @@
 //!   so results are memoized by content — figures within one invocation
 //!   share cells (fig13/fig14 are a strict subset of the fig11 matrix)
 //!   without knowing about each other;
-//! * the **cell journal** ([`crate::journal`]): completed cells are also
-//!   appended to a crash-safe on-disk journal (when armed), replayed into
+//! * the **cell farm** ([`crate::journal`]): completed cells are also
+//!   appended to a crash-safe on-disk store (when armed), replayed into
 //!   the cache at startup, so a killed run resumes without re-simulating
-//!   its completed prefix;
+//!   its completed prefix. The store is sharded per writer process
+//!   (`O_EXCL`-created append shards inside a generation directory), so
+//!   any number of concurrent `repro` processes can share one journal
+//!   directory lock-free and collectively only ever simulate new cells;
+//!   on persistent io failure the journal disarms itself (one warning)
+//!   and the run completes journal-less with identical figures;
 //! * the **matrix executor** ([`run_cells`]): figures flatten their whole
 //!   (benchmark × config × scheme × rep) cell list into one work queue
 //!   drained by `--jobs`/`TINT_JOBS` host threads. Cells vary ~100× in cost

@@ -128,6 +128,23 @@ pub fn insert(key: CellKey, result: &ExpResult) {
     }
 }
 
+/// Store a batch of cells under one lock acquisition (no-op when
+/// disabled). The journal replay path uses this: a farm replay can carry
+/// thousands of cells, and taking the cache lock per cell would contend
+/// with worker threads already simulating.
+pub fn insert_many<'a, I>(items: I)
+where
+    I: IntoIterator<Item = (CellKey, &'a ExpResult)>,
+{
+    if !enabled() {
+        return;
+    }
+    let mut map = cache().lock().unwrap_or_else(|e| e.into_inner());
+    for (k, v) in items {
+        map.insert(k, v.clone());
+    }
+}
+
 /// Count `n` cells served without simulation (cache or in-batch dedup).
 pub fn note_hits(n: u64) {
     HITS.fetch_add(n, Ordering::Relaxed);

@@ -1,0 +1,516 @@
+//! Cell-farm differential tests: concurrent-writer shards, v1 migration,
+//! io-fault degradation, and generation GC atomicity.
+//!
+//! The load-bearing invariants:
+//!
+//! 1. **Merge**: writers append to private shards; replay merges every
+//!    shard of the current generation and dedupes by key, so a fleet of
+//!    processes collectively only ever simulates new cells.
+//! 2. **Migration**: a legacy v1 journal is absorbed into the v2 store on
+//!    first replay and then left untouched (marker file), including mixed
+//!    v1+v2 startup with overlapping keys.
+//! 3. **Degradation**: under injected io faults the journal disarms
+//!    itself; the run completes with byte-identical figures and the
+//!    surviving on-disk prefix stays replayable — never quarantined.
+//! 4. **GC atomicity**: `gc` commits a compacted generation with one
+//!    atomic rename; killed at *any* io operation it leaves a store that
+//!    replays the full live set, and the `gc.lock` never lingers.
+//!
+//! Journal/cache/fault state is process-global: tests serialize on
+//! [`LOCK`]; "process death" is [`journal::set_dir`] + [`simcache::clear`]
+//! (a re-armed journal opens a fresh shard, exactly like a new process).
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use tint_bench::figures::{fig10, FigOpts};
+use tint_bench::hostfault::{self, FaultMode, HostFaultPlan, IO_ABORT_MARKER};
+use tint_bench::journal;
+use tint_bench::runner::{reset_fault_counters, set_cell_retries, set_jobs, ExpResult};
+use tint_bench::simcache::{self, CellKey};
+use tint_spmd::RunMetrics;
+use tint_workloads::PinConfig;
+use tintmalloc::colors::ColorScheme;
+
+/// Serializes tests that touch the process-global journal/cache/counters.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn quick(scale: f64) -> FigOpts {
+    FigOpts {
+        reps: 2,
+        scale,
+        csv: false,
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tint-farm-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn isolated<T>(f: impl FnOnce() -> T) -> T {
+    let cache_was = simcache::enabled();
+    simcache::clear();
+    simcache::set_enabled(true);
+    journal::set_dir(None);
+    hostfault::set_plan(None);
+    hostfault::set_io_abort_at(None);
+    reset_fault_counters();
+    set_cell_retries(None);
+    set_jobs(1);
+    let out = f();
+    set_jobs(0);
+    set_cell_retries(None);
+    hostfault::set_plan(None);
+    hostfault::set_io_abort_at(None);
+    reset_fault_counters();
+    journal::set_dir(None);
+    simcache::set_enabled(cache_was);
+    simcache::clear();
+    out
+}
+
+/// A synthetic, decodable cell for direct-append tests.
+fn cell(i: u64) -> (CellKey, ExpResult) {
+    let key = CellKey {
+        fingerprint: 0xFA43_0000 + i,
+        scheme: ColorScheme::MemLlc,
+        pin: PinConfig::T8N2,
+        seed: i,
+        reference_pipeline: false,
+        sampled: false,
+    };
+    let r = ExpResult {
+        metrics: RunMetrics {
+            threads: 2,
+            runtime: 1000 + i,
+            thread_runtime: vec![500 + i, 500],
+            thread_idle: vec![1, 2],
+            serial_cycles: 7,
+            parallel_sections: 1,
+        },
+        remote_fraction: 0.5,
+        llc_interference: i,
+        row_hit_rate: 0.75,
+        pages_moved: 0,
+        page_faults: 3,
+        fault_cycles: 4,
+        l3_miss_rate: 0.1,
+        mean_latency: 100.0,
+        color_list_moves: 2,
+        poisoned: false,
+    };
+    (key, r)
+}
+
+/// Every shard file in `dir`'s current store generation, sorted.
+fn shard_paths(dir: &Path) -> Vec<PathBuf> {
+    let Some((_, gen_dir)) = journal::current_generation(dir) else {
+        return Vec::new();
+    };
+    let mut v: Vec<PathBuf> = std::fs::read_dir(gen_dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "jnl"))
+        .collect();
+    v.sort();
+    v
+}
+
+/// "Process death" + fresh arm at `dir`.
+fn rebirth(dir: &Path) {
+    journal::set_dir(Some(dir));
+    simcache::clear();
+}
+
+// ---------------------------------------------------------------------------
+// 1. Concurrent-writer shards merge; the farm only simulates new cells
+// ---------------------------------------------------------------------------
+
+#[test]
+fn two_writers_merge_and_a_third_run_simulates_nothing() {
+    let _g = LOCK.lock().unwrap();
+    let dir = scratch("merge");
+    isolated(|| {
+        // Writer A: fig10 at scale 0.02.
+        let opts_a = quick(0.02);
+        journal::set_dir(Some(&dir));
+        journal::replay();
+        let out_a = opts_a.render(&fig10(&opts_a));
+        journal::flush();
+        let (_, appended_a, _) = journal::counters();
+        assert!(appended_a > 0);
+
+        // Writer B: a different cell population (scale 0.03) lands in its
+        // own shard — B never rewrites A's shard.
+        let opts_b = quick(0.03);
+        rebirth(&dir);
+        journal::replay();
+        let out_b = opts_b.render(&fig10(&opts_b));
+        journal::flush();
+        let (_, appended_b, _) = journal::counters();
+        assert!(appended_b > 0, "scale 0.03 cells are new");
+        assert_eq!(shard_paths(&dir).len(), 2, "two writers, two shards");
+
+        // "Third process": the merged farm serves every cell of both
+        // writers; nothing is re-simulated.
+        rebirth(&dir);
+        let stats = journal::replay();
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.replayed, appended_a + appended_b);
+        assert_eq!(stats.quarantined, 0);
+        let misses_before = simcache::stats().1;
+        let again_a = opts_a.render(&fig10(&opts_a));
+        let again_b = opts_b.render(&fig10(&opts_b));
+        assert_eq!(
+            simcache::stats().1 - misses_before,
+            0,
+            "the merged farm must serve every cell"
+        );
+        assert_eq!(again_a, out_a, "byte-identical across the farm");
+        assert_eq!(again_b, out_b, "byte-identical across the farm");
+        let (_, appended_c, _) = journal::counters();
+        assert_eq!(appended_c, 0, "nothing new to journal");
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// 2. v1 migration: absorbed once, left untouched
+// ---------------------------------------------------------------------------
+
+#[test]
+fn v1_journal_is_absorbed_once_and_left_untouched() {
+    let _g = LOCK.lock().unwrap();
+    let dir = scratch("v1");
+    isolated(|| {
+        std::fs::create_dir_all(&dir).unwrap();
+        let cells: Vec<_> = (0..5).map(cell).collect();
+        let v1_path = dir.join(journal::V1_FILE_NAME);
+        journal::write_legacy_v1(&v1_path, &cells).unwrap();
+        let v1_bytes = std::fs::read(&v1_path).unwrap();
+
+        // First v2 replay absorbs the v1 cells into an own shard and
+        // drops the migration marker.
+        journal::set_dir(Some(&dir));
+        let stats = journal::replay();
+        assert_eq!(stats.v1_absorbed, 5);
+        assert_eq!(stats.replayed, 5);
+        assert_eq!(stats.quarantined, 0);
+        assert!(dir.join(journal::V1_MIGRATED_MARKER).exists());
+        assert_eq!(shard_paths(&dir).len(), 1, "absorbed into one shard");
+        assert_eq!(
+            std::fs::read(&v1_path).unwrap(),
+            v1_bytes,
+            "the v1 file itself is left untouched"
+        );
+        for (k, _) in &cells {
+            assert!(simcache::lookup(k).is_some(), "absorbed cell serves");
+        }
+
+        // Second replay: the marker short-circuits the v1 read; the cells
+        // now come from the v2 shard.
+        rebirth(&dir);
+        let again = journal::replay();
+        assert_eq!(again.v1_absorbed, 0, "absorbed exactly once");
+        assert_eq!(again.replayed, 5);
+        assert_eq!(again.shards, 1);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mixed_v1_and_v2_startup_merges_and_dedupes() {
+    let _g = LOCK.lock().unwrap();
+    let dir = scratch("mixed");
+    isolated(|| {
+        // v2 shard holding keys 0..5 (a prior v2 process).
+        journal::set_dir(Some(&dir));
+        for i in 0..5 {
+            let (k, r) = cell(i);
+            journal::append(&k, &r);
+        }
+        journal::flush();
+        // A v1 file holding keys 3..8 — 3 and 4 overlap the shard.
+        let cells: Vec<_> = (3..8).map(cell).collect();
+        journal::write_legacy_v1(&dir.join(journal::V1_FILE_NAME), &cells).unwrap();
+
+        rebirth(&dir);
+        let stats = journal::replay();
+        assert_eq!(stats.v1_absorbed, 5, "all five v1 records were read");
+        assert_eq!(stats.replayed, 8, "0..8 distinct keys after dedup");
+        assert_eq!(stats.shards, 1);
+        assert!(dir.join(journal::V1_MIGRATED_MARKER).exists());
+        for i in 0..8 {
+            assert!(simcache::lookup(&cell(i).0).is_some(), "key {i} serves");
+        }
+
+        // Third start: both shards (original + rescue), no v1 re-read.
+        rebirth(&dir);
+        let again = journal::replay();
+        assert_eq!(again.v1_absorbed, 0);
+        assert_eq!(again.replayed, 8);
+        assert_eq!(again.shards, 2);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// 3. io-fault degradation: disarm, never corrupt
+// ---------------------------------------------------------------------------
+
+#[test]
+fn full_io_fault_rate_disarms_and_the_run_completes_identically() {
+    let _g = LOCK.lock().unwrap();
+    let dir = scratch("io1000");
+    let opts = quick(0.02);
+    isolated(|| {
+        // Clean reference with no journal at all.
+        let clean = opts.render(&fig10(&opts));
+        simcache::clear();
+
+        // io:1000 — every journal filesystem op fails. Arming the journal
+        // must not panic anything; it disarms and the figure is identical.
+        hostfault::set_plan(Some(HostFaultPlan {
+            mode: FaultMode::Io,
+            per_mille: 1000,
+            seed: 42,
+        }));
+        journal::set_dir(Some(&dir));
+        let stats = journal::replay();
+        assert_eq!(stats.replayed, 0);
+        assert!(!journal::enabled(), "the journal disarmed itself");
+        assert!(journal::io_disarmed());
+        let faulted = opts.render(&fig10(&opts));
+        assert_eq!(faulted, clean, "figures are unaffected by journal loss");
+        assert!(
+            hostfault::io_injected() > 0,
+            "the io schedule must actually fire"
+        );
+        // Worker panics are a different mode entirely.
+        assert_eq!(hostfault::injected(), 0, "io mode never panics workers");
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn low_rate_io_faults_never_corrupt_the_good_prefix() {
+    let _g = LOCK.lock().unwrap();
+    let dir = scratch("iolow");
+    let opts = quick(0.02);
+    isolated(|| {
+        let clean = opts.render(&fig10(&opts));
+        simcache::clear();
+
+        // Arm the journal on a healthy disk first (store creation
+        // succeeds), then inject faults into the append stream.
+        journal::set_dir(Some(&dir));
+        journal::replay();
+        hostfault::set_plan(Some(HostFaultPlan {
+            mode: FaultMode::Io,
+            per_mille: 300,
+            seed: 7,
+        }));
+        let faulted = opts.render(&fig10(&opts));
+        journal::flush();
+        assert_eq!(faulted, clean, "io faults never reach the figures");
+        assert!(hostfault::io_injected() > 0, "the schedule must fire");
+
+        // Whatever survived on disk is a *good prefix*: a healthy process
+        // replays it without quarantine and completes the figure exactly.
+        hostfault::set_plan(None);
+        rebirth(&dir);
+        let stats = journal::replay();
+        assert_eq!(
+            stats.quarantined, 0,
+            "failed appends must never corrupt a shard mid-stream"
+        );
+        let resumed = opts.render(&fig10(&opts));
+        assert_eq!(resumed, clean);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Generation GC: compaction, atomicity under kill, locking
+// ---------------------------------------------------------------------------
+
+#[test]
+fn gc_compacts_duplicates_across_shards_and_preserves_every_cell() {
+    let _g = LOCK.lock().unwrap();
+    let dir = scratch("gc");
+    isolated(|| {
+        // Writer A: keys 0..10.
+        journal::set_dir(Some(&dir));
+        for i in 0..10 {
+            let (k, r) = cell(i);
+            journal::append(&k, &r);
+        }
+        journal::flush();
+        // Writer B: keys 0..15 — 10 duplicates land in a second shard
+        // (direct appends model a writer that raced A and re-simulated).
+        rebirth(&dir);
+        for i in 0..15 {
+            let (k, r) = cell(i);
+            journal::append(&k, &r);
+        }
+        journal::flush();
+        assert_eq!(shard_paths(&dir).len(), 2);
+
+        let stats = journal::gc().expect("gc succeeds");
+        assert_eq!(stats.live_cells, 15);
+        assert_eq!(stats.shards_merged, 2);
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(stats.generation, 2);
+        assert!(
+            stats.bytes_after < stats.bytes_before,
+            "dropping 10 duplicate records must shrink the store \
+             ({} -> {})",
+            stats.bytes_before,
+            stats.bytes_after
+        );
+        // The old generation is gone; one compacted shard remains.
+        let root = journal::v2_root(&dir);
+        assert!(!root.join("gen-00000001").exists());
+        assert!(!root.join(journal::GC_LOCK).exists(), "lock released");
+        assert_eq!(shard_paths(&dir).len(), 1);
+
+        // The compacted store serves everything.
+        rebirth(&dir);
+        let replayed = journal::replay();
+        assert_eq!(replayed.replayed, 15);
+        assert_eq!(replayed.shards, 1);
+        assert_eq!(replayed.quarantined, 0);
+        for i in 0..15 {
+            assert!(simcache::lookup(&cell(i).0).is_some(), "key {i} survives");
+        }
+
+        // Post-GC appends open a shard in the *new* generation.
+        let (k, r) = cell(99);
+        journal::append(&k, &r);
+        journal::flush();
+        assert_eq!(shard_paths(&dir).len(), 2, "fresh shard in generation 2");
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gc_killed_at_every_io_op_leaves_old_or_new_generation_intact() {
+    let _g = LOCK.lock().unwrap();
+    let dir = scratch("gckill");
+    isolated(|| {
+        journal::set_dir(Some(&dir));
+        for i in 0..20 {
+            let (k, r) = cell(i);
+            journal::append(&k, &r);
+        }
+        journal::flush();
+        let root = journal::v2_root(&dir);
+
+        // Sweep the kill point over every io operation of the compaction:
+        // op k panics (simulated SIGKILL at that filesystem step). After
+        // each kill the store must still replay the full live set — the
+        // commit is a single atomic rename, so there is no in-between.
+        let mut kill_points = 0u64;
+        let mut committed_at = None;
+        for k in 1..=200u64 {
+            journal::set_dir(Some(&dir)); // fresh "process" runs the GC
+            hostfault::set_io_abort_at(Some(k));
+            let res = std::panic::catch_unwind(journal::gc);
+            hostfault::set_io_abort_at(None);
+            match res {
+                Ok(Ok(stats)) => {
+                    // The kill point lies beyond the compaction's op
+                    // count: GC ran to completion.
+                    assert_eq!(stats.live_cells, 20);
+                    committed_at = Some(k);
+                    break;
+                }
+                Ok(Err(e)) => panic!("gc must only die by kill, got: {e}"),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .unwrap_or_default();
+                    assert!(
+                        msg.contains(IO_ABORT_MARKER),
+                        "only the injected kill may panic, got: {msg}"
+                    );
+                    kill_points += 1;
+                }
+            }
+            assert!(
+                !root.join(journal::GC_LOCK).exists(),
+                "kill point {k}: the gc lock must never linger"
+            );
+            rebirth(&dir);
+            let stats = journal::replay();
+            assert_eq!(
+                stats.replayed, 20,
+                "kill point {k}: the store must replay the full live set"
+            );
+            assert_eq!(stats.quarantined, 0, "kill point {k}: no corruption");
+        }
+        let committed_at = committed_at.expect("gc eventually runs clean");
+        assert!(
+            kill_points >= 20,
+            "the sweep must cover >= 20 kill points (got {kill_points}, \
+             committed at {committed_at})"
+        );
+
+        // After the clean commit: exactly one generation, fully intact,
+        // and no stray tmp build dirs from the killed attempts.
+        let names: Vec<String> = std::fs::read_dir(&root)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.iter().all(|n| !n.contains(".tmp.")),
+            "stray GC build dirs must be cleaned up: {names:?}"
+        );
+        rebirth(&dir);
+        let final_stats = journal::replay();
+        assert_eq!(final_stats.replayed, 20);
+        assert_eq!(final_stats.shards, 1, "compacted into one shard");
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gc_refuses_a_live_lock_and_takes_over_a_stale_one() {
+    let _g = LOCK.lock().unwrap();
+    let dir = scratch("gclock");
+    isolated(|| {
+        journal::set_dir(Some(&dir));
+        for i in 0..3 {
+            let (k, r) = cell(i);
+            journal::append(&k, &r);
+        }
+        journal::flush();
+        let lock = journal::v2_root(&dir).join(journal::GC_LOCK);
+
+        // A live holder (our own pid) makes gc fail fast, store untouched.
+        std::fs::write(&lock, format!("{}\n", std::process::id())).unwrap();
+        let err = journal::gc().expect_err("live lock must refuse");
+        assert!(err.contains("held by live process"), "{err}");
+        assert!(journal::v2_root(&dir).join("gen-00000001").exists());
+        std::fs::remove_file(&lock).unwrap();
+
+        // A stale holder (dead pid) is taken over.
+        let dead_pid = std::process::Command::new("true")
+            .spawn()
+            .map(|mut c| {
+                let pid = c.id();
+                let _ = c.wait();
+                pid
+            })
+            .unwrap();
+        std::fs::write(&lock, format!("{dead_pid}\n")).unwrap();
+        let stats = journal::gc().expect("stale lock is taken over");
+        assert_eq!(stats.live_cells, 3);
+        assert!(!lock.exists(), "lock released after gc");
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}

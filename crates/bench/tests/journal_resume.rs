@@ -1,14 +1,17 @@
-//! Crash-safety differential tests: the on-disk cell journal and the
+//! Crash-safety differential tests: the on-disk cell farm and the
 //! panic-isolated workers.
 //!
 //! The load-bearing invariants:
 //!
 //! 1. A killed run resumes **exactly**: every cell the dead process
-//!    completed is replayed from the journal and never re-simulated, and
+//!    completed is replayed from its shard and never re-simulated, and
 //!    the resumed figures are byte-identical to an undisturbed run.
-//! 2. A damaged journal is never fatal. A torn final write (the only tear
-//!    a SIGKILL can produce) is dropped silently; mid-stream corruption
-//!    quarantines the file and keeps the good prefix.
+//! 2. A damaged store is never fatal. A torn final write (the only tear
+//!    a SIGKILL can produce) is dropped in memory — the shard itself is
+//!    *not* rewritten, because a torn tail on a foreign shard may be a
+//!    live sibling's in-flight append; mid-stream corruption quarantines
+//!    that one shard (unique name, good prefix rescued) and never poisons
+//!    its siblings.
 //! 3. Injected worker panics are masked by deterministic retries; a cell
 //!    that fails every attempt renders as `ERR` instead of aborting the
 //!    matrix.
@@ -16,13 +19,14 @@
 //! Journal state, the cell cache, and the fault counters are
 //! process-global, so every test serializes on [`LOCK`] and restores what
 //! it found. "Process death" is simulated by [`journal::set_dir`] to the
-//! same directory (which drops all in-memory journal state) plus
+//! same directory (which drops all in-memory journal state, and — like a
+//! real fresh process — opens a *new* shard on the next append) plus
 //! [`simcache::clear`].
 
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use tint_bench::figures::{fig10, FigOpts};
-use tint_bench::hostfault::{self, HostFaultPlan};
+use tint_bench::hostfault::{self, FaultMode, HostFaultPlan};
 use tint_bench::journal;
 use tint_bench::runner::{
     poisoned_cells, reset_fault_counters, retries_used, set_cell_retries, set_jobs,
@@ -56,6 +60,7 @@ fn isolated<T>(cache_on: bool, f: impl FnOnce() -> T) -> T {
     simcache::set_enabled(cache_on);
     journal::set_dir(None);
     hostfault::set_plan(None);
+    hostfault::set_io_abort_at(None);
     reset_fault_counters();
     set_cell_retries(None);
     set_jobs(1); // deterministic queue order (and fault schedule)
@@ -63,11 +68,27 @@ fn isolated<T>(cache_on: bool, f: impl FnOnce() -> T) -> T {
     set_jobs(0);
     set_cell_retries(None);
     hostfault::set_plan(None);
+    hostfault::set_io_abort_at(None);
     reset_fault_counters();
     journal::set_dir(None);
     simcache::set_enabled(cache_was);
     simcache::clear();
     out
+}
+
+/// Every shard file in `dir`'s current store generation, sorted.
+fn shard_paths(dir: &Path) -> Vec<PathBuf> {
+    let Some((_, gen_dir)) = journal::current_generation(dir) else {
+        return Vec::new();
+    };
+    let mut v: Vec<PathBuf> = std::fs::read_dir(gen_dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "jnl"))
+        .collect();
+    v.sort();
+    v
 }
 
 // ---------------------------------------------------------------------------
@@ -86,15 +107,17 @@ fn resume_replays_completed_cells_and_matches_bytes() {
         let first = opts.render(&fig10(&opts));
         let (_, appended, _) = journal::counters();
         assert!(appended > 0, "the first run must journal its cells");
+        assert_eq!(shard_paths(&dir).len(), 1, "one writer, one shard");
 
-        // "Second process": all in-memory state is gone; only the file
+        // "Second process": all in-memory state is gone; only the store
         // survives.
         journal::set_dir(Some(&dir));
         simcache::clear();
         let stats = journal::replay();
         assert_eq!(stats.replayed, appended, "every appended cell replays");
         assert_eq!(stats.torn_dropped, 0);
-        assert!(!stats.quarantined);
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(stats.shards, 1);
 
         let misses_before = simcache::stats().1;
         let resumed = opts.render(&fig10(&opts));
@@ -117,22 +140,24 @@ fn resume_replays_completed_cells_and_matches_bytes() {
 }
 
 // ---------------------------------------------------------------------------
-// Damaged journals: torn tail vs mid-stream corruption
+// Damaged shards: torn tail vs mid-stream corruption
 // ---------------------------------------------------------------------------
 
-/// Journal a figure's cells and return the file path + its bytes.
+/// Journal a figure's cells and return the (single) shard path + bytes.
 fn journaled_run(dir: &Path) -> (PathBuf, Vec<u8>) {
     journal::set_dir(Some(dir));
     journal::replay();
     let opts = quick();
     let _ = opts.render(&fig10(&opts));
     journal::flush();
-    let path = dir.join(journal::FILE_NAME);
-    let bytes = std::fs::read(&path).expect("journal file exists");
+    let shards = shard_paths(dir);
+    assert_eq!(shards.len(), 1, "one writer, one shard");
+    let path = shards.into_iter().next().unwrap();
+    let bytes = std::fs::read(&path).expect("shard file exists");
     (path, bytes)
 }
 
-/// Byte offset just past the `n`-th entry (file starts with an 8-byte
+/// Byte offset just past the `n`-th entry (a shard starts with an 8-byte
 /// magic; entries are `[len u32 LE][crc u32 LE][payload]`).
 fn entry_end(bytes: &[u8], n: usize) -> usize {
     let mut at = 8;
@@ -144,7 +169,7 @@ fn entry_end(bytes: &[u8], n: usize) -> usize {
 }
 
 #[test]
-fn torn_final_write_is_dropped_silently() {
+fn torn_final_write_is_dropped_in_memory_without_touching_the_shard() {
     let _g = LOCK.lock().unwrap();
     let dir = scratch("torn");
     isolated(true, || {
@@ -165,14 +190,21 @@ fn torn_final_write_is_dropped_silently() {
             "all but the torn entry replay"
         );
         assert!(stats.torn_dropped > 0);
-        assert!(!stats.quarantined, "a tear is not corruption");
-        assert!(!path.with_extension("jnl.corrupt").exists());
+        assert_eq!(stats.quarantined, 0, "a tear is not corruption");
+        // Foreign-shard safety: the torn shard is NOT truncated or
+        // rewritten — for all the replayer knows, that tail is a live
+        // sibling's append in flight. (GC compacts dead tails away.)
+        assert_eq!(
+            std::fs::read(&path).unwrap().len(),
+            keep,
+            "replay must never rewrite a foreign shard"
+        );
     });
     let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
-fn midstream_bitflip_quarantines_but_keeps_good_prefix() {
+fn midstream_bitflip_quarantines_that_shard_and_rescues_the_prefix() {
     let _g = LOCK.lock().unwrap();
     let dir = scratch("bitflip");
     isolated(true, || {
@@ -188,17 +220,59 @@ fn midstream_bitflip_quarantines_but_keeps_good_prefix() {
         journal::set_dir(Some(&dir)); // process death
         simcache::clear();
         let stats = journal::replay();
-        assert!(stats.quarantined, "CRC mismatch mid-stream must quarantine");
+        assert_eq!(stats.quarantined, 1, "CRC mismatch mid-stream quarantines");
         assert_eq!(stats.replayed, 1, "the good prefix (first entry) survives");
-        let corrupt = dir.join(format!("{}.corrupt", journal::FILE_NAME));
-        assert!(corrupt.exists(), "damaged file is kept for inspection");
-        // The rewritten journal is healthy: a third "process" replays the
-        // surviving prefix without complaint.
+        // The damaged shard moved to the store root under a unique name.
+        let shard_name = path.file_name().unwrap().to_str().unwrap();
+        let corrupt = journal::v2_root(&dir).join(format!("{shard_name}.corrupt.1"));
+        assert!(corrupt.exists(), "damaged shard is kept for inspection");
+        assert!(!path.exists(), "the corrupt shard left the generation");
+
+        // The rescue re-persisted the good prefix: a third "process"
+        // replays it from a healthy shard without complaint.
         journal::set_dir(Some(&dir));
         simcache::clear();
         let again = journal::replay();
         assert_eq!(again.replayed, 1);
-        assert!(!again.quarantined);
+        assert_eq!(again.quarantined, 0);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn successive_corruptions_quarantine_to_unique_names() {
+    let _g = LOCK.lock().unwrap();
+    let dir = scratch("requarantine");
+    isolated(true, || {
+        // First corruption: bad magic on the process's own shard.
+        let (path, _) = journaled_run(&dir);
+        let shard_name = path.file_name().unwrap().to_str().unwrap().to_string();
+        std::fs::write(&path, b"NOTJRNL!garbage").unwrap();
+        journal::set_dir(Some(&dir));
+        simcache::clear();
+        let first = journal::replay();
+        assert_eq!(first.quarantined, 1);
+        let root = journal::v2_root(&dir);
+        let q1 = root.join(format!("{shard_name}.corrupt.1"));
+        assert!(q1.exists());
+        let q1_bytes = std::fs::read(&q1).unwrap();
+
+        // Second corruption of a *same-named* shard (recreate it by hand,
+        // as a pathological writer might): the quarantine must take the
+        // next slot, never overwrite the first body of evidence.
+        let (_, gen_dir) = journal::current_generation(&dir).unwrap();
+        std::fs::write(gen_dir.join(&shard_name), b"NOTJRNL!other-garbage").unwrap();
+        journal::set_dir(Some(&dir));
+        simcache::clear();
+        let second = journal::replay();
+        assert_eq!(second.quarantined, 1);
+        let q2 = root.join(format!("{shard_name}.corrupt.2"));
+        assert!(q2.exists(), "second quarantine takes the next slot");
+        assert_eq!(
+            std::fs::read(&q1).unwrap(),
+            q1_bytes,
+            "the first quarantine is untouched"
+        );
     });
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -218,6 +292,7 @@ fn injected_faults_are_masked_by_retries() {
         // needs 11 consecutive bad draws — the fixed seed never does.
         set_cell_retries(Some(10));
         hostfault::set_plan(Some(HostFaultPlan {
+            mode: FaultMode::Panic,
             per_mille: 100,
             seed: 11,
         }));
@@ -252,6 +327,7 @@ fn parallel_faulted_run_keeps_cache_usable_and_accounts_err() {
         set_jobs(4); // the repro binary's `--jobs 4`
         set_cell_retries(Some(1));
         hostfault::set_plan(Some(HostFaultPlan {
+            mode: FaultMode::Panic,
             per_mille: 1000,
             seed: 3,
         }));
@@ -299,6 +375,7 @@ fn total_fault_rate_poisons_cells_and_renders_err() {
     isolated(false, || {
         set_cell_retries(Some(1));
         hostfault::set_plan(Some(HostFaultPlan {
+            mode: FaultMode::Panic,
             per_mille: 1000,
             seed: 1,
         }));

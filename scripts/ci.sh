@@ -125,6 +125,76 @@ if [ -z "$jhits" ] || [ "$jhits" -lt "$replayed" ]; then
     exit 1
 fi
 
+echo "== cell-farm smoke =="
+# Two concurrent repro processes share one journal directory, each
+# appending to its own shard (no locks on the append path). One is
+# SIGKILLed mid-matrix, the other completes; a resume finishes the killed
+# matrix. The differential: a third run over both matrices must simulate
+# ZERO cells (the merged farm serves everything) and print byte-identical
+# figures; `repro gc-journal` then compacts the shards into a fresh
+# generation and the differential must still hold.
+farm_dir=$(mktemp -d)
+(cd "$farm_dir" && exec "$OLDPWD/target/release/repro" --jobs 2 --reps 2 --configs 16t4n fig11 > a.txt 2> /dev/null) &
+farm_a=$!
+(cd "$farm_dir" && exec "$OLDPWD/target/release/repro" --jobs 2 --reps 2 --configs 16t4n fig12 > b.txt 2> /dev/null) &
+farm_b=$!
+sleep 2
+kill -9 "$farm_a" 2>/dev/null || true
+wait "$farm_a" 2>/dev/null || true
+wait "$farm_b"
+(cd "$farm_dir" && "$OLDPWD/target/release/repro" --jobs 2 --reps 2 --configs 16t4n fig11 > /dev/null 2>&1)
+(cd "$farm_dir" && "$OLDPWD/target/release/repro" --jobs 2 --reps 2 --configs 16t4n fig11 fig12 > farm.txt 2> /dev/null)
+farm_misses=$(grep '"invocation"' "$farm_dir/BENCH_repro.json" | sed -n 's/.*"cache_misses": \([0-9]*\).*/\1/p')
+if [ "$farm_misses" != "0" ]; then
+    echo "FAIL: the merged cell farm re-simulated $farm_misses cells (expected 0)" >&2
+    exit 1
+fi
+farm_clean_dir=$(mktemp -d)
+(cd "$farm_clean_dir" && TINT_JOURNAL=0 "$OLDPWD/target/release/repro" --jobs 2 --reps 2 --configs 16t4n fig11 fig12 > clean.txt 2> /dev/null)
+if ! cmp -s "$farm_dir/farm.txt" "$farm_clean_dir/clean.txt"; then
+    echo "FAIL: farm-served figures differ from an undisturbed run" >&2
+    exit 1
+fi
+if ! (cd "$farm_dir" && "$OLDPWD/target/release/repro" gc-journal > /dev/null 2>&1); then
+    echo "FAIL: repro gc-journal exited nonzero" >&2
+    exit 1
+fi
+(cd "$farm_dir" && "$OLDPWD/target/release/repro" --jobs 2 --reps 2 --configs 16t4n fig11 fig12 > post_gc.txt 2> /dev/null)
+post_gc_misses=$(grep '"invocation"' "$farm_dir/BENCH_repro.json" | sed -n 's/.*"cache_misses": \([0-9]*\).*/\1/p')
+if [ "$post_gc_misses" != "0" ] || ! cmp -s "$farm_dir/post_gc.txt" "$farm_clean_dir/clean.txt"; then
+    echo "FAIL: the compacted generation lost cells (misses=$post_gc_misses)" >&2
+    exit 1
+fi
+rm -rf "$farm_dir" "$farm_clean_dir"
+
+echo "== io-fault degradation smoke =="
+# With every journal filesystem operation failing (io:1000), the run must
+# still complete correctly: exit 0, figures byte-identical to a clean run,
+# exactly one warning on stderr, and the invocation block reporting the
+# disarm. The journal is a cache — losing it may never take a run down.
+io_dir=$(mktemp -d)
+(cd "$io_dir" && TINT_JOURNAL=0 "$OLDPWD/target/release/repro" --reps 1 --scale 0.2 --configs 16t4n fig12 > clean.txt 2> /dev/null)
+if ! (cd "$io_dir" && TINT_HOST_FAULT=io:1000:9 "$OLDPWD/target/release/repro" --reps 1 --scale 0.2 --configs 16t4n fig12 > faulted.txt 2> err.txt); then
+    echo "FAIL: io:1000 run exited nonzero" >&2
+    cat "$io_dir/err.txt" >&2
+    exit 1
+fi
+if ! cmp -s "$io_dir/clean.txt" "$io_dir/faulted.txt"; then
+    echo "FAIL: io faults changed figure output" >&2
+    exit 1
+fi
+warns=$(grep -c "journaling disabled" "$io_dir/err.txt" || true)
+if [ "$warns" != "1" ]; then
+    echo "FAIL: expected exactly one disarm warning, got $warns:" >&2
+    cat "$io_dir/err.txt" >&2
+    exit 1
+fi
+if ! grep -q '"io_disarmed": true' "$io_dir/BENCH_repro.json"; then
+    echo "FAIL: the invocation block did not report io_disarmed" >&2
+    exit 1
+fi
+rm -rf "$io_dir"
+
 echo "== churn reclamation smoke =="
 # A short seeded multi-tenant churn run: tasks arrive, color themselves,
 # live, and exit under every exhaustion policy with kernel invariants
